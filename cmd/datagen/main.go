@@ -1,0 +1,113 @@
+// Command datagen generates the synthetic stand-in datasets (Table I)
+// and writes them to disk in the framework's length-prefixed record
+// format, one file per dataset, plus a stats line per dataset.
+//
+// Usage:
+//
+//	datagen -out /tmp/data -scale 0.01
+//	datagen -out /tmp/data -only rcv1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pareto/internal/datasets"
+	"pareto/internal/pivots"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "data", "output directory")
+		scale = flag.Float64("scale", 0.005, "scale factor relative to Table I sizes")
+		only  = flag.String("only", "", "generate a single dataset: swissprot, treebank, uk, arabic, rcv1")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	if want("swissprot") {
+		writeTrees(*out, "swissprot", datasets.SwissProtLike(*scale))
+	}
+	if want("treebank") {
+		writeTrees(*out, "treebank", datasets.TreebankLike(*scale))
+	}
+	if want("uk") {
+		writeGraph(*out, "uk", datasets.UKLike(*scale))
+	}
+	if want("arabic") {
+		writeGraph(*out, "arabic", datasets.ArabicLike(*scale))
+	}
+	if want("rcv1") {
+		writeText(*out, "rcv1", datasets.RCV1Like(*scale))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}
+
+func writeAll(path string, n int, appendRecord func(dst []byte, i int) []byte) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 0, 1<<20)
+	for i := 0; i < n; i++ {
+		buf = appendRecord(buf[:0], i)
+		if _, err := f.Write(buf); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func writeTrees(dir, name string, cfg datasets.TreeConfig) {
+	trees, _, err := datasets.GenerateTrees(cfg)
+	if err != nil {
+		fail(err)
+	}
+	corpus, err := pivots.NewTreeCorpus(trees)
+	if err != nil {
+		fail(err)
+	}
+	path := filepath.Join(dir, name+".trees")
+	writeAll(path, corpus.Len(), corpus.AppendRecord)
+	st := datasets.TreeStats(name, trees)
+	fmt.Printf("%-10s %8d trees %10d nodes -> %s\n", name, st.Records, st.Units, path)
+}
+
+func writeGraph(dir, name string, cfg datasets.GraphConfig) {
+	g, _, err := datasets.GenerateGraph(cfg)
+	if err != nil {
+		fail(err)
+	}
+	corpus, err := pivots.NewGraphCorpus(g)
+	if err != nil {
+		fail(err)
+	}
+	path := filepath.Join(dir, name+".graph")
+	writeAll(path, corpus.Len(), corpus.AppendRecord)
+	st := datasets.GraphStats(name, g)
+	fmt.Printf("%-10s %8d verts %10d edges -> %s\n", name, st.Records, st.Units, path)
+}
+
+func writeText(dir, name string, cfg datasets.TextConfig) {
+	docs, _, err := datasets.GenerateText(cfg)
+	if err != nil {
+		fail(err)
+	}
+	corpus, err := pivots.NewTextCorpus(docs, cfg.VocabSize)
+	if err != nil {
+		fail(err)
+	}
+	path := filepath.Join(dir, name+".docs")
+	writeAll(path, corpus.Len(), corpus.AppendRecord)
+	st := datasets.TextStats(name, docs, cfg.VocabSize)
+	fmt.Printf("%-10s %8d docs  %10d terms -> %s\n", name, st.Records, st.Units, path)
+}

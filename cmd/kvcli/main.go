@@ -1,0 +1,80 @@
+// Command kvcli is a minimal interactive client for kvstored (and any
+// RESP server): it reads whitespace-separated commands from stdin or
+// from the command line and prints the replies.
+//
+// Usage:
+//
+//	kvcli -addr 127.0.0.1:6380 SET greeting hello
+//	kvcli -addr 127.0.0.1:6380          # interactive: one command per line
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pareto/internal/kvstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6380", "server address")
+	flag.Parse()
+	c, err := kvstore.Dial(*addr, 5*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvcli: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	if args := flag.Args(); len(args) > 0 {
+		if err := runOne(c, args); err != nil {
+			fmt.Fprintf(os.Stderr, "kvcli: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.EqualFold(fields[0], "quit") || strings.EqualFold(fields[0], "exit") {
+			return
+		}
+		if err := runOne(c, fields); err != nil {
+			fmt.Fprintf(os.Stderr, "kvcli: %v\n", err)
+			return
+		}
+	}
+}
+
+// runOne sends one command and renders its reply.
+func runOne(c *kvstore.Client, fields []string) error {
+	args := make([][]byte, len(fields)-1)
+	for i, f := range fields[1:] {
+		args[i] = []byte(f)
+	}
+	rep, err := c.Do(fields[0], args...)
+	if err != nil {
+		return err
+	}
+	printReply(rep, "")
+	return nil
+}
+
+func printReply(r kvstore.Reply, indent string) {
+	switch r.Type {
+	case kvstore.Array:
+		fmt.Printf("%sarray of %d:\n", indent, len(r.Array))
+		for i, el := range r.Array {
+			fmt.Printf("%s%d) ", indent, i+1)
+			printReply(el, "")
+		}
+	default:
+		fmt.Printf("%s%s\n", indent, r.String())
+	}
+}

@@ -1,0 +1,46 @@
+// Command kvstored runs one instance of the framework's
+// Redis-compatible key-value store (paper §IV deploys one store per
+// cluster node). It speaks the RESP protocol, so both this module's
+// client and standard Redis clients can talk to it.
+//
+// Usage:
+//
+//	kvstored -addr 127.0.0.1:6379
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pareto/internal/kvstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
+	snapshot := flag.String("snapshot", "", "snapshot file: loaded at start, written by SAVE and on shutdown")
+	flag.Parse()
+	srv := kvstore.NewServer(nil)
+	if *snapshot != "" {
+		if err := srv.EnableSnapshot(*snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "kvstored: loading snapshot: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvstored: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kvstored listening on %s\n", bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("kvstored: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "kvstored: close: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// Command paretobench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	paretobench -list
+//	paretobench -exp fig3            # one artifact at the small scale
+//	paretobench -exp all -scale paper
+//
+// Each experiment prints an aligned text table with one row per
+// (strategy, partition count) or per α point; see DESIGN.md §4 for the
+// artifact index and EXPERIMENTS.md for recorded runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pareto/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (table1, fig2, fig3, fig4, table2, table3, fig5, fig6, all)")
+		scale = flag.String("scale", "small", "dataset scale: small | paper")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range bench.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	var s bench.Scale
+	switch *scale {
+	case "small":
+		s = bench.SmallScale()
+	case "paper":
+		s = bench.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "paretobench: unknown scale %q (want small or paper)\n", *scale)
+		os.Exit(2)
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := bench.RunExperiment(id, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paretobench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", rep.ID, rep.Title, time.Since(start).Seconds(), rep.Text)
+	}
+}

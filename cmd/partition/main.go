@@ -1,0 +1,305 @@
+// Command partition runs the full pipeline on a dataset file produced
+// by datagen: stratify, profile the chosen workload with progressive
+// samples, solve the Pareto LP for the chosen strategy, and place the
+// partitions onto disk or onto running kvstored instances.
+//
+// Usage:
+//
+//	partition -in data/rcv1.docs -kind text -strategy het-aware -p 8 -outdir parts/
+//	partition -in data/uk.graph -kind graph -strategy het-energy-aware -alpha 0.99 \
+//	          -kv 127.0.0.1:6380,127.0.0.1:6381
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pareto"
+	"pareto/internal/datasets"
+	"pareto/internal/kvstore"
+	"pareto/internal/pivots"
+	"pareto/internal/workloads/apriori"
+	"pareto/internal/workloads/graphcomp"
+	"pareto/internal/workloads/treemine"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input dataset file")
+		format   = flag.String("format", "binary", "input format: binary (datagen), edgelist (SNAP/LAW), transactions (FIMI)")
+		kind     = flag.String("kind", "", "record kind: tree | graph | text (implied by -format for edgelist/transactions)")
+		strategy = flag.String("strategy", "het-aware", "stratified | het-aware | het-energy-aware")
+		alpha    = flag.Float64("alpha", 0.995, "scalarization weight for het-energy-aware")
+		p        = flag.Int("p", 8, "number of partitions / nodes")
+		scheme   = flag.String("scheme", "", "placement: representative | similar (default per kind)")
+		outdir   = flag.String("outdir", "", "place partitions as files under this directory")
+		kvAddrs  = flag.String("kv", "", "comma-separated kvstored addresses to place onto")
+		support  = flag.Float64("support", 0.1, "mining support fraction used for profiling")
+		offset   = flag.Float64("trace-offset", 12*3600, "job start within solar traces (s)")
+		planOut  = flag.String("plan-out", "", "write the plan summary as JSON to this file")
+	)
+	flag.Parse()
+	switch *format {
+	case "edgelist":
+		*kind = "graph"
+	case "transactions":
+		*kind = "text"
+	}
+	if *in == "" || *kind == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	buf, err := os.ReadFile(*in)
+	if err != nil {
+		fail(err)
+	}
+	corpus, profile, err := loadCorpusFormat(*format, *kind, buf, *support)
+	if err != nil {
+		fail(err)
+	}
+	cl, err := pareto.PaperCluster(*p, pareto.DefaultPanel(), 172, 72)
+	if err != nil {
+		fail(err)
+	}
+	fw, err := pareto.New(corpus, cl)
+	if err != nil {
+		fail(err)
+	}
+	fw.Alpha = *alpha
+	fw.TraceOffset = *offset
+	switch *scheme {
+	case "representative":
+		fw.Scheme = pareto.Representative
+	case "similar":
+		fw.Scheme = pareto.SimilarTogether
+	case "":
+		if *kind == "graph" {
+			fw.Scheme = pareto.SimilarTogether
+		}
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	var strat pareto.Strategy
+	switch *strategy {
+	case "stratified":
+		strat = pareto.Stratified
+		profile = nil
+	case "het-aware":
+		strat = pareto.HetAware
+	case "het-energy-aware":
+		strat = pareto.HetEnergyAware
+	default:
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	start := time.Now()
+	plan, err := fw.Plan(strat, profile)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("planned %d records into %d partitions in %.2fs (strategy %v, scheme %v)\n",
+		corpus.Len(), *p, time.Since(start).Seconds(), plan.Strategy, plan.Scheme)
+	fmt.Printf("partition sizes: %v\n", plan.Assign.Sizes())
+	if plan.Optimized != nil {
+		fmt.Printf("predicted makespan %.3fs, predicted dirty energy %.1f J\n",
+			plan.Optimized.Makespan, plan.Optimized.DirtyEnergy)
+	}
+	if *planOut != "" {
+		sum, err := plan.Summary()
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*planOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := sum.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("plan summary written to %s\n", *planOut)
+	}
+
+	switch {
+	case *outdir != "":
+		st, err := pareto.NewDiskStore(*outdir)
+		if err != nil {
+			fail(err)
+		}
+		if err := fw.PlaceTo(plan, st); err != nil {
+			fail(err)
+		}
+		fmt.Printf("placed partitions under %s\n", *outdir)
+	case *kvAddrs != "":
+		var clients []*kvstore.Client
+		for _, addr := range strings.Split(*kvAddrs, ",") {
+			c, err := kvstore.Dial(strings.TrimSpace(addr), 5*time.Second)
+			if err != nil {
+				fail(err)
+			}
+			defer c.Close()
+			clients = append(clients, c)
+		}
+		st, err := pareto.NewKVStore(clients, 128, "pareto")
+		if err != nil {
+			fail(err)
+		}
+		if err := fw.PlaceTo(plan, st); err != nil {
+			fail(err)
+		}
+		fmt.Printf("placed partitions onto %d store instance(s)\n", len(clients))
+	default:
+		fmt.Println("dry run (no -outdir or -kv given)")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "partition: %v\n", err)
+	os.Exit(1)
+}
+
+// loadCorpusFormat dispatches on the input format: binary (datagen
+// records) or the text formats for real public datasets.
+func loadCorpusFormat(format, kind string, buf []byte, support float64) (pareto.Corpus, pareto.ProfileFunc, error) {
+	switch format {
+	case "binary":
+		return loadCorpus(kind, buf, support)
+	case "edgelist":
+		g, err := datasets.LoadEdgeList(bytes.NewReader(buf))
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus, err := pareto.NewGraphCorpus(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		return corpus, graphProfile(corpus), nil
+	case "transactions":
+		docs, vocab, err := datasets.LoadTransactions(bytes.NewReader(buf))
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus, err := pareto.NewTextCorpus(docs, vocab)
+		if err != nil {
+			return nil, nil, err
+		}
+		return corpus, textProfile(corpus, support), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown format %q (want binary, edgelist or transactions)", format)
+	}
+}
+
+// graphProfile profiles via the webgraph compressor.
+func graphProfile(corpus *pareto.GraphCorpus) pareto.ProfileFunc {
+	return func(indices []int) (float64, error) {
+		ids := make([]uint32, len(indices))
+		lists := make([][]uint32, len(indices))
+		for k, i := range indices {
+			ids[k] = uint32(i)
+			lists[k] = corpus.G.Adj[i]
+		}
+		enc, err := graphcomp.Encode(ids, lists, graphcomp.Config{Window: 7})
+		if err != nil {
+			return 0, err
+		}
+		return enc.Cost, nil
+	}
+}
+
+// textProfile profiles via local Apriori mining.
+func textProfile(corpus *pareto.TextCorpus, support float64) pareto.ProfileFunc {
+	return func(indices []int) (float64, error) {
+		txns := make([]apriori.Transaction, len(indices))
+		for k, i := range indices {
+			txns[k] = corpus.Docs[i].Terms
+		}
+		pr, err := apriori.MineLocal(txns, support, 3)
+		if err != nil {
+			return 0, err
+		}
+		return pr.Cost, nil
+	}
+}
+
+// loadCorpus decodes a datagen file and returns the corpus plus the
+// kind-appropriate profiling function (the actual algorithm run on
+// representative samples).
+func loadCorpus(kind string, buf []byte, support float64) (pareto.Corpus, pareto.ProfileFunc, error) {
+	switch kind {
+	case "tree":
+		trees, err := pivots.DecodeTreeRecords(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus, err := pareto.NewTreeCorpus(trees)
+		if err != nil {
+			return nil, nil, err
+		}
+		profile := func(indices []int) (float64, error) {
+			sub := make([]pareto.Tree, len(indices))
+			for k, i := range indices {
+				sub[k] = corpus.Trees[i]
+			}
+			pr, err := treemine.MineLocal(sub, support, treemine.Config{MaxNodes: 4})
+			if err != nil {
+				return 0, err
+			}
+			return pr.Cost, nil
+		}
+		return corpus, profile, nil
+	case "graph":
+		g, err := pivots.DecodeGraphRecords(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus, err := pareto.NewGraphCorpus(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		profile := func(indices []int) (float64, error) {
+			ids := make([]uint32, len(indices))
+			lists := make([][]uint32, len(indices))
+			for k, i := range indices {
+				ids[k] = uint32(i)
+				lists[k] = corpus.G.Adj[i]
+			}
+			enc, err := graphcomp.Encode(ids, lists, graphcomp.Config{Window: 7})
+			if err != nil {
+				return 0, err
+			}
+			return enc.Cost, nil
+		}
+		return corpus, profile, nil
+	case "text":
+		docs, vocab, err := pivots.DecodeTextRecords(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus, err := pareto.NewTextCorpus(docs, vocab)
+		if err != nil {
+			return nil, nil, err
+		}
+		profile := func(indices []int) (float64, error) {
+			txns := make([]apriori.Transaction, len(indices))
+			for k, i := range indices {
+				txns[k] = corpus.Docs[i].Terms
+			}
+			pr, err := apriori.MineLocal(txns, support, 3)
+			if err != nil {
+				return 0, err
+			}
+			return pr.Cost, nil
+		}
+		return corpus, profile, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown kind %q (want tree, graph or text)", kind)
+	}
+}

@@ -1,0 +1,65 @@
+// Text mining example: the paper's Figure 3 workload in miniature.
+// Runs partition-based distributed Apriori (Savasere et al.) over an
+// RCV1-like corpus under all three partitioning strategies and reports
+// execution time, dirty energy, and the candidate-pattern counts that
+// partition skew inflates.
+//
+//	go run ./examples/textmining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pareto/internal/bench"
+	"pareto/internal/cluster"
+	"pareto/internal/core"
+	"pareto/internal/datasets"
+	"pareto/internal/energy"
+	"pareto/internal/pivots"
+)
+
+func main() {
+	// Same configuration as the Figure 3 bench suite. Mining cost is
+	// non-linear in partition size: at much smaller scales the tiny
+	// partitions Het-Aware places on slow nodes can explode the local
+	// candidate space (scaled-support granularity), a degenerate
+	// regime the paper's full-size datasets never enter.
+	cfg := datasets.RCV1Like(0.001)
+	docs, _, err := datasets.GenerateText(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := pivots.NewTextCorpus(docs, cfg.VocabSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := &bench.TextMining{Docs: corpus, SupportFrac: 0.1, MaxLen: 3}
+	cl, err := cluster.PaperCluster(8, energy.DefaultPanel(), 172, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := bench.DefaultOptions()
+	fmt.Printf("distributed Apriori on %d docs, 8 heterogeneous nodes, support %.0f%%\n\n",
+		corpus.Len(), 100*workload.SupportFrac)
+	rows, err := bench.CompareStrategies(workload, cl, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatRows(rows))
+
+	var base, het *bench.StrategyRow
+	for i := range rows {
+		switch rows[i].Strategy {
+		case core.Stratified:
+			base = &rows[i]
+		case core.HetAware:
+			het = &rows[i]
+		}
+	}
+	fmt.Printf("\nHet-Aware runs %.0f%% faster than the stratified baseline.\n",
+		100*bench.Improvement(base.TimeSec, het.TimeSec))
+	fmt.Println("All strategies find the same globally frequent itemsets;")
+	fmt.Println("only the candidate (false-positive) work differs with skew.")
+}

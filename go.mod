@@ -1,0 +1,3 @@
+module pareto
+
+go 1.22

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pareto/internal/cluster"
+	"pareto/internal/core"
+	"pareto/internal/opt"
+	"pareto/internal/sampling"
+	"pareto/internal/strata"
+)
+
+// Overhead breaks down the framework's one-time planning cost — the
+// cost the paper argues is "small and amortized over multiple runs on
+// the full dataset" (§III). All durations are wall-clock on the host
+// machine (the planning pipeline is real computation, not simulated).
+type Overhead struct {
+	Stratify time.Duration // sketching + compositeKModes
+	Profile  time.Duration // progressive sampling through the workload
+	Optimize time.Duration // scalarized LP solve
+	Total    time.Duration
+	// JobTimeSec is the simulated single-run makespan of the planned
+	// job, for the amortization comparison.
+	JobTimeSec float64
+}
+
+// String renders the breakdown.
+func (o Overhead) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "stratify %10.2f ms\n", float64(o.Stratify.Microseconds())/1000)
+	fmt.Fprintf(&sb, "profile  %10.2f ms\n", float64(o.Profile.Microseconds())/1000)
+	fmt.Fprintf(&sb, "optimize %10.2f ms\n", float64(o.Optimize.Microseconds())/1000)
+	fmt.Fprintf(&sb, "total    %10.2f ms\n", float64(o.Total.Microseconds())/1000)
+	return sb.String()
+}
+
+// MeasureOverhead times each planning phase separately for the given
+// workload and cluster, then executes the planned job once to report
+// the run time the overhead amortizes against.
+func MeasureOverhead(w Workload, cl *cluster.Cluster, o Options) (*Overhead, error) {
+	if w == nil {
+		return nil, errNoWorkload
+	}
+	corpus := w.Corpus()
+	out := &Overhead{}
+
+	start := time.Now()
+	scfg := o.Stratifier
+	if scfg.Cluster.K == 0 {
+		scfg.Cluster.K = 4 * cl.P()
+		if scfg.Cluster.K > corpus.Len() {
+			scfg.Cluster.K = corpus.Len()
+		}
+	}
+	if scfg.Cluster.L == 0 {
+		scfg.Cluster.L = 3
+	}
+	st, err := strata.Stratify(corpus, scfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Stratify = time.Since(start)
+
+	start = time.Now()
+	sizes, err := sampling.ScheduleWithFloor(corpus.Len(),
+		sampling.DefaultMinFrac, sampling.DefaultMaxFrac, sampling.DefaultSteps, 0)
+	if err != nil {
+		return nil, err
+	}
+	costs := make(map[int]float64, len(sizes))
+	for _, s := range sizes {
+		idx, err := strata.StratifiedSample(st.Members, s, o.Seed+int64(s))
+		if err != nil {
+			return nil, err
+		}
+		c, err := w.Profile(idx)
+		if err != nil {
+			return nil, err
+		}
+		costs[s] = c
+	}
+	models, err := cl.ProfileAll(sizes, func(sz int) (float64, error) {
+		return costs[sz], nil
+	}, o.TraceOffset, 3600)
+	if err != nil {
+		return nil, err
+	}
+	out.Profile = time.Since(start)
+
+	start = time.Now()
+	cons := opt.Constraints{}
+	if o.MinPartitionFrac > 0 {
+		cons.MinSize = o.MinPartitionFrac * float64(corpus.Len()) / float64(cl.P())
+	}
+	if mr := w.MinPartitionRecords(); mr > cons.MinSize {
+		cons.MinSize = mr
+	}
+	if _, err := opt.OptimizeWithConstraints(models, corpus.Len(), 1, cons); err != nil {
+		return nil, err
+	}
+	out.Optimize = time.Since(start)
+	out.Total = out.Stratify + out.Profile + out.Optimize
+
+	// One planned run for the amortization comparison.
+	cfg := core.Config{
+		Strategy: core.HetAware, Scheme: w.Scheme(),
+		Stratifier: o.Stratifier, SampleSeed: o.Seed,
+		TraceOffset:         o.TraceOffset,
+		MinPartitionFrac:    o.MinPartitionFrac,
+		MinPartitionRecords: w.MinPartitionRecords(),
+	}
+	row, err := RunStrategy(w, cl, cfg, o.TraceOffset)
+	if err != nil {
+		return nil, err
+	}
+	out.JobTimeSec = row.TimeSec
+	return out, nil
+}

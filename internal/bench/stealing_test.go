@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"testing"
+
+	"pareto/internal/core"
+	"pareto/internal/datasets"
+	"pareto/internal/pivots"
+)
+
+func TestStealingScheduleBalancesButInflatesWork(t *testing.T) {
+	cfg := datasets.RCV1Like(0.0008)
+	docs, _, err := datasets.GenerateText(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := pivots.NewTextCorpus(docs, cfg.VocabSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &TextMining{Docs: corpus, SupportFrac: 0.15, MaxLen: 2}
+	cl := tinyCluster(t, 8)
+	o := DefaultOptions()
+
+	het, err := RunStrategy(w, cl, core.Config{
+		Strategy: core.HetAware, Scheme: w.Scheme(),
+		TraceOffset: o.TraceOffset, MinPartitionFrac: o.MinPartitionFrac,
+	}, o.TraceOffset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steal, err := RunWorkStealingMining(w, cl, 2, o.TraceOffset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("het-aware: %.3fs, %d candidates; stealing: %.3fs, %d candidates",
+		het.TimeSec, int(het.Quality["candidates"]), steal.TimeSec, steal.Candidates)
+	// The paper's §I claim: fragmentation inflates the candidate space.
+	if steal.Candidates <= int(het.Quality["candidates"]) {
+		t.Errorf("stealing candidates %d not above het-aware's %d — fragmentation effect missing",
+			steal.Candidates, int(het.Quality["candidates"]))
+	}
+	if steal.Chunks != 16 {
+		t.Errorf("chunks = %d, want 16", steal.Chunks)
+	}
+}
+
+func TestStealingScheduleValidation(t *testing.T) {
+	cl := tinyCluster(t, 2)
+	if _, err := cl.StealingSchedule([]float64{-1}, 0); err == nil {
+		t.Error("negative chunk cost accepted")
+	}
+	cfg := datasets.RCV1Like(0.0003)
+	docs, _, err := datasets.GenerateText(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := pivots.NewTextCorpus(docs, cfg.VocabSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &TextMining{Docs: corpus, SupportFrac: 0.2, MaxLen: 2}
+	if _, err := RunWorkStealingMining(w, cl, 0, 0); err == nil {
+		t.Error("zero chunks accepted")
+	}
+}
+
+func TestStealingScheduleGreedyProperty(t *testing.T) {
+	cl := tinyCluster(t, 4) // speeds 4/3/2/1
+	// Many equal unit chunks: greedy scheduling's makespan must be
+	// within 2x of the fluid optimum total/(Σspeed), the classic list
+	// scheduling bound.
+	costs := make([]float64, 100)
+	for i := range costs {
+		costs[i] = 1e6
+	}
+	res, err := cl.StealingSchedule(costs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid := 100e6 / ((4 + 3 + 2 + 1) * cl.CostRate)
+	if res.Makespan < fluid {
+		t.Errorf("makespan %.3f below fluid bound %.3f — impossible", res.Makespan, fluid)
+	}
+	if res.Makespan > 2*fluid {
+		t.Errorf("makespan %.3f above 2× fluid bound %.3f", res.Makespan, 2*fluid)
+	}
+	// Cost conservation.
+	var total float64
+	for _, c := range res.NodeCosts {
+		total += c
+	}
+	if total != 100e6 {
+		t.Errorf("scheduled cost %v, want 1e8", total)
+	}
+	// Faster nodes process more cost.
+	if !(res.NodeCosts[0] > res.NodeCosts[3]) {
+		t.Errorf("fast node cost %v not above slow node %v", res.NodeCosts[0], res.NodeCosts[3])
+	}
+}
+
+func TestMeasureOverhead(t *testing.T) {
+	cfg := datasets.RCV1Like(0.0006)
+	docs, _, err := datasets.GenerateText(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := pivots.NewTextCorpus(docs, cfg.VocabSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &TextMining{Docs: corpus, SupportFrac: 0.15, MaxLen: 2}
+	cl := tinyCluster(t, 4)
+	o := DefaultOptions()
+	ov, err := MeasureOverhead(w, cl, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Stratify <= 0 || ov.Profile <= 0 || ov.Optimize <= 0 {
+		t.Errorf("phase durations: %+v", ov)
+	}
+	if ov.Total != ov.Stratify+ov.Profile+ov.Optimize {
+		t.Error("total does not add up")
+	}
+	if ov.JobTimeSec <= 0 {
+		t.Error("no job time")
+	}
+	if ov.String() == "" {
+		t.Error("empty rendering")
+	}
+	if _, err := MeasureOverhead(nil, cl, o); err == nil {
+		t.Error("nil workload accepted")
+	}
+}

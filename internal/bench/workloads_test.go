@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"testing"
+
+	"pareto/internal/cluster"
+	"pareto/internal/core"
+	"pareto/internal/datasets"
+	"pareto/internal/energy"
+	"pareto/internal/partitioner"
+	"pareto/internal/pivots"
+)
+
+func tinyCluster(t *testing.T, p int) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.PaperCluster(p, energy.DefaultPanel(), 172, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// evenAssignment splits n records round-robin into p partitions.
+func evenAssignment(n, p int) *partitioner.Assignment {
+	parts := make([][]int, p)
+	for i := 0; i < n; i++ {
+		parts[i%p] = append(parts[i%p], i)
+	}
+	return &partitioner.Assignment{Parts: parts}
+}
+
+func TestTextMiningAdapter(t *testing.T) {
+	cfg := datasets.RCV1Like(0.0003)
+	docs, _, err := datasets.GenerateText(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := pivots.NewTextCorpus(docs, cfg.VocabSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &TextMining{Docs: corpus, SupportFrac: 0.2, MaxLen: 2}
+	if w.Name() == "" || w.Corpus() != corpus || w.Scheme() != partitioner.Representative {
+		t.Error("adapter metadata wrong")
+	}
+	cost, err := w.Profile([]int{0, 1, 2, 3, 4})
+	if err != nil || cost <= 0 {
+		t.Fatalf("profile cost %v, %v", cost, err)
+	}
+	cl := tinyCluster(t, 2)
+	res, quality, err := w.Run(cl, evenAssignment(corpus.Len(), 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+	if quality["candidates"] < quality["frequent"] {
+		t.Error("candidates below final frequent count")
+	}
+	if quality["false-positives"] != quality["candidates"]-quality["frequent"] {
+		t.Error("false-positive bookkeeping wrong")
+	}
+}
+
+func TestTreeMiningAdapter(t *testing.T) {
+	trees, _, err := datasets.GenerateTrees(datasets.SwissProtLike(0.0005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := pivots.NewTreeCorpus(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &TreeMining{Trees: corpus, SupportFrac: 0.4, MaxNodes: 3}
+	if w.Scheme() != partitioner.Representative {
+		t.Error("tree mining must want representative placement")
+	}
+	cost, err := w.Profile([]int{0, 1, 2})
+	if err != nil || cost <= 0 {
+		t.Fatalf("profile cost %v, %v", cost, err)
+	}
+	cl := tinyCluster(t, 2)
+	res, quality, err := w.Run(cl, evenAssignment(corpus.Len(), 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || quality["candidates"] <= 0 {
+		t.Errorf("degenerate run: %v %v", res.Makespan, quality)
+	}
+}
+
+func TestGraphCompressionAdapter(t *testing.T) {
+	g, _, err := datasets.GenerateGraph(datasets.UKLike(0.0001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := pivots.NewGraphCorpus(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &GraphCompression{Graph: corpus, Window: 7}
+	if w.Scheme() != partitioner.SimilarTogether {
+		t.Error("compression must want similar-together placement")
+	}
+	cl := tinyCluster(t, 2)
+	res, quality, err := w.Run(cl, evenAssignment(corpus.Len(), 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quality["compression-ratio"] <= 1 {
+		t.Errorf("ratio %.2f, want > 1 on a web-like graph", quality["compression-ratio"])
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestLZ77Adapter(t *testing.T) {
+	g, _, err := datasets.GenerateGraph(datasets.UKLike(0.0001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := pivots.NewGraphCorpus(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &LZ77Compression{Data: corpus}
+	cost, err := w.Profile([]int{0, 1, 2, 3})
+	if err != nil || cost <= 0 {
+		t.Fatalf("profile cost %v, %v", cost, err)
+	}
+	cl := tinyCluster(t, 2)
+	res, quality, err := w.Run(cl, evenAssignment(corpus.Len(), 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quality["compression-ratio"] <= 1 {
+		t.Errorf("LZ77 ratio %.2f on serialized adjacency records", quality["compression-ratio"])
+	}
+	if res.TotalEnergy <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestRunWithEmptyPartitions(t *testing.T) {
+	// A partition may legitimately be empty (α < 1 pile-up); every
+	// adapter must tolerate it.
+	cfg := datasets.RCV1Like(0.0003)
+	docs, _, err := datasets.GenerateText(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := pivots.NewTextCorpus(docs, cfg.VocabSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := &partitioner.Assignment{Parts: [][]int{nil, nil, nil}}
+	all := make([]int, corpus.Len())
+	for i := range all {
+		all[i] = i
+	}
+	assign.Parts[1] = all
+	cl := tinyCluster(t, 3)
+	w := &TextMining{Docs: corpus, SupportFrac: 0.2, MaxLen: 2}
+	res, _, err := w.Run(cl, assign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeTimes[0] != 0 || res.NodeTimes[2] != 0 {
+		t.Error("empty partitions accrued time")
+	}
+}
+
+func TestCombineResults(t *testing.T) {
+	a := &cluster.Result{
+		NodeTimes: []float64{1, 2}, NodeCosts: []float64{10, 20},
+		NodeDirty: []float64{5, 6}, Makespan: 2, DirtyEnergy: 11, TotalEnergy: 30,
+	}
+	b := &cluster.Result{
+		NodeTimes: []float64{3, 1}, NodeCosts: []float64{30, 10},
+		NodeDirty: []float64{1, 1}, Makespan: 3, DirtyEnergy: 2, TotalEnergy: 10,
+	}
+	c := combineResults(a, b)
+	if c.Makespan != 5 || c.DirtyEnergy != 13 || c.TotalEnergy != 40 {
+		t.Errorf("combined %+v", c)
+	}
+	if c.NodeTimes[0] != 4 || c.NodeCosts[1] != 30 || c.NodeDirty[0] != 6 {
+		t.Errorf("per-node combine wrong: %+v", c)
+	}
+}
+
+func TestRunStrategyNilWorkload(t *testing.T) {
+	cl := tinyCluster(t, 2)
+	if _, err := RunStrategy(nil, cl, core.Config{}, 0); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := MeasureFrontier(nil, cl, []float64{1}, DefaultOptions()); err == nil {
+		t.Error("nil workload accepted by MeasureFrontier")
+	}
+	if _, err := PredictFrontier(nil, cl, []float64{1}, DefaultOptions()); err == nil {
+		t.Error("nil workload accepted by PredictFrontier")
+	}
+}

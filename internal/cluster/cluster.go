@@ -1,0 +1,299 @@
+// Package cluster models the heterogeneous execution environment of
+// paper §V-A: nodes of four types with relative speeds 4x/3x/2x/1x,
+// power draws 440/345/250/155 W, and green-energy traces from four
+// datacenter sites.
+//
+// The paper induces speed heterogeneity on a homogeneous physical
+// cluster by pinning busy loops onto cores; that only scales each
+// node's effective throughput. Here, workloads execute for real (the
+// actual mining/compression algorithms run on the actual partitions)
+// and report an abstract deterministic cost; a node's simulated
+// execution time is cost / (Speed × CostRate). This preserves exactly
+// the property the busy loops created — identical work takes k× longer
+// on a 1/k-speed node — while making every experiment deterministic
+// and machine-independent.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pareto/internal/energy"
+	"pareto/internal/opt"
+	"pareto/internal/sampling"
+)
+
+// NodeSpec describes one cluster node.
+type NodeSpec struct {
+	// ID indexes the node within the cluster.
+	ID int
+	// Name is a human-readable label.
+	Name string
+	// Type is the paper's machine class, 1 (fastest) to 4 (slowest).
+	Type int
+	// Speed is the relative processing speed (type 1 → 4.0 … type 4 → 1.0).
+	Speed float64
+	// Power is the node's electrical draw model.
+	Power energy.PowerModel
+	// Location is the site whose solar trace powers the node.
+	Location energy.Location
+	// Trace is the node's green-energy availability.
+	Trace *energy.Trace
+}
+
+// Cluster is a set of nodes plus the cost→time calibration.
+type Cluster struct {
+	Nodes []NodeSpec
+	// CostRate is the abstract cost units a Speed-1.0 node retires per
+	// second. It calibrates simulated time; experiments compare
+	// strategies under the same rate, so its absolute value only sets
+	// the time scale.
+	CostRate float64
+}
+
+// DefaultCostRate makes one million cost units ≈ one second on the
+// slowest node type.
+const DefaultCostRate = 1e6
+
+// SpeedOfType maps the paper's machine types to relative speeds.
+func SpeedOfType(t int) (float64, error) {
+	if t < 1 || t > 4 {
+		return 0, fmt.Errorf("cluster: machine type %d, want 1..4", t)
+	}
+	return float64(5 - t), nil
+}
+
+// PaperCluster builds a p-node cluster cycling through the four
+// machine types and the four datacenter locations, with per-node solar
+// traces of the given length starting at dayOfYear. This mirrors the
+// §V-A testbed at any partition count.
+func PaperCluster(p int, panel energy.Panel, dayOfYear, hours int) (*Cluster, error) {
+	if p < 1 {
+		return nil, errors.New("cluster: need at least one node")
+	}
+	locs := energy.GoogleDatacenterLocations()
+	nodes := make([]NodeSpec, p)
+	for i := 0; i < p; i++ {
+		typ := i%4 + 1
+		speed, err := SpeedOfType(typ)
+		if err != nil {
+			return nil, err
+		}
+		pw, err := energy.MachineType(typ)
+		if err != nil {
+			return nil, err
+		}
+		loc := locs[i%len(locs)]
+		// Distinct seeds per node so same-site nodes see weather
+		// variation, as co-located racks do.
+		loc.CloudSeed += int64(i) * 7919
+		tr, err := energy.GenerateTrace(loc, panel, dayOfYear, hours)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: trace for node %d: %w", i, err)
+		}
+		nodes[i] = NodeSpec{
+			ID:       i,
+			Name:     fmt.Sprintf("node%02d-type%d-%s", i, typ, loc.Name),
+			Type:     typ,
+			Speed:    speed,
+			Power:    pw,
+			Location: loc,
+			Trace:    tr,
+		}
+	}
+	return &Cluster{Nodes: nodes, CostRate: DefaultCostRate}, nil
+}
+
+// HomogeneousCluster builds p identical type-1 nodes (for baselines
+// and tests isolating payload skew from hardware heterogeneity).
+func HomogeneousCluster(p int, panel energy.Panel, dayOfYear, hours int) (*Cluster, error) {
+	c, err := PaperCluster(p, panel, dayOfYear, hours)
+	if err != nil {
+		return nil, err
+	}
+	pw, err := energy.MachineType(1)
+	if err != nil {
+		return nil, err
+	}
+	for i := range c.Nodes {
+		c.Nodes[i].Type = 1
+		c.Nodes[i].Speed = 4
+		c.Nodes[i].Power = pw
+	}
+	return c, nil
+}
+
+// SimTime converts an abstract cost into simulated seconds on node i.
+func (c *Cluster) SimTime(node int, cost float64) float64 {
+	if cost <= 0 {
+		return 0
+	}
+	return cost / (c.Nodes[node].Speed * c.CostRate)
+}
+
+// Task is one node's share of a job: it performs the real computation
+// and returns its abstract cost (plus any workload-specific result the
+// caller captures via closure).
+type Task func() (cost float64, err error)
+
+// TaskReport decomposes a task's demand: Cost scales with node speed
+// (CPU work), FixedSeconds does not (I/O and other rate-limited work —
+// the regime that makes the paper's LZ77 runs insensitive to CPU
+// heterogeneity, Tables II/III).
+type TaskReport struct {
+	Cost         float64
+	FixedSeconds float64
+}
+
+// DetailedTask is a Task returning a cost decomposition.
+type DetailedTask func() (TaskReport, error)
+
+// Result summarizes one distributed job execution.
+type Result struct {
+	// NodeTimes[i] is node i's simulated busy time in seconds.
+	NodeTimes []float64
+	// NodeCosts[i] is the abstract cost node i reported.
+	NodeCosts []float64
+	// Makespan is the maximum node time — the job's completion time,
+	// all nodes starting together.
+	Makespan float64
+	// NodeDirty[i] is node i's dirty energy in joules over its busy time.
+	NodeDirty []float64
+	// DirtyEnergy is the total dirty energy across nodes.
+	DirtyEnergy float64
+	// TotalEnergy is the total electrical energy consumed (J).
+	TotalEnergy float64
+}
+
+// Imbalance quantifies load balance: makespan divided by the mean busy
+// time of the loaded nodes. 1.0 is a perfectly balanced job; larger
+// values mean fast nodes idle while the bottleneck node finishes.
+func (r *Result) Imbalance() float64 {
+	var sum float64
+	n := 0
+	for _, t := range r.NodeTimes {
+		if t > 0 {
+			sum += t
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return r.Makespan / (sum / float64(n))
+}
+
+// Run executes one task per node concurrently (real goroutine
+// parallelism over the real algorithms) and converts the reported
+// costs into simulated times and energies. tasks[i] may be nil when
+// node i received no data; it contributes zero time and energy.
+// offset is the job's start position (seconds) within the traces.
+func (c *Cluster) Run(offset float64, tasks []Task) (*Result, error) {
+	detailed := make([]DetailedTask, len(tasks))
+	for i, task := range tasks {
+		if task == nil {
+			continue
+		}
+		task := task
+		detailed[i] = func() (TaskReport, error) {
+			cost, err := task()
+			return TaskReport{Cost: cost}, err
+		}
+	}
+	return c.RunDetailed(offset, detailed)
+}
+
+// RunDetailed is Run for tasks that split their demand into
+// speed-scaled cost and speed-independent fixed seconds:
+// node time = cost/(speed × rate) + fixed.
+func (c *Cluster) RunDetailed(offset float64, tasks []DetailedTask) (*Result, error) {
+	if len(tasks) != len(c.Nodes) {
+		return nil, fmt.Errorf("cluster: %d tasks for %d nodes", len(tasks), len(c.Nodes))
+	}
+	reports := make([]TaskReport, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, task := range tasks {
+		if task == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, task DetailedTask) {
+			defer wg.Done()
+			reports[i], errs[i] = task()
+		}(i, task)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d task: %w", i, err)
+		}
+	}
+	res := &Result{
+		NodeTimes: make([]float64, len(tasks)),
+		NodeCosts: make([]float64, len(tasks)),
+		NodeDirty: make([]float64, len(tasks)),
+	}
+	for i := range tasks {
+		if reports[i].FixedSeconds < 0 {
+			return nil, fmt.Errorf("cluster: node %d reported negative fixed seconds", i)
+		}
+		t := c.SimTime(i, reports[i].Cost) + reports[i].FixedSeconds
+		res.NodeTimes[i] = t
+		res.NodeCosts[i] = reports[i].Cost
+		if t > res.Makespan {
+			res.Makespan = t
+		}
+		watts := c.Nodes[i].Power.Watts()
+		res.TotalEnergy += watts * t
+		d := energy.DirtyEnergy(watts, c.Nodes[i].Trace, offset, t)
+		res.NodeDirty[i] = d
+		res.DirtyEnergy += d
+	}
+	return res, nil
+}
+
+// ProfileAll runs the progressive-sampling loop on every node
+// concurrently: for each scheduled sample size, runSample executes the
+// real algorithm on a representative sample and returns its abstract
+// cost; the node's speed converts cost to simulated seconds, and a
+// linear utility function is fitted per node (paper §III-A). The
+// returned models are ready for the Pareto modeler, with dirty rates
+// taken over [offset, offset+window) of each node's trace.
+func (c *Cluster) ProfileAll(sizes []int, runSample func(size int) (float64, error), offset, window float64) ([]opt.NodeModel, error) {
+	models := make([]opt.NodeModel, len(c.Nodes))
+	errs := make([]error, len(c.Nodes))
+	var wg sync.WaitGroup
+	for i := range c.Nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fit, _, err := sampling.ProfileNode(sizes, func(sz int) (float64, error) {
+				cost, err := runSample(sz)
+				if err != nil {
+					return 0, err
+				}
+				return c.SimTime(i, cost), nil
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			models[i] = opt.NodeModel{
+				Time:      fit,
+				DirtyRate: energy.DirtyRate(c.Nodes[i].Power.Watts(), c.Nodes[i].Trace, offset, window),
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: profiling node %d: %w", i, err)
+		}
+	}
+	return models, nil
+}
+
+// P returns the node count.
+func (c *Cluster) P() int { return len(c.Nodes) }

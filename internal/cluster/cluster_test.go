@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pareto/internal/energy"
+)
+
+func testCluster(t *testing.T, p int) *Cluster {
+	t.Helper()
+	c, err := PaperCluster(p, energy.DefaultPanel(), 172, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPaperClusterShape(t *testing.T) {
+	c := testCluster(t, 8)
+	if c.P() != 8 {
+		t.Fatalf("P = %d", c.P())
+	}
+	wantSpeed := []float64{4, 3, 2, 1, 4, 3, 2, 1}
+	wantWatts := []float64{440, 345, 250, 155, 440, 345, 250, 155}
+	for i, n := range c.Nodes {
+		if n.ID != i {
+			t.Errorf("node %d ID %d", i, n.ID)
+		}
+		if n.Speed != wantSpeed[i] {
+			t.Errorf("node %d speed %v, want %v", i, n.Speed, wantSpeed[i])
+		}
+		if w := n.Power.Watts(); w != wantWatts[i] {
+			t.Errorf("node %d watts %v, want %v", i, w, wantWatts[i])
+		}
+		if n.Trace == nil || len(n.Trace.Power) != 48 {
+			t.Errorf("node %d trace missing", i)
+		}
+	}
+	if _, err := PaperCluster(0, energy.DefaultPanel(), 1, 24); err == nil {
+		t.Error("0 nodes accepted")
+	}
+}
+
+func TestHomogeneousCluster(t *testing.T) {
+	c, err := HomogeneousCluster(4, energy.DefaultPanel(), 172, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range c.Nodes {
+		if n.Speed != 4 || n.Type != 1 {
+			t.Errorf("node %d not type-1: %+v", i, n)
+		}
+	}
+}
+
+func TestSimTime(t *testing.T) {
+	c := testCluster(t, 4)
+	// Node 0 is 4x, node 3 is 1x: same cost → 4x time difference.
+	cost := 2e6
+	t0 := c.SimTime(0, cost)
+	t3 := c.SimTime(3, cost)
+	if math.Abs(t3/t0-4) > 1e-9 {
+		t.Errorf("time ratio %v, want 4", t3/t0)
+	}
+	if got := c.SimTime(0, 0); got != 0 {
+		t.Errorf("zero cost time %v", got)
+	}
+	if got := c.SimTime(0, -5); got != 0 {
+		t.Errorf("negative cost time %v", got)
+	}
+	// Absolute calibration: 1e6 cost on a 1x node is 1 second.
+	if got := c.SimTime(3, 1e6); math.Abs(got-1) > 1e-9 {
+		t.Errorf("1e6 cost on 1x node = %v s, want 1", got)
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	c := testCluster(t, 4)
+	tasks := []Task{
+		func() (float64, error) { return 4e6, nil }, // 4x node → 1 s
+		func() (float64, error) { return 3e6, nil }, // 3x node → 1 s
+		nil, // idle node
+		func() (float64, error) { return 2e6, nil }, // 1x node → 2 s
+	}
+	res, err := c.Run(12*3600, tasks) // noon: some green available
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.NodeTimes[0]-1) > 1e-9 || math.Abs(res.NodeTimes[3]-2) > 1e-9 {
+		t.Errorf("node times %v", res.NodeTimes)
+	}
+	if res.NodeTimes[2] != 0 || res.NodeDirty[2] != 0 {
+		t.Error("idle node accrued time or energy")
+	}
+	if math.Abs(res.Makespan-2) > 1e-9 {
+		t.Errorf("makespan %v, want 2", res.Makespan)
+	}
+	// Energy sanity: dirty ≤ total, both positive here.
+	if res.DirtyEnergy <= 0 || res.TotalEnergy <= 0 || res.DirtyEnergy > res.TotalEnergy+1e-9 {
+		t.Errorf("dirty %v, total %v", res.DirtyEnergy, res.TotalEnergy)
+	}
+	var sumDirty float64
+	for _, d := range res.NodeDirty {
+		sumDirty += d
+	}
+	if math.Abs(sumDirty-res.DirtyEnergy) > 1e-9 {
+		t.Error("per-node dirty does not sum to total")
+	}
+}
+
+func TestRunNightIsAllDirty(t *testing.T) {
+	c := testCluster(t, 2)
+	tasks := []Task{
+		func() (float64, error) { return 4e6, nil },
+		func() (float64, error) { return 3e6, nil },
+	}
+	res, err := c.Run(0, tasks) // midnight
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DirtyEnergy-res.TotalEnergy) > 1e-9 {
+		t.Errorf("at night dirty %v must equal total %v", res.DirtyEnergy, res.TotalEnergy)
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	c := testCluster(t, 2)
+	boom := errors.New("task failed")
+	_, err := c.Run(0, []Task{
+		func() (float64, error) { return 1, nil },
+		func() (float64, error) { return 0, boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.Run(0, []Task{nil}); err == nil {
+		t.Error("task/node count mismatch accepted")
+	}
+}
+
+func TestProfileAllLearnsSpeedHeterogeneity(t *testing.T) {
+	c := testCluster(t, 4)
+	// A perfectly linear workload: cost = 100 units per record.
+	sizes := []int{100, 500, 1000, 5000, 10000}
+	models, err := c.ProfileAll(sizes, func(sz int) (float64, error) {
+		return float64(sz) * 100, nil
+	}, 0, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learned slopes must reflect the 4:3:2:1 speeds.
+	s0, s3 := models[0].Time.Slope, models[3].Time.Slope
+	if math.Abs(s3/s0-4) > 1e-6 {
+		t.Errorf("slope ratio %v, want 4", s3/s0)
+	}
+	// Dirty rates must be nonnegative and ordered plausibly: at
+	// midnight (offset 0, 1h window) rate equals full draw.
+	if math.Abs(models[0].DirtyRate-440) > 1e-9 {
+		t.Errorf("midnight dirty rate %v, want 440", models[0].DirtyRate)
+	}
+}
+
+func TestProfileAllErrorPropagation(t *testing.T) {
+	c := testCluster(t, 2)
+	boom := errors.New("sample failed")
+	_, err := c.ProfileAll([]int{1, 2}, func(int) (float64, error) { return 0, boom }, 0, 100)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSpeedOfType(t *testing.T) {
+	for typ, want := range map[int]float64{1: 4, 2: 3, 3: 2, 4: 1} {
+		got, err := SpeedOfType(typ)
+		if err != nil || got != want {
+			t.Errorf("SpeedOfType(%d) = %v, %v", typ, got, err)
+		}
+	}
+	if _, err := SpeedOfType(0); err == nil {
+		t.Error("type 0 accepted")
+	}
+	if _, err := SpeedOfType(5); err == nil {
+		t.Error("type 5 accepted")
+	}
+}
+
+func TestNodeTraceHeterogeneity(t *testing.T) {
+	// Same-site nodes get different seeds; their traces must differ.
+	c := testCluster(t, 8)
+	a, b := c.Nodes[0].Trace, c.Nodes[4].Trace // both location index 0
+	same := true
+	for i := range a.Power {
+		if a.Power[i] != b.Power[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("co-located nodes share identical traces")
+	}
+}
+
+func TestResultImbalance(t *testing.T) {
+	r := &Result{NodeTimes: []float64{2, 2, 2}, Makespan: 2}
+	if got := r.Imbalance(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("balanced imbalance %v", got)
+	}
+	r = &Result{NodeTimes: []float64{1, 0, 3}, Makespan: 3}
+	if got := r.Imbalance(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("imbalance %v, want 1.5 (idle node excluded)", got)
+	}
+	if (&Result{}).Imbalance() != 0 {
+		t.Error("empty result imbalance must be 0")
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"pareto/internal/energy"
+)
+
+func stealCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := PaperCluster(4, energy.DefaultPanel(), 172, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStealingScheduleSingleChunk(t *testing.T) {
+	c := stealCluster(t)
+	res, err := c.StealingSchedule([]float64{4e6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single chunk goes to the fastest node (tie at finish 0).
+	if res.NodeCosts[0] != 4e6 {
+		t.Errorf("chunk not on fastest node: %v", res.NodeCosts)
+	}
+	if math.Abs(res.Makespan-1) > 1e-9 {
+		t.Errorf("makespan %v, want 1s (4e6 cost at speed 4)", res.Makespan)
+	}
+}
+
+func TestStealingScheduleEmptyAndErrors(t *testing.T) {
+	c := stealCluster(t)
+	res, err := c.StealingSchedule(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 || res.DirtyEnergy != 0 {
+		t.Error("empty schedule accrued work")
+	}
+	if _, err := c.StealingSchedule([]float64{-1}, 0); err == nil {
+		t.Error("negative cost accepted")
+	}
+	empty := &Cluster{CostRate: 1}
+	if _, err := empty.StealingSchedule([]float64{1}, 0); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+func TestStealingScheduleEnergyAccounting(t *testing.T) {
+	c := stealCluster(t)
+	costs := make([]float64, 40)
+	for i := range costs {
+		costs[i] = 1e6
+	}
+	// At midnight everything is dirty: dirty must equal total.
+	res, err := c.StealingSchedule(costs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DirtyEnergy-res.TotalEnergy) > 1e-9 {
+		t.Errorf("midnight dirty %v != total %v", res.DirtyEnergy, res.TotalEnergy)
+	}
+	// At noon some energy is green.
+	noon, err := c.StealingSchedule(costs, 12*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noon.DirtyEnergy >= res.DirtyEnergy {
+		t.Errorf("noon dirty %v not below midnight %v", noon.DirtyEnergy, res.DirtyEnergy)
+	}
+}
+
+func TestStealingScheduleApproachesFluidBound(t *testing.T) {
+	// With many small chunks, greedy stealing's makespan approaches
+	// total/(Σ speed·rate) — near-perfect load balance, the property
+	// that makes stealing attractive when payload does not matter.
+	c := stealCluster(t)
+	costs := make([]float64, 1000)
+	for i := range costs {
+		costs[i] = 1e5
+	}
+	res, err := c.StealingSchedule(costs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid := 1000 * 1e5 / ((4 + 3 + 2 + 1) * c.CostRate)
+	if res.Makespan > fluid*1.05 {
+		t.Errorf("makespan %v more than 5%% above fluid bound %v", res.Makespan, fluid)
+	}
+}

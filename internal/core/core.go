@@ -1,0 +1,291 @@
+// Package core orchestrates the complete Pareto partitioning pipeline
+// of the paper (Figure 1): data stratifier (III) → task-specific
+// heterogeneity estimator (I) with representative progressive samples →
+// green-energy estimator (II) → Pareto-optimal modeler (IV) → data
+// partitioner (V).
+//
+// The three strategies evaluated in §V map onto one pipeline:
+//
+//   - Stratified (baseline): stratification-driven placement with
+//     equal-sized partitions — payload-aware but hardware-oblivious.
+//   - Het-Aware: α = 1, partition sizes from the time-only LP.
+//   - Het-Energy-Aware: α slightly below 1, trading makespan for a
+//     lower dirty-energy footprint.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pareto/internal/cluster"
+	"pareto/internal/opt"
+	"pareto/internal/partitioner"
+	"pareto/internal/pivots"
+	"pareto/internal/sampling"
+	"pareto/internal/strata"
+)
+
+// Strategy identifies one of the paper's three partitioning strategies.
+type Strategy int
+
+// The evaluated strategies.
+const (
+	// Stratified is the baseline: stratified placement, equal sizes.
+	Stratified Strategy = iota
+	// HetAware optimizes execution time only (α = 1).
+	HetAware
+	// HetEnergyAware trades time for dirty energy (α < 1).
+	HetEnergyAware
+)
+
+// String names the strategy as in the paper's figures.
+func (s Strategy) String() string {
+	switch s {
+	case Stratified:
+		return "Stratified"
+	case HetAware:
+		return "Het-Aware"
+	case HetEnergyAware:
+		return "Het-Energy-Aware"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config assembles the pipeline's knobs.
+type Config struct {
+	// Strategy selects the partition-sizing policy.
+	Strategy Strategy
+	// Alpha is the scalarization weight for HetEnergyAware (ignored
+	// otherwise; HetAware pins α = 1). The paper uses 0.999 for
+	// mining and 0.995 for compression.
+	Alpha float64
+	// Normalized switches the modeler to 0–1 normalized objectives
+	// (the paper's proposed future work), making mid-range α
+	// meaningful.
+	Normalized bool
+	// Scheme is the placement scheme (Representative for mining,
+	// SimilarTogether for compression).
+	Scheme partitioner.Scheme
+	// Stratifier configures sketching and compositeKModes.
+	Stratifier strata.StratifierConfig
+	// ProfileMinFrac/ProfileMaxFrac/ProfileSteps define the
+	// progressive-sampling ladder (defaults: 0.05%–2% in 6 steps).
+	ProfileMinFrac float64
+	ProfileMaxFrac float64
+	ProfileSteps   int
+	// ProfileMinRecords floors the sample sizes so support-scaled
+	// mining never profiles in its degenerate tiny-sample regime.
+	// 0 means sampling.DefaultMinRecords.
+	ProfileMinRecords int
+	// MinPartitionFrac, if positive, floors every optimized partition
+	// at this fraction of the equal share N/p. Scaled-support mining
+	// degenerates on starved partitions (local threshold of a couple
+	// of records), so mining deployments typically set ~0.25. The
+	// baseline strategy ignores it (its partitions are equal anyway).
+	MinPartitionFrac float64
+	// MinPartitionRecords, if positive, floors every optimized
+	// partition at an absolute record count (the workload's own
+	// statement of how many records a partition needs before its
+	// scaled local threshold is meaningful — e.g. several records
+	// above support·size ≥ a handful for frequent pattern mining).
+	// The effective floor is the larger of the two, capped at N/p.
+	MinPartitionRecords float64
+	// SampleSeed drives representative-sample selection.
+	SampleSeed int64
+	// TraceOffset is the job's planned start within the energy traces
+	// (seconds); Window is the averaging window for the dirty-rate
+	// constants k_i (seconds). Window 0 defaults to one hour.
+	TraceOffset float64
+	Window      float64
+}
+
+// ProfileFunc runs the actual analytics algorithm on a representative
+// sample (record indices into the corpus) and returns its abstract
+// cost. The cluster's per-node speeds convert cost into per-node
+// simulated time during profiling.
+type ProfileFunc func(indices []int) (cost float64, err error)
+
+// Plan is the pipeline's output: everything needed to place data and
+// predict the run.
+type Plan struct {
+	// Strategy and Alpha echo the configuration.
+	Strategy Strategy
+	Alpha    float64
+	// Strat is the stratification (component III's output).
+	Strat *strata.Stratification
+	// Models are the per-node learned time models and dirty rates
+	// (components I and II) — nil for the Stratified baseline, which
+	// does not profile.
+	Models []opt.NodeModel
+	// Sizes are the partition sizes in records.
+	Sizes []int
+	// Optimized is the modeler's raw output (nil for the baseline).
+	Optimized *opt.Plan
+	// Assign is the final placement.
+	Assign *partitioner.Assignment
+	// Scheme echoes the placement scheme used.
+	Scheme partitioner.Scheme
+}
+
+// BuildPlan runs the full pipeline for the corpus on the cluster.
+// profile may be nil for the Stratified baseline (which skips
+// components I/II); it is required for the heterogeneity-aware
+// strategies.
+func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, cfg Config) (*Plan, error) {
+	if corpus == nil || corpus.Len() == 0 {
+		return nil, errors.New("core: empty corpus")
+	}
+	if cl == nil || cl.P() == 0 {
+		return nil, errors.New("core: empty cluster")
+	}
+	n := corpus.Len()
+	p := cl.P()
+	if cfg.Stratifier.Cluster.K == 0 {
+		// A sensible default: several strata per partition.
+		cfg.Stratifier.Cluster.K = 4 * p
+		if cfg.Stratifier.Cluster.K > n {
+			cfg.Stratifier.Cluster.K = n
+		}
+	}
+	if cfg.Stratifier.Cluster.L == 0 {
+		cfg.Stratifier.Cluster.L = 3
+	}
+
+	// Component III: stratify.
+	st, err := strata.Stratify(corpus, cfg.Stratifier)
+	if err != nil {
+		return nil, fmt.Errorf("core: stratifying: %w", err)
+	}
+
+	plan := &Plan{Strategy: cfg.Strategy, Strat: st, Scheme: cfg.Scheme}
+	switch cfg.Strategy {
+	case Stratified:
+		plan.Alpha = 1
+		plan.Sizes = partitioner.EqualSizes(n, p)
+	case HetAware, HetEnergyAware:
+		alpha := 1.0
+		if cfg.Strategy == HetEnergyAware {
+			alpha = cfg.Alpha
+			if alpha <= 0 || alpha >= 1 {
+				return nil, fmt.Errorf("core: Het-Energy-Aware needs alpha in (0,1), got %v", alpha)
+			}
+		}
+		plan.Alpha = alpha
+		if profile == nil {
+			return nil, fmt.Errorf("core: strategy %v requires a profile function", cfg.Strategy)
+		}
+		models, err := profileCluster(corpus, cl, st, profile, cfg)
+		if err != nil {
+			return nil, err
+		}
+		plan.Models = models
+		var oplan *opt.Plan
+		if cfg.Normalized {
+			oplan, err = opt.OptimizeNormalized(models, n, alpha)
+		} else {
+			cons := opt.Constraints{}
+			if cfg.MinPartitionFrac > 0 {
+				cons.MinSize = cfg.MinPartitionFrac * float64(n) / float64(p)
+			}
+			if cfg.MinPartitionRecords > cons.MinSize {
+				cons.MinSize = cfg.MinPartitionRecords
+			}
+			oplan, err = opt.OptimizeWithConstraints(models, n, alpha, cons)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: optimizing: %w", err)
+		}
+		plan.Optimized = oplan
+		plan.Sizes = oplan.Sizes
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	}
+
+	// Component V: place.
+	assign, err := partitioner.Partition(cfg.Scheme, st.Members, plan.Sizes)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning: %w", err)
+	}
+	plan.Assign = assign
+	return plan, nil
+}
+
+// profileCluster runs components I and II: representative progressive
+// samples through the real workload on every node, least-squares time
+// fits, and trace-derived dirty rates.
+func profileCluster(corpus pivots.Corpus, cl *cluster.Cluster, st *strata.Stratification, profile ProfileFunc, cfg Config) ([]opt.NodeModel, error) {
+	minFrac, maxFrac, steps := cfg.ProfileMinFrac, cfg.ProfileMaxFrac, cfg.ProfileSteps
+	if minFrac == 0 {
+		minFrac = sampling.DefaultMinFrac
+	}
+	if maxFrac == 0 {
+		maxFrac = sampling.DefaultMaxFrac
+	}
+	if steps == 0 {
+		steps = sampling.DefaultSteps
+	}
+	sizes, err := sampling.ScheduleWithFloor(corpus.Len(), minFrac, maxFrac, steps, cfg.ProfileMinRecords)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling schedule: %w", err)
+	}
+	// Draw one representative sample per scheduled size; every node
+	// profiles on the same sample, so differences are pure hardware.
+	samples := make(map[int][]int, len(sizes))
+	costs := make(map[int]float64, len(sizes))
+	for _, s := range sizes {
+		idx, err := strata.StratifiedSample(st.Members, s, cfg.SampleSeed+int64(s))
+		if err != nil {
+			return nil, fmt.Errorf("core: sampling %d records: %w", s, err)
+		}
+		cost, err := profile(idx)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling sample of %d: %w", s, err)
+		}
+		samples[s] = idx
+		costs[s] = cost
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 3600
+	}
+	models, err := cl.ProfileAll(sizes, func(sz int) (float64, error) {
+		c, ok := costs[sz]
+		if !ok {
+			return 0, fmt.Errorf("core: no cached cost for sample size %d", sz)
+		}
+		return c, nil
+	}, cfg.TraceOffset, window)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting node models: %w", err)
+	}
+	return models, nil
+}
+
+// RunPartition is the executable form of one node's share: the record
+// indices it owns.
+type RunPartition func(node int, indices []int) (cost float64, err error)
+
+// Execute runs the planned job on the cluster: node j processes
+// partition j via run, concurrently, and the result carries simulated
+// times and energies.
+func Execute(cl *cluster.Cluster, plan *Plan, run RunPartition, traceOffset float64) (*cluster.Result, error) {
+	if plan == nil || plan.Assign == nil {
+		return nil, errors.New("core: nil plan")
+	}
+	if plan.Assign.P() != cl.P() {
+		return nil, fmt.Errorf("core: plan has %d partitions for %d nodes", plan.Assign.P(), cl.P())
+	}
+	tasks := make([]cluster.Task, cl.P())
+	for j := range tasks {
+		j := j
+		indices := plan.Assign.Parts[j]
+		if len(indices) == 0 {
+			continue
+		}
+		tasks[j] = func() (float64, error) {
+			return run(j, indices)
+		}
+	}
+	return cl.Run(traceOffset, tasks)
+}

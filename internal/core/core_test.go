@@ -1,0 +1,307 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pareto/internal/cluster"
+	"pareto/internal/datasets"
+	"pareto/internal/energy"
+	"pareto/internal/partitioner"
+	"pareto/internal/pivots"
+	"pareto/internal/strata"
+)
+
+// testSetup builds a small text corpus with planted topics and a
+// 4-node paper cluster.
+func testSetup(t *testing.T) (*pivots.TextCorpus, *cluster.Cluster) {
+	t.Helper()
+	cfg := datasets.RCV1Like(0.001) // ~800 docs
+	docs, _, err := datasets.GenerateText(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := pivots.NewTextCorpus(docs, cfg.VocabSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.PaperCluster(4, energy.DefaultPanel(), 172, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus, cl
+}
+
+// linearProfile is a workload whose cost is proportional to the
+// record-weight sum — the regime where the LP is provably optimal.
+func linearProfile(corpus pivots.Corpus) ProfileFunc {
+	return func(indices []int) (float64, error) {
+		var cost float64
+		for _, i := range indices {
+			cost += 2000 * float64(corpus.Weight(i))
+		}
+		return cost, nil
+	}
+}
+
+func runWeighted(corpus pivots.Corpus) RunPartition {
+	return func(node int, indices []int) (float64, error) {
+		var cost float64
+		for _, i := range indices {
+			cost += 2000 * float64(corpus.Weight(i))
+		}
+		return cost, nil
+	}
+}
+
+func TestBuildPlanValidation(t *testing.T) {
+	corpus, cl := testSetup(t)
+	if _, err := BuildPlan(nil, cl, nil, Config{}); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := BuildPlan(corpus, nil, nil, Config{}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := BuildPlan(corpus, cl, nil, Config{Strategy: HetAware}); err == nil {
+		t.Error("HetAware without profile accepted")
+	}
+	if _, err := BuildPlan(corpus, cl, linearProfile(corpus), Config{Strategy: HetEnergyAware, Alpha: 0}); err == nil {
+		t.Error("HetEnergyAware with alpha 0 accepted")
+	}
+	if _, err := BuildPlan(corpus, cl, nil, Config{Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStratifiedBaselinePlan(t *testing.T) {
+	corpus, cl := testSetup(t)
+	plan, err := BuildPlan(corpus, cl, nil, Config{
+		Strategy: Stratified,
+		Scheme:   partitioner.Representative,
+		Stratifier: strata.StratifierConfig{
+			Cluster: strata.Config{K: 8, L: 3, Seed: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Models != nil || plan.Optimized != nil {
+		t.Error("baseline must not profile or optimize")
+	}
+	sizes := plan.Assign.Sizes()
+	for j := 1; j < len(sizes); j++ {
+		if sizes[j] > sizes[0] || sizes[0]-sizes[j] > 1 {
+			t.Errorf("baseline sizes not equal: %v", sizes)
+		}
+	}
+	if err := plan.Assign.Validate(corpus.Len()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHetAwarePlanLoadsBySpeed(t *testing.T) {
+	corpus, cl := testSetup(t)
+	plan, err := BuildPlan(corpus, cl, linearProfile(corpus), Config{
+		Strategy: HetAware,
+		Scheme:   partitioner.Representative,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Assign.Validate(corpus.Len()); err != nil {
+		t.Fatal(err)
+	}
+	sizes := plan.Assign.Sizes()
+	// Node 0 (4x) must get more than node 3 (1x); roughly 4x.
+	ratio := float64(sizes[0]) / float64(sizes[3])
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("4x/1x size ratio %.2f (sizes %v)", ratio, sizes)
+	}
+	if len(plan.Models) != 4 {
+		t.Fatalf("%d models", len(plan.Models))
+	}
+	// Learned slopes must order inversely with speed.
+	if !(plan.Models[3].Time.Slope > plan.Models[0].Time.Slope) {
+		t.Error("slow node did not learn a steeper time slope")
+	}
+}
+
+func TestHetAwareBeatsBaselineMakespan(t *testing.T) {
+	corpus, cl := testSetup(t)
+	base, err := BuildPlan(corpus, cl, nil, Config{Strategy: Stratified, Scheme: partitioner.Representative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := BuildPlan(corpus, cl, linearProfile(corpus), Config{Strategy: HetAware, Scheme: partitioner.Representative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := runWeighted(corpus)
+	baseRes, err := Execute(cl, base, run, 12*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetRes, err := Execute(cl, het, run, 12*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hetRes.Makespan >= baseRes.Makespan {
+		t.Errorf("Het-Aware makespan %.3f not below baseline %.3f",
+			hetRes.Makespan, baseRes.Makespan)
+	}
+	// On a 4/3/2/1 cluster with linear work, equal sizes bottleneck on
+	// the 1x node: improvement should approach 1 − (4/10)/1 = 60%,
+	// certainly above 30%.
+	improvement := 1 - hetRes.Makespan/baseRes.Makespan
+	if improvement < 0.3 {
+		t.Errorf("improvement %.1f%%, expected ≥ 30%%", 100*improvement)
+	}
+}
+
+func TestHetEnergyAwareTradesTimeForEnergy(t *testing.T) {
+	corpus, cl := testSetup(t)
+	profile := linearProfile(corpus)
+	run := runWeighted(corpus)
+	const offset = 12 * 3600 // noon: green energy differentiates nodes
+	het, err := BuildPlan(corpus, cl, profile, Config{
+		Strategy: HetAware, Scheme: partitioner.Representative, TraceOffset: offset,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hea, err := BuildPlan(corpus, cl, profile, Config{
+		Strategy: HetEnergyAware, Alpha: 0.9, Normalized: true,
+		Scheme: partitioner.Representative, TraceOffset: offset,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetRes, err := Execute(cl, het, run, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heaRes, err := Execute(cl, hea, run, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heaRes.DirtyEnergy > hetRes.DirtyEnergy {
+		t.Errorf("Het-Energy-Aware dirty %.0f J above Het-Aware %.0f J",
+			heaRes.DirtyEnergy, hetRes.DirtyEnergy)
+	}
+	if heaRes.Makespan < hetRes.Makespan {
+		t.Errorf("Het-Energy-Aware makespan %.3f below Het-Aware %.3f — impossible",
+			heaRes.Makespan, hetRes.Makespan)
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	corpus, cl := testSetup(t)
+	if _, err := Execute(cl, nil, nil, 0); err == nil {
+		t.Error("nil plan accepted")
+	}
+	plan, err := BuildPlan(corpus, cl, nil, Config{Strategy: Stratified, Scheme: partitioner.Representative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := cluster.PaperCluster(2, energy.DefaultPanel(), 172, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(small, plan, runWeighted(corpus), 0); err == nil {
+		t.Error("partition/node mismatch accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := Execute(cl, plan, func(int, []int) (float64, error) { return 0, boom }, 0); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Stratified.String() != "Stratified" || HetAware.String() != "Het-Aware" ||
+		HetEnergyAware.String() != "Het-Energy-Aware" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy must print")
+	}
+}
+
+func TestStratifiedSampleHelper(t *testing.T) {
+	members := [][]int{{0, 1, 2, 3, 4, 5}, {6, 7, 8}, {9}}
+	s, err := strata.StratifiedSample(members, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 5 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, i := range s {
+		if seen[i] {
+			t.Error("duplicate in sample")
+		}
+		seen[i] = true
+	}
+	if _, err := strata.StratifiedSample(members, 11, 1); err == nil {
+		t.Error("oversized sample accepted")
+	}
+	if s, err := strata.StratifiedSample(members, 0, 1); err != nil || len(s) != 0 {
+		t.Error("zero sample must be empty")
+	}
+	if s, err := strata.StratifiedSample(members, 10, 1); err != nil || len(s) != 10 {
+		t.Error("full sample must cover everything")
+	}
+}
+
+func TestPlanSummaryRoundtrip(t *testing.T) {
+	corpus, cl := testSetup(t)
+	plan, err := BuildPlan(corpus, cl, linearProfile(corpus), Config{
+		Strategy: HetAware, Scheme: partitioner.Representative,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := plan.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Strategy != "Het-Aware" || sum.Records != corpus.Len() || len(sum.Nodes) != 4 {
+		t.Errorf("summary %+v", sum)
+	}
+	if sum.PredictedMakespanSec <= 0 {
+		t.Error("missing prediction")
+	}
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlanSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Strategy != sum.Strategy || back.Sizes[0] != sum.Sizes[0] ||
+		back.Nodes[2].Slope != sum.Nodes[2].Slope {
+		t.Errorf("roundtrip mismatch: %+v vs %+v", back, sum)
+	}
+	// Baseline plans summarize without models.
+	base, err := BuildPlan(corpus, cl, nil, Config{Strategy: Stratified, Scheme: partitioner.Representative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsum, err := base.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bsum.Nodes) != 0 || bsum.PredictedMakespanSec != 0 {
+		t.Errorf("baseline summary %+v", bsum)
+	}
+	// Nil plan rejected.
+	var nilPlan *Plan
+	if _, err := nilPlan.Summary(); err == nil {
+		t.Error("nil plan summarized")
+	}
+	if _, err := ReadPlanSummary(bytes.NewReader([]byte("{bad"))); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}

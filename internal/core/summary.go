@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// PlanSummary is the serializable description of a Plan: everything an
+// operator needs to audit or replay a placement decision, without the
+// full record-level assignment (whose size is the dataset's).
+type PlanSummary struct {
+	Strategy  string  `json:"strategy"`
+	Alpha     float64 `json:"alpha"`
+	Scheme    string  `json:"scheme"`
+	Records   int     `json:"records"`
+	Strata    int     `json:"strata"`
+	Converged bool    `json:"strata_converged"`
+	// Sizes is the per-partition record count.
+	Sizes []int `json:"sizes"`
+	// Nodes carries the learned per-node models (empty for the
+	// baseline, which does not profile).
+	Nodes []NodeSummary `json:"nodes,omitempty"`
+	// PredictedMakespanSec / PredictedDirtyJ are the modeler's
+	// predictions (zero for the baseline).
+	PredictedMakespanSec float64 `json:"predicted_makespan_sec,omitempty"`
+	PredictedDirtyJ      float64 `json:"predicted_dirty_joules,omitempty"`
+}
+
+// NodeSummary is one node's learned model in a PlanSummary.
+type NodeSummary struct {
+	Slope      float64 `json:"slope_sec_per_record"`
+	Intercept  float64 `json:"intercept_sec"`
+	R2         float64 `json:"r2"`
+	DirtyRateW float64 `json:"dirty_rate_watts"`
+}
+
+// Summary extracts the serializable view of the plan.
+func (p *Plan) Summary() (*PlanSummary, error) {
+	if p == nil || p.Assign == nil {
+		return nil, errors.New("core: nil plan")
+	}
+	records := 0
+	for _, s := range p.Sizes {
+		records += s
+	}
+	s := &PlanSummary{
+		Strategy: p.Strategy.String(),
+		Alpha:    p.Alpha,
+		Scheme:   p.Scheme.String(),
+		Records:  records,
+		Sizes:    append([]int(nil), p.Sizes...),
+	}
+	if p.Strat != nil {
+		s.Strata = p.Strat.K()
+		s.Converged = p.Strat.Converged
+	}
+	for _, m := range p.Models {
+		s.Nodes = append(s.Nodes, NodeSummary{
+			Slope:      m.Time.Slope,
+			Intercept:  m.Time.Intercept,
+			R2:         m.Time.R2,
+			DirtyRateW: m.DirtyRate,
+		})
+	}
+	if p.Optimized != nil {
+		s.PredictedMakespanSec = p.Optimized.Makespan
+		s.PredictedDirtyJ = p.Optimized.DirtyEnergy
+	}
+	return s, nil
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s *PlanSummary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("core: encoding plan summary: %w", err)
+	}
+	return nil
+}
+
+// ReadPlanSummary parses an indented-JSON summary.
+func ReadPlanSummary(r io.Reader) (*PlanSummary, error) {
+	var s PlanSummary
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding plan summary: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,135 @@
+package datasets
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pareto/internal/pivots"
+)
+
+// Loaders for common public-dataset formats, so the framework can run
+// on the paper's real datasets when the user has them: SNAP/LAW-style
+// edge lists for webgraphs and the usual one-transaction-per-line
+// format for market-basket / bag-of-words corpora.
+
+// LoadEdgeList parses a whitespace-separated directed edge list
+// ("src dst" per line; '#' and '%' lines are comments — SNAP and LAW
+// conventions). Vertex IDs must be nonnegative; the graph is sized to
+// the largest ID. Duplicate edges collapse; adjacency lists come out
+// strictly increasing as the corpus requires.
+func LoadEdgeList(r io.Reader) (*pivots.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type edge struct{ s, d uint32 }
+	var edges []edge
+	maxV := int64(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("datasets: edge list line %d: %q", lineNo, line)
+		}
+		s, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || s < 0 {
+			return nil, fmt.Errorf("datasets: edge list line %d: bad source %q", lineNo, fields[0])
+		}
+		d, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("datasets: edge list line %d: bad target %q", lineNo, fields[1])
+		}
+		if s > 1<<31 || d > 1<<31 {
+			return nil, fmt.Errorf("datasets: edge list line %d: vertex id too large", lineNo)
+		}
+		if s > maxV {
+			maxV = s
+		}
+		if d > maxV {
+			maxV = d
+		}
+		edges = append(edges, edge{uint32(s), uint32(d)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datasets: reading edge list: %w", err)
+	}
+	if maxV < 0 {
+		return &pivots.Graph{}, nil
+	}
+	adj := make([][]uint32, maxV+1)
+	for _, e := range edges {
+		adj[e.s] = append(adj[e.s], e.d)
+	}
+	for v := range adj {
+		sort.Slice(adj[v], func(a, b int) bool { return adj[v][a] < adj[v][b] })
+		// Dedup in place.
+		out := adj[v][:0]
+		for i, u := range adj[v] {
+			if i == 0 || adj[v][i-1] != u {
+				out = append(out, u)
+			}
+		}
+		adj[v] = out
+	}
+	g := &pivots.Graph{Adj: adj}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadTransactions parses a transaction-per-line corpus: each line is
+// a whitespace-separated list of nonnegative item IDs (the standard
+// FIMI / market-basket layout, also usable for bag-of-words corpora).
+// Items are deduplicated and sorted per line; the vocabulary size is
+// the largest item + 1.
+func LoadTransactions(r io.Reader) ([]pivots.Doc, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var docs []pivots.Doc
+	maxItem := int64(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		seen := make(map[uint32]struct{}, len(fields))
+		terms := make([]uint32, 0, len(fields))
+		for _, f := range fields {
+			it, err := strconv.ParseInt(f, 10, 64)
+			if err != nil || it < 0 {
+				return nil, 0, fmt.Errorf("datasets: transactions line %d: bad item %q", lineNo, f)
+			}
+			if it > 1<<31 {
+				return nil, 0, fmt.Errorf("datasets: transactions line %d: item too large", lineNo)
+			}
+			if it > maxItem {
+				maxItem = it
+			}
+			u := uint32(it)
+			if _, dup := seen[u]; !dup {
+				seen[u] = struct{}{}
+				terms = append(terms, u)
+			}
+		}
+		sort.Slice(terms, func(a, b int) bool { return terms[a] < terms[b] })
+		docs = append(docs, pivots.Doc{Terms: terms})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("datasets: reading transactions: %w", err)
+	}
+	if maxItem < 0 {
+		maxItem = 0
+	}
+	return docs, int(maxItem) + 1, nil
+}

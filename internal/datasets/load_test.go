@@ -1,0 +1,96 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+
+	"pareto/internal/pivots"
+)
+
+func TestLoadEdgeList(t *testing.T) {
+	in := `# SNAP-style comment
+% LAW-style comment
+0 1
+0 2
+1 2
+2 0
+0 1
+3	1
+`
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("%d vertices", g.NumVertices())
+	}
+	if g.NumEdges() != 5 {
+		t.Errorf("%d edges (duplicate must collapse)", g.NumEdges())
+	}
+	if len(g.Adj[0]) != 2 || g.Adj[0][0] != 1 || g.Adj[0][1] != 2 {
+		t.Errorf("adj[0] = %v", g.Adj[0])
+	}
+	if _, err := pivots.NewGraphCorpus(g); err != nil {
+		t.Errorf("loaded graph unusable: %v", err)
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",             // missing target
+		"a b\n",           // non-numeric
+		"0 -1\n",          // negative
+		"0 99999999999\n", // overflow guard
+	}
+	for i, c := range cases {
+		if _, err := LoadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d (%q) accepted", i, c)
+		}
+	}
+	g, err := LoadEdgeList(strings.NewReader("# only comments\n"))
+	if err != nil || g.NumVertices() != 0 {
+		t.Errorf("empty input: %v, %v", g, err)
+	}
+}
+
+func TestLoadTransactions(t *testing.T) {
+	in := `1 5 3
+# comment
+7 7 2
+
+5
+`
+	docs, vocab, err := LoadTransactions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("%d docs", len(docs))
+	}
+	if vocab != 8 {
+		t.Errorf("vocab %d, want 8", vocab)
+	}
+	// Sorted and deduplicated.
+	if len(docs[0].Terms) != 3 || docs[0].Terms[0] != 1 || docs[0].Terms[2] != 5 {
+		t.Errorf("doc0 %v", docs[0].Terms)
+	}
+	if len(docs[1].Terms) != 2 {
+		t.Errorf("doc1 %v (7 7 2 must dedup)", docs[1].Terms)
+	}
+	if _, err := pivots.NewTextCorpus(docs, vocab); err != nil {
+		t.Errorf("loaded corpus unusable: %v", err)
+	}
+}
+
+func TestLoadTransactionsErrors(t *testing.T) {
+	if _, _, err := LoadTransactions(strings.NewReader("1 x\n")); err == nil {
+		t.Error("non-numeric item accepted")
+	}
+	if _, _, err := LoadTransactions(strings.NewReader("-3\n")); err == nil {
+		t.Error("negative item accepted")
+	}
+	docs, vocab, err := LoadTransactions(strings.NewReader(""))
+	if err != nil || len(docs) != 0 || vocab != 1 {
+		t.Errorf("empty input: %d docs vocab %d, %v", len(docs), vocab, err)
+	}
+}

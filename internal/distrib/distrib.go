@@ -1,0 +1,308 @@
+// Package distrib runs the stratification pipeline the way paper §IV
+// actually deploys it: distributed across workers that communicate
+// only through the key-value store.
+//
+//   - Each worker extracts pivots and computes minhash sketches for its
+//     shard of the corpus (the embarrassingly parallel, data-heavy
+//     step), and ships the sketches to the master store with pipelined
+//     writes — sketches are orders of magnitude smaller than records,
+//     which is exactly why the paper centralizes the next step.
+//   - A global barrier (fetch-and-increment) separates the phases.
+//   - The master clusters the gathered sketches with compositeKModes
+//     ("we chose to do the clustering in a centralized manner as the
+//     compositeKmodes algorithm is run on the sketches rather than the
+//     actual data") and publishes the record→stratum assignment.
+//   - Workers fetch the assignment for their shard and return.
+//
+// The result is bit-identical to the in-process strata.Stratify (same
+// seeds, same order), which the tests assert.
+package distrib
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"pareto/internal/kvstore"
+	"pareto/internal/pivots"
+	"pareto/internal/sketch"
+	"pareto/internal/strata"
+)
+
+// Options configures the distributed stratification.
+type Options struct {
+	// SketchWidth is the minhash width (0 = strata.DefaultSketchWidth).
+	SketchWidth int
+	// Cluster configures compositeKModes (K required).
+	Cluster strata.Config
+	// Seed drives the shared hash family; all workers must agree.
+	Seed int64
+	// PipelineWidth batches sketch shipping (0 = 128).
+	PipelineWidth int
+	// KeyPrefix namespaces this run's keys on the store (0 = "strat").
+	KeyPrefix string
+}
+
+func (o *Options) normalize() {
+	if o.SketchWidth <= 0 {
+		o.SketchWidth = strata.DefaultSketchWidth
+	}
+	if o.PipelineWidth <= 0 {
+		o.PipelineWidth = 128
+	}
+	if o.KeyPrefix == "" {
+		o.KeyPrefix = "strat"
+	}
+}
+
+// encodeSketchRecord serializes (record index, sketch) for the wire.
+func encodeSketchRecord(idx int, s sketch.Sketch) []byte {
+	buf := make([]byte, 4+8*len(s))
+	binary.LittleEndian.PutUint32(buf, uint32(idx))
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(buf[4+8*i:], v)
+	}
+	return buf
+}
+
+// decodeSketchRecord reverses encodeSketchRecord.
+func decodeSketchRecord(buf []byte, width int) (int, sketch.Sketch, error) {
+	if len(buf) != 4+8*width {
+		return 0, nil, fmt.Errorf("distrib: sketch record of %d bytes, want %d", len(buf), 4+8*width)
+	}
+	idx := int(binary.LittleEndian.Uint32(buf))
+	s := make(sketch.Sketch, width)
+	for i := range s {
+		s[i] = binary.LittleEndian.Uint64(buf[4+8*i:])
+	}
+	return idx, s, nil
+}
+
+// encodeAssignment serializes the record→stratum table.
+func encodeAssignment(assign []int) []byte {
+	buf := make([]byte, 4*len(assign))
+	for i, a := range assign {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(a))
+	}
+	return buf
+}
+
+// decodeAssignment reverses encodeAssignment.
+func decodeAssignment(buf []byte) []int {
+	out := make([]int, len(buf)/4)
+	for i := range out {
+		out[i] = int(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out
+}
+
+// Stratify runs the §IV distributed stratification. workers[i] is the
+// store connection worker i uses (they may point at the same server or
+// different ones — every key this package writes lives on the master's
+// server, reachable through any client handed in). master is the
+// coordinator's own connection. Worker i sketches the contiguous shard
+// i of the corpus; shards are computed internally.
+func Stratify(master *kvstore.Client, workers []*kvstore.Client, corpus pivots.Corpus, o Options) (*strata.Stratification, error) {
+	if master == nil || len(workers) == 0 {
+		return nil, errors.New("distrib: need a master client and at least one worker")
+	}
+	if corpus == nil || corpus.Len() == 0 {
+		return nil, errors.New("distrib: empty corpus")
+	}
+	o.normalize()
+	// Fail fast on clustering misconfiguration: the protocol must not
+	// start if the coordinator is guaranteed to abort mid-phase.
+	if o.Cluster.K < 1 || o.Cluster.L < 1 {
+		return nil, fmt.Errorf("distrib: invalid cluster config K=%d L=%d", o.Cluster.K, o.Cluster.L)
+	}
+	n := corpus.Len()
+	w := len(workers)
+	hasher, err := sketch.NewHasher(o.SketchWidth, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	parties := w + 1 // workers + coordinator
+
+	sketchKey := func(i int) string { return o.KeyPrefix + ":sketches:" + strconv.Itoa(i) }
+	assignKey := o.KeyPrefix + ":assign"
+
+	var wg sync.WaitGroup
+	errs := make([]error, w)
+	shardAssigns := make([][]int, w)
+	for i := range workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runWorker(workers[i], corpus, hasher, i, w, parties, sketchKey(i), assignKey, o, &shardAssigns[i])
+		}(i)
+	}
+
+	// Coordinator: wait for all sketches, cluster, publish. If the
+	// coordinator fails mid-protocol it still arrives at its remaining
+	// barriers so workers are released rather than timing out.
+	coordErr := func() (err error) {
+		b, berr := kvstore.NewBarrier(master, o.KeyPrefix+":sketched", parties)
+		if berr != nil {
+			return berr
+		}
+		pbEarly, berr := kvstore.NewBarrier(master, o.KeyPrefix+":published", parties)
+		if berr != nil {
+			return berr
+		}
+		arrived := false
+		defer func() {
+			if err != nil && !arrived {
+				_ = pbEarly.Arrive()
+			}
+		}()
+		if err := b.Await(); err != nil {
+			return fmt.Errorf("distrib: coordinator sketch barrier: %w", err)
+		}
+		sketches := make([]sketch.Sketch, n)
+		for i := 0; i < w; i++ {
+			records, err := master.LRange(sketchKey(i), 0, -1)
+			if err != nil {
+				return fmt.Errorf("distrib: gathering worker %d sketches: %w", i, err)
+			}
+			for _, rec := range records {
+				idx, s, err := decodeSketchRecord(rec, o.SketchWidth)
+				if err != nil {
+					return err
+				}
+				if idx < 0 || idx >= n {
+					return fmt.Errorf("distrib: sketch for out-of-range record %d", idx)
+				}
+				sketches[idx] = s
+			}
+		}
+		for i, s := range sketches {
+			if s == nil {
+				return fmt.Errorf("distrib: record %d never sketched", i)
+			}
+		}
+		res, err := strata.Cluster(sketches, o.Cluster)
+		if err != nil {
+			return err
+		}
+		if err := master.Set(assignKey, encodeAssignment(res.Assign)); err != nil {
+			return fmt.Errorf("distrib: publishing assignment: %w", err)
+		}
+		arrived = true
+		if err := pbEarly.Await(); err != nil {
+			return fmt.Errorf("distrib: coordinator publish barrier: %w", err)
+		}
+		return nil
+	}()
+	wg.Wait()
+	if coordErr != nil {
+		return nil, coordErr
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("distrib: worker %d: %w", i, err)
+		}
+	}
+
+	// Reassemble the full stratification from the published assignment
+	// (the coordinator could keep it in memory; reading it back through
+	// the store exercises the same path the workers used).
+	raw, err := master.Get(assignKey)
+	if err != nil {
+		return nil, err
+	}
+	assign := decodeAssignment(raw)
+	if len(assign) != n {
+		return nil, fmt.Errorf("distrib: assignment covers %d of %d records", len(assign), n)
+	}
+	// Every worker saw the same published assignment for its shard.
+	for i := range workers {
+		lo := i * n / w
+		for off, a := range shardAssigns[i] {
+			if assign[lo+off] != a {
+				return nil, fmt.Errorf("distrib: worker %d shard assignment diverges at record %d", i, lo+off)
+			}
+		}
+	}
+	k := o.Cluster.K
+	if k > n {
+		k = n
+	}
+	members := make([][]int, k)
+	for i, a := range assign {
+		if a < 0 || a >= k {
+			return nil, fmt.Errorf("distrib: record %d assigned to stratum %d of %d", i, a, k)
+		}
+		members[a] = append(members[a], i)
+	}
+	wt := make([]int, k)
+	for i, a := range assign {
+		wt[a] += corpus.Weight(i)
+	}
+	// Rebuild sketches locally for the Stratification value (cheap
+	// relative to shipping them back).
+	sketches := strata.SketchCorpus(corpus, hasher, 0)
+	return &strata.Stratification{
+		Result: &strata.Result{
+			Assign:  assign,
+			Members: members,
+		},
+		Sketches:     sketches,
+		WeightTotals: wt,
+	}, nil
+}
+
+// runWorker executes one worker's phases: sketch shard → ship →
+// barrier → fetch assignment → barrier.
+func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i, w, parties int, sketchKey, assignKey string, o Options, shardAssign *[]int) error {
+	n := corpus.Len()
+	lo := i * n / w
+	hi := (i + 1) * n / w
+	if _, err := c.Del(sketchKey); err != nil {
+		return err
+	}
+	p, err := c.NewPipeline(o.PipelineWidth)
+	if err != nil {
+		return err
+	}
+	for r := lo; r < hi; r++ {
+		s := hasher.Sketch(corpus.ItemSet(r))
+		if err := p.Send("RPUSH", []byte(sketchKey), encodeSketchRecord(r, s)); err != nil {
+			return err
+		}
+	}
+	reps, err := p.Finish()
+	if err != nil {
+		return err
+	}
+	for _, rep := range reps {
+		if err := rep.Err(); err != nil {
+			return err
+		}
+	}
+	b, err := kvstore.NewBarrier(c, o.KeyPrefix+":sketched", parties)
+	if err != nil {
+		return err
+	}
+	if err := b.Await(); err != nil {
+		return err
+	}
+	pb, err := kvstore.NewBarrier(c, o.KeyPrefix+":published", parties)
+	if err != nil {
+		return err
+	}
+	if err := pb.Await(); err != nil {
+		return err
+	}
+	raw, err := c.Get(assignKey)
+	if err != nil {
+		return err
+	}
+	assign := decodeAssignment(raw)
+	if len(assign) != n {
+		return fmt.Errorf("assignment covers %d of %d records", len(assign), n)
+	}
+	*shardAssign = assign[lo:hi]
+	return nil
+}

@@ -1,0 +1,159 @@
+package distrib
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pareto/internal/datasets"
+	"pareto/internal/kvstore"
+	"pareto/internal/pivots"
+	"pareto/internal/sketch"
+	"pareto/internal/strata"
+)
+
+func testCorpus(t *testing.T, scale float64) *pivots.TextCorpus {
+	t.Helper()
+	cfg := datasets.RCV1Like(scale)
+	docs, _, err := datasets.GenerateText(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := pivots.NewTextCorpus(docs, cfg.VocabSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+func startStore(t *testing.T, clients int) (*kvstore.Client, []*kvstore.Client) {
+	t.Helper()
+	srv := kvstore.NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	dial := func() *kvstore.Client {
+		c, err := kvstore.Dial(addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	master := dial()
+	ws := make([]*kvstore.Client, clients)
+	for i := range ws {
+		ws[i] = dial()
+	}
+	return master, ws
+}
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	corpus := testCorpus(t, 0.0006)
+	master, workers := startStore(t, 4)
+	opts := Options{
+		SketchWidth: 24,
+		Cluster:     strata.Config{K: 6, L: 3, Seed: 11},
+		Seed:        5,
+	}
+	dist, err := Stratify(master, workers, corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := strata.Stratify(corpus, strata.StratifierConfig{
+		SketchWidth: 24,
+		Cluster:     strata.Config{K: 6, L: 3, Seed: 11},
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist.Assign, central.Assign) {
+		t.Fatal("distributed assignment differs from centralized")
+	}
+	if !reflect.DeepEqual(dist.WeightTotals, central.WeightTotals) {
+		t.Fatal("weight totals differ")
+	}
+	for s := range central.Members {
+		if !reflect.DeepEqual(dist.Members[s], central.Members[s]) {
+			t.Fatalf("stratum %d members differ", s)
+		}
+	}
+}
+
+func TestDistributedSingleWorker(t *testing.T) {
+	corpus := testCorpus(t, 0.0003)
+	master, workers := startStore(t, 1)
+	dist, err := Stratify(master, workers, corpus, Options{
+		Cluster: strata.Config{K: 4, L: 2, Seed: 3},
+		Seed:    9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Assign) != corpus.Len() {
+		t.Errorf("assignment covers %d of %d", len(dist.Assign), corpus.Len())
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	corpus := testCorpus(t, 0.0003)
+	master, workers := startStore(t, 2)
+	if _, err := Stratify(nil, workers, corpus, Options{Cluster: strata.Config{K: 2, L: 1}}); err == nil {
+		t.Error("nil master accepted")
+	}
+	if _, err := Stratify(master, nil, corpus, Options{Cluster: strata.Config{K: 2, L: 1}}); err == nil {
+		t.Error("no workers accepted")
+	}
+	if _, err := Stratify(master, workers, nil, Options{Cluster: strata.Config{K: 2, L: 1}}); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := Stratify(master, workers, corpus, Options{Cluster: strata.Config{K: 0, L: 1}}); err == nil {
+		t.Error("K=0 accepted (cluster config must validate)")
+	}
+}
+
+func TestDistributedMoreWorkersThanRecords(t *testing.T) {
+	docs := []pivots.Doc{{Terms: []uint32{0, 1}}, {Terms: []uint32{2, 3}}}
+	corpus, err := pivots.NewTextCorpus(docs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, workers := startStore(t, 5) // some shards empty
+	dist, err := Stratify(master, workers, corpus, Options{
+		Cluster: strata.Config{K: 2, L: 1, Seed: 1},
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Assign) != 2 {
+		t.Errorf("assignment %v", dist.Assign)
+	}
+}
+
+func TestSketchRecordRoundtrip(t *testing.T) {
+	s := sketch.Sketch{1, 2, 1 << 60}
+	idx, back, err := decodeSketchRecord(encodeSketchRecord(42, s), 3)
+	if err != nil || idx != 42 {
+		t.Fatalf("idx %d err %v", idx, err)
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Fatal("sketch mangled")
+		}
+	}
+	if _, _, err := decodeSketchRecord([]byte{1, 2}, 3); err == nil {
+		t.Error("short record accepted")
+	}
+}
+
+func TestAssignmentRoundtrip(t *testing.T) {
+	in := []int{0, 5, 2, 7, 1}
+	out := decodeAssignment(encodeAssignment(in))
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("roundtrip %v", out)
+	}
+}

@@ -1,0 +1,27 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"pareto/internal/energy"
+)
+
+// Generate a solar trace for a datacenter site and compute a server's
+// dirty-energy draw for a one-hour job at noon versus midnight.
+func ExampleGenerateTrace() {
+	loc := energy.GoogleDatacenterLocations()[3] // mayes-county-ok
+	tr, err := energy.GenerateTrace(loc, energy.DefaultPanel(), 172, 24)
+	if err != nil {
+		panic(err)
+	}
+	server, err := energy.MachineType(4) // slowest type: 155 W
+	if err != nil {
+		panic(err)
+	}
+	noon := energy.DirtyEnergy(server.Watts(), tr, 12*3600, 3600)
+	midnight := energy.DirtyEnergy(server.Watts(), tr, 0, 3600)
+	fmt.Printf("midnight fully dirty: %v; noon cheaper than midnight: %v\n",
+		midnight == server.Watts()*3600, noon < midnight)
+	// Output:
+	// midnight fully dirty: true; noon cheaper than midnight: true
+}

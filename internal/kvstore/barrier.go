@@ -1,0 +1,110 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Barrier is the global synchronization primitive of paper §IV, built
+// on the store's atomic fetch-and-increment: the framework separates
+// its phases (pivot extraction, sketch generation, sketch clustering,
+// final data partitioning) with barrier waits across all workers.
+//
+// Each Await round increments a generation-scoped counter and polls
+// until all parties have arrived. Reusing the Barrier value advances
+// the generation automatically, so one Barrier synchronizes any number
+// of consecutive phases.
+type Barrier struct {
+	client  *Client
+	name    string
+	parties int
+	gen     int
+
+	// PollInterval is the wait between checks; defaults to 1ms.
+	PollInterval time.Duration
+	// Timeout bounds one Await; defaults to 30s.
+	Timeout time.Duration
+}
+
+// NewBarrier creates a barrier for the given party count coordinated
+// through the store behind client. All parties must use the same name
+// and count.
+func NewBarrier(client *Client, name string, parties int) (*Barrier, error) {
+	if parties < 1 {
+		return nil, fmt.Errorf("kvstore: barrier parties %d, need ≥ 1", parties)
+	}
+	if name == "" {
+		return nil, errors.New("kvstore: barrier needs a name")
+	}
+	return &Barrier{
+		client:       client,
+		name:         name,
+		parties:      parties,
+		PollInterval: time.Millisecond,
+		Timeout:      30 * time.Second,
+	}, nil
+}
+
+// ErrBarrierTimeout reports that not all parties arrived in time.
+var ErrBarrierTimeout = errors.New("kvstore: barrier timeout")
+
+// Arrive registers this party at the current generation WITHOUT
+// waiting for the others, and advances to the next generation. A party
+// that must abandon the protocol after an error calls Arrive on its
+// remaining barriers so peers blocked in Await are released instead of
+// timing out.
+func (b *Barrier) Arrive() error {
+	key := fmt.Sprintf("__barrier:%s:%d", b.name, b.gen)
+	b.gen++
+	if _, err := b.client.Incr(key); err != nil {
+		return fmt.Errorf("kvstore: barrier arrive: %w", err)
+	}
+	return nil
+}
+
+// Await registers this party's arrival at the current generation and
+// blocks until all parties arrive (or the timeout passes).
+func (b *Barrier) Await() error {
+	key := fmt.Sprintf("__barrier:%s:%d", b.name, b.gen)
+	b.gen++
+	n, err := b.client.Incr(key)
+	if err != nil {
+		return fmt.Errorf("kvstore: barrier enter: %w", err)
+	}
+	if n >= int64(b.parties) {
+		return nil
+	}
+	poll := b.PollInterval
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	timeout := b.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		raw, err := b.client.Get(key)
+		if err != nil && !errors.Is(err, ErrNil) {
+			return fmt.Errorf("kvstore: barrier poll: %w", err)
+		}
+		if err == nil {
+			var cur int64
+			for _, ch := range raw {
+				if ch < '0' || ch > '9' {
+					cur = -1
+					break
+				}
+				cur = cur*10 + int64(ch-'0')
+			}
+			if cur >= int64(b.parties) {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: %s generation %d", ErrBarrierTimeout, b.name, b.gen-1)
+		}
+		time.Sleep(poll)
+	}
+}

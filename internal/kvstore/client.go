@@ -1,0 +1,263 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client is a connection to one store instance. It supports immediate
+// request/reply calls and explicit pipelining (paper §IV batches
+// requests up to a preset pipeline width before sending, which
+// "substantially improves response times"). A Client is safe for
+// concurrent use; commands are serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	// pending counts commands written but not yet read (pipelining).
+	pending int
+}
+
+// Dial connects to a store at addr with the given timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Do sends one command and waits for its reply (flushing any pipelined
+// commands first so ordering is preserved).
+func (c *Client) Do(cmd string, args ...[]byte) (Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteCommand(c.w, cmd, args...); err != nil {
+		return Reply{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Reply{}, err
+	}
+	// Drain earlier pipelined replies; the last one is ours.
+	for c.pending > 0 {
+		if _, err := ReadReply(c.r); err != nil {
+			return Reply{}, err
+		}
+		c.pending--
+	}
+	return ReadReply(c.r)
+}
+
+// Send enqueues a command without reading its reply; Flush collects
+// all outstanding replies in order. This is the pipelining primitive.
+func (c *Client) Send(cmd string, args ...[]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteCommand(c.w, cmd, args...); err != nil {
+		return err
+	}
+	c.pending++
+	return nil
+}
+
+// Flush pushes buffered commands to the server and reads every
+// outstanding reply, in command order.
+func (c *Client) Flush() ([]Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]Reply, 0, c.pending)
+	for c.pending > 0 {
+		rep, err := ReadReply(c.r)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+		c.pending--
+	}
+	return out, nil
+}
+
+// ErrNil is returned by typed helpers when the key does not exist.
+var ErrNil = errors.New("kvstore: nil reply")
+
+// Get fetches a string key; ErrNil if absent.
+func (c *Client) Get(key string) ([]byte, error) {
+	rep, err := c.Do("GET", []byte(key))
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	if rep.Type == NullBulk {
+		return nil, ErrNil
+	}
+	return rep.Bulk, nil
+}
+
+// Set stores a string key.
+func (c *Client) Set(key string, val []byte) error {
+	rep, err := c.Do("SET", []byte(key), val)
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// Incr atomically increments a counter key and returns the new value.
+func (c *Client) Incr(key string) (int64, error) {
+	rep, err := c.Do("INCR", []byte(key))
+	if err != nil {
+		return 0, err
+	}
+	if err := rep.Err(); err != nil {
+		return 0, err
+	}
+	return rep.Int, nil
+}
+
+// RPush appends values to a list and returns the new length.
+func (c *Client) RPush(key string, vals ...[]byte) (int64, error) {
+	args := make([][]byte, 0, len(vals)+1)
+	args = append(args, []byte(key))
+	args = append(args, vals...)
+	rep, err := c.Do("RPUSH", args...)
+	if err != nil {
+		return 0, err
+	}
+	if err := rep.Err(); err != nil {
+		return 0, err
+	}
+	return rep.Int, nil
+}
+
+// LRange fetches list elements in [start, stop] (inclusive, negative
+// indices count from the end, as in Redis).
+func (c *Client) LRange(key string, start, stop int64) ([][]byte, error) {
+	rep, err := c.Do("LRANGE", []byte(key),
+		[]byte(strconv.FormatInt(start, 10)), []byte(strconv.FormatInt(stop, 10)))
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(rep.Array))
+	for i, el := range rep.Array {
+		out[i] = el.Bulk
+	}
+	return out, nil
+}
+
+// LLen returns a list's length.
+func (c *Client) LLen(key string) (int64, error) {
+	rep, err := c.Do("LLEN", []byte(key))
+	if err != nil {
+		return 0, err
+	}
+	if err := rep.Err(); err != nil {
+		return 0, err
+	}
+	return rep.Int, nil
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int64, error) {
+	args := make([][]byte, len(keys))
+	for i, k := range keys {
+		args[i] = []byte(k)
+	}
+	rep, err := c.Do("DEL", args...)
+	if err != nil {
+		return 0, err
+	}
+	if err := rep.Err(); err != nil {
+		return 0, err
+	}
+	return rep.Int, nil
+}
+
+// Ping round-trips the connection.
+func (c *Client) Ping() error {
+	rep, err := c.Do("PING")
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	if rep.Str != "PONG" {
+		return fmt.Errorf("kvstore: unexpected ping reply %q", rep.Str)
+	}
+	return nil
+}
+
+// Pipeline is a convenience wrapper enforcing a maximum width: Send
+// auto-flushes once width commands are queued, mirroring the preset
+// pipeline width of paper §IV.
+type Pipeline struct {
+	c       *Client
+	width   int
+	queued  int
+	replies []Reply
+}
+
+// NewPipeline creates a pipeline of the given width (≥ 1).
+func (c *Client) NewPipeline(width int) (*Pipeline, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("kvstore: pipeline width %d, need ≥ 1", width)
+	}
+	return &Pipeline{c: c, width: width}, nil
+}
+
+// Send enqueues a command, flushing automatically at the width bound.
+func (p *Pipeline) Send(cmd string, args ...[]byte) error {
+	if err := p.c.Send(cmd, args...); err != nil {
+		return err
+	}
+	p.queued++
+	if p.queued >= p.width {
+		return p.flushInto()
+	}
+	return nil
+}
+
+func (p *Pipeline) flushInto() error {
+	reps, err := p.c.Flush()
+	p.replies = append(p.replies, reps...)
+	p.queued = 0
+	return err
+}
+
+// Finish flushes any remainder and returns every reply in send order.
+func (p *Pipeline) Finish() ([]Reply, error) {
+	if p.queued > 0 {
+		if err := p.flushInto(); err != nil {
+			return p.replies, err
+		}
+	}
+	out := p.replies
+	p.replies = nil
+	return out, nil
+}

@@ -1,0 +1,289 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestEngineSetGetDel(t *testing.T) {
+	e := NewEngine()
+	if rep := e.Do("GET", []byte("missing")); rep.Type != NullBulk {
+		t.Errorf("GET missing = %v", rep)
+	}
+	if rep := e.Do("SET", []byte("k"), []byte("v")); rep.Str != "OK" {
+		t.Errorf("SET = %v", rep)
+	}
+	if rep := e.Do("GET", []byte("k")); string(rep.Bulk) != "v" {
+		t.Errorf("GET = %v", rep)
+	}
+	if rep := e.Do("EXISTS", []byte("k"), []byte("nope")); rep.Int != 1 {
+		t.Errorf("EXISTS = %v", rep)
+	}
+	if rep := e.Do("DEL", []byte("k"), []byte("nope")); rep.Int != 1 {
+		t.Errorf("DEL = %v", rep)
+	}
+	if rep := e.Do("GET", []byte("k")); rep.Type != NullBulk {
+		t.Errorf("GET after DEL = %v", rep)
+	}
+}
+
+func TestEngineIncr(t *testing.T) {
+	e := NewEngine()
+	if rep := e.Do("INCR", []byte("c")); rep.Int != 1 {
+		t.Errorf("first INCR = %v", rep)
+	}
+	if rep := e.Do("INCRBY", []byte("c"), []byte("41")); rep.Int != 42 {
+		t.Errorf("INCRBY = %v", rep)
+	}
+	if rep := e.Do("INCRBY", []byte("c"), []byte("-2")); rep.Int != 40 {
+		t.Errorf("negative INCRBY = %v", rep)
+	}
+	e.Do("SET", []byte("s"), []byte("notanumber"))
+	if rep := e.Do("INCR", []byte("s")); rep.Type != ErrorReply {
+		t.Errorf("INCR on text = %v", rep)
+	}
+	if rep := e.Do("INCRBY", []byte("c"), []byte("xx")); rep.Type != ErrorReply {
+		t.Errorf("INCRBY bad delta = %v", rep)
+	}
+}
+
+func TestEngineIncrAtomicity(t *testing.T) {
+	e := NewEngine()
+	var wg sync.WaitGroup
+	const workers, per = 16, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if rep := e.Do("INCR", []byte("n")); rep.Type == ErrorReply {
+					t.Error(rep.Str)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep := e.Do("GET", []byte("n"))
+	n, err := strconv.Atoi(string(rep.Bulk))
+	if err != nil || n != workers*per {
+		t.Errorf("counter = %q, want %d", rep.Bulk, workers*per)
+	}
+}
+
+func TestEngineLists(t *testing.T) {
+	e := NewEngine()
+	if rep := e.Do("RPUSH", []byte("l"), []byte("a"), []byte("b")); rep.Int != 2 {
+		t.Errorf("RPUSH = %v", rep)
+	}
+	if rep := e.Do("LPUSH", []byte("l"), []byte("z")); rep.Int != 3 {
+		t.Errorf("LPUSH = %v", rep)
+	}
+	if rep := e.Do("LLEN", []byte("l")); rep.Int != 3 {
+		t.Errorf("LLEN = %v", rep)
+	}
+	rep := e.Do("LRANGE", []byte("l"), []byte("0"), []byte("-1"))
+	if len(rep.Array) != 3 || string(rep.Array[0].Bulk) != "z" || string(rep.Array[2].Bulk) != "b" {
+		t.Errorf("LRANGE = %v", rep)
+	}
+	if rep := e.Do("LINDEX", []byte("l"), []byte("-1")); string(rep.Bulk) != "b" {
+		t.Errorf("LINDEX -1 = %v", rep)
+	}
+	if rep := e.Do("LINDEX", []byte("l"), []byte("99")); rep.Type != NullBulk {
+		t.Errorf("LINDEX out of range = %v", rep)
+	}
+	// Range semantics.
+	if rep := e.Do("LRANGE", []byte("l"), []byte("5"), []byte("9")); len(rep.Array) != 0 {
+		t.Errorf("empty LRANGE = %v", rep)
+	}
+	if rep := e.Do("LRANGE", []byte("l"), []byte("-2"), []byte("-1")); len(rep.Array) != 2 {
+		t.Errorf("negative LRANGE = %v", rep)
+	}
+	if rep := e.Do("LLEN", []byte("missing")); rep.Int != 0 {
+		t.Errorf("LLEN missing = %v", rep)
+	}
+}
+
+func TestEngineWrongType(t *testing.T) {
+	e := NewEngine()
+	e.Do("SET", []byte("s"), []byte("v"))
+	e.Do("RPUSH", []byte("l"), []byte("v"))
+	if rep := e.Do("RPUSH", []byte("s"), []byte("x")); rep.Type != ErrorReply {
+		t.Errorf("RPUSH on string = %v", rep)
+	}
+	if rep := e.Do("GET", []byte("l")); rep.Type != ErrorReply {
+		t.Errorf("GET on list = %v", rep)
+	}
+	if rep := e.Do("INCR", []byte("l")); rep.Type != ErrorReply {
+		t.Errorf("INCR on list = %v", rep)
+	}
+	if rep := e.Do("LLEN", []byte("s")); rep.Type != ErrorReply {
+		t.Errorf("LLEN on string = %v", rep)
+	}
+	// SET over a list replaces it (Redis semantics).
+	if rep := e.Do("SET", []byte("l"), []byte("now-string")); rep.Str != "OK" {
+		t.Errorf("SET over list = %v", rep)
+	}
+	if rep := e.Do("GET", []byte("l")); string(rep.Bulk) != "now-string" {
+		t.Errorf("GET after overwrite = %v", rep)
+	}
+}
+
+func TestEngineAppendStrlen(t *testing.T) {
+	e := NewEngine()
+	if rep := e.Do("APPEND", []byte("a"), []byte("foo")); rep.Int != 3 {
+		t.Errorf("APPEND = %v", rep)
+	}
+	if rep := e.Do("APPEND", []byte("a"), []byte("bar")); rep.Int != 6 {
+		t.Errorf("second APPEND = %v", rep)
+	}
+	if rep := e.Do("STRLEN", []byte("a")); rep.Int != 6 {
+		t.Errorf("STRLEN = %v", rep)
+	}
+	if rep := e.Do("GET", []byte("a")); string(rep.Bulk) != "foobar" {
+		t.Errorf("GET = %v", rep)
+	}
+}
+
+func TestEngineFlushAndSize(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 20; i++ {
+		e.Do("SET", []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	e.Do("RPUSH", []byte("list"), []byte("x"))
+	if rep := e.Do("DBSIZE"); rep.Int != 21 {
+		t.Errorf("DBSIZE = %v", rep)
+	}
+	if rep := e.Do("FLUSHDB"); rep.Str != "OK" {
+		t.Errorf("FLUSHDB = %v", rep)
+	}
+	if rep := e.Do("DBSIZE"); rep.Int != 0 {
+		t.Errorf("DBSIZE after flush = %v", rep)
+	}
+}
+
+func TestEngineArgValidation(t *testing.T) {
+	e := NewEngine()
+	bad := [][]string{
+		{"GET"}, {"SET", "k"}, {"DEL"}, {"INCR"}, {"INCRBY", "k"},
+		{"RPUSH", "k"}, {"LRANGE", "k", "0"}, {"LINDEX", "k"},
+		{"ECHO"}, {"EXISTS"}, {"APPEND", "k"}, {"STRLEN"}, {"LLEN"},
+	}
+	for _, c := range bad {
+		args := make([][]byte, len(c)-1)
+		for i := range args {
+			args[i] = []byte(c[i+1])
+		}
+		if rep := e.Do(c[0], args...); rep.Type != ErrorReply {
+			t.Errorf("%v accepted: %v", c, rep)
+		}
+	}
+	if rep := e.Do("NOSUCHCMD"); rep.Type != ErrorReply {
+		t.Errorf("unknown command accepted: %v", rep)
+	}
+	if rep := e.Do("LINDEX", []byte("k"), []byte("abc")); rep.Type != ErrorReply {
+		t.Errorf("non-integer index accepted: %v", rep)
+	}
+	if rep := e.Do("LRANGE", []byte("k"), []byte("a"), []byte("b")); rep.Type != ErrorReply {
+		t.Errorf("non-integer range accepted: %v", rep)
+	}
+}
+
+func TestEngineCaseInsensitive(t *testing.T) {
+	e := NewEngine()
+	if rep := e.Do("set", []byte("k"), []byte("v")); rep.Str != "OK" {
+		t.Errorf("lowercase set = %v", rep)
+	}
+	if rep := e.Do("gEt", []byte("k")); string(rep.Bulk) != "v" {
+		t.Errorf("mixed-case get = %v", rep)
+	}
+}
+
+func TestEngineValueIsolation(t *testing.T) {
+	// Values must be copied in and out: mutating caller buffers after
+	// SET, or returned buffers after GET, cannot corrupt the store.
+	e := NewEngine()
+	buf := []byte("original")
+	e.Do("SET", []byte("k"), buf)
+	buf[0] = 'X'
+	rep := e.Do("GET", []byte("k"))
+	if string(rep.Bulk) != "original" {
+		t.Error("store aliases caller's SET buffer")
+	}
+	rep.Bulk[0] = 'Y'
+	rep2 := e.Do("GET", []byte("k"))
+	if string(rep2.Bulk) != "original" {
+		t.Error("store aliases returned GET buffer")
+	}
+	// Same for lists.
+	lv := []byte("item")
+	e.Do("RPUSH", []byte("l"), lv)
+	lv[0] = 'Z'
+	rep3 := e.Do("LINDEX", []byte("l"), []byte("0"))
+	if !bytes.Equal(rep3.Bulk, []byte("item")) {
+		t.Error("list aliases pushed buffer")
+	}
+}
+
+func TestEnginePingEcho(t *testing.T) {
+	e := NewEngine()
+	if rep := e.Do("PING"); rep.Str != "PONG" {
+		t.Errorf("PING = %v", rep)
+	}
+	if rep := e.Do("PING", []byte("hi")); string(rep.Bulk) != "hi" {
+		t.Errorf("PING msg = %v", rep)
+	}
+	if rep := e.Do("ECHO", []byte("x")); string(rep.Bulk) != "x" {
+		t.Errorf("ECHO = %v", rep)
+	}
+}
+
+func TestEngineConcurrentMixedOps(t *testing.T) {
+	e := NewEngine()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []byte(fmt.Sprintf("worker%d", w))
+			for i := 0; i < 200; i++ {
+				e.Do("RPUSH", key, []byte{byte(i)})
+				e.Do("LLEN", key)
+				e.Do("SET", []byte(fmt.Sprintf("s%d-%d", w, i%10)), []byte("v"))
+				e.Do("GET", []byte(fmt.Sprintf("s%d-%d", (w+1)%8, i%10)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		rep := e.Do("LLEN", []byte(fmt.Sprintf("worker%d", w)))
+		if rep.Int != 200 {
+			t.Errorf("worker %d list len %d", w, rep.Int)
+		}
+	}
+}
+
+func BenchmarkEngineSet(b *testing.B) {
+	e := NewEngine()
+	key := []byte("bench")
+	val := bytes.Repeat([]byte("v"), 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Do("SET", key, val)
+	}
+}
+
+func BenchmarkEngineRPush(b *testing.B) {
+	e := NewEngine()
+	val := bytes.Repeat([]byte("v"), 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%10000 == 0 {
+			e.Flush()
+		}
+		e.Do("RPUSH", []byte("l"), val)
+	}
+}

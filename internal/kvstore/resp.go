@@ -1,0 +1,307 @@
+// Package kvstore is a from-scratch Redis-compatible key-value store:
+// a storage engine, a TCP server speaking the RESP wire protocol, a
+// client with request pipelining, and a fetch-and-increment global
+// barrier.
+//
+// It reproduces the substrate of paper §IV: the partitioning framework
+// runs one store instance per cluster node (never a managed "cluster
+// mode", because the framework must control exactly which key lands on
+// which node), stores each partition as a list of length-prefixed raw
+// byte sequences so a whole partition moves in one request, batches
+// requests through pipelining, and synchronizes phases with a global
+// barrier built on the store's atomic INCR.
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Reply is one RESP value: a simple string, error, integer, bulk
+// string (possibly nil), or array (possibly nil).
+type Reply struct {
+	Type  ReplyType
+	Str   string  // simple string or error text
+	Int   int64   // integer
+	Bulk  []byte  // bulk payload; nil for null bulk
+	Array []Reply // array elements; nil for null array
+}
+
+// ReplyType discriminates RESP value kinds.
+type ReplyType int
+
+// RESP value kinds.
+const (
+	SimpleString ReplyType = iota
+	ErrorReply
+	Integer
+	BulkString
+	NullBulk
+	Array
+	NullArray
+)
+
+// Err converts an error reply into a Go error, nil otherwise.
+func (r Reply) Err() error {
+	if r.Type == ErrorReply {
+		return fmt.Errorf("kvstore: server error: %s", r.Str)
+	}
+	return nil
+}
+
+// String renders the reply for diagnostics.
+func (r Reply) String() string {
+	switch r.Type {
+	case SimpleString:
+		return r.Str
+	case ErrorReply:
+		return "ERR " + r.Str
+	case Integer:
+		return strconv.FormatInt(r.Int, 10)
+	case BulkString:
+		return string(r.Bulk)
+	case NullBulk:
+		return "(nil)"
+	case Array:
+		return fmt.Sprintf("array[%d]", len(r.Array))
+	case NullArray:
+		return "(nil array)"
+	default:
+		return fmt.Sprintf("reply(%d)", int(r.Type))
+	}
+}
+
+// Protocol limits guarding against malformed or hostile input.
+const (
+	maxBulkLen  = 1 << 30 // 1 GiB per bulk string
+	maxArrayLen = 1 << 20 // 1M elements per array
+)
+
+// ErrProtocol reports malformed RESP data on the wire.
+var ErrProtocol = errors.New("kvstore: protocol error")
+
+// WriteCommand encodes a command as a RESP array of bulk strings.
+func WriteCommand(w *bufio.Writer, name string, args ...[]byte) error {
+	if err := writeArrayHeader(w, 1+len(args)); err != nil {
+		return err
+	}
+	if err := writeBulk(w, []byte(name)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := writeBulk(w, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeArrayHeader(w *bufio.Writer, n int) error {
+	if err := w.WriteByte('*'); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(strconv.Itoa(n)); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func writeBulk(w *bufio.Writer, b []byte) error {
+	if err := w.WriteByte('$'); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(strconv.Itoa(len(b))); err != nil {
+		return err
+	}
+	if _, err := w.WriteString("\r\n"); err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteReply encodes a Reply in RESP framing.
+func WriteReply(w *bufio.Writer, r Reply) error {
+	switch r.Type {
+	case SimpleString:
+		if err := w.WriteByte('+'); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(r.Str); err != nil {
+			return err
+		}
+		_, err := w.WriteString("\r\n")
+		return err
+	case ErrorReply:
+		if err := w.WriteByte('-'); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(r.Str); err != nil {
+			return err
+		}
+		_, err := w.WriteString("\r\n")
+		return err
+	case Integer:
+		if err := w.WriteByte(':'); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(strconv.FormatInt(r.Int, 10)); err != nil {
+			return err
+		}
+		_, err := w.WriteString("\r\n")
+		return err
+	case BulkString:
+		return writeBulk(w, r.Bulk)
+	case NullBulk:
+		_, err := w.WriteString("$-1\r\n")
+		return err
+	case Array:
+		if err := writeArrayHeader(w, len(r.Array)); err != nil {
+			return err
+		}
+		for _, el := range r.Array {
+			if err := WriteReply(w, el); err != nil {
+				return err
+			}
+		}
+		return nil
+	case NullArray:
+		_, err := w.WriteString("*-1\r\n")
+		return err
+	default:
+		return fmt.Errorf("%w: unknown reply type %d", ErrProtocol, int(r.Type))
+	}
+}
+
+// ReadReply decodes one RESP value.
+func ReadReply(r *bufio.Reader) (Reply, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(line) == 0 {
+		return Reply{}, fmt.Errorf("%w: empty line", ErrProtocol)
+	}
+	switch line[0] {
+	case '+':
+		return Reply{Type: SimpleString, Str: string(line[1:])}, nil
+	case '-':
+		return Reply{Type: ErrorReply, Str: string(line[1:])}, nil
+	case ':':
+		n, err := strconv.ParseInt(string(line[1:]), 10, 64)
+		if err != nil {
+			return Reply{}, fmt.Errorf("%w: bad integer %q", ErrProtocol, line)
+		}
+		return Reply{Type: Integer, Int: n}, nil
+	case '$':
+		n, err := strconv.ParseInt(string(line[1:]), 10, 64)
+		if err != nil || n > maxBulkLen {
+			return Reply{}, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, line)
+		}
+		if n < 0 {
+			return Reply{Type: NullBulk}, nil
+		}
+		buf, err := readFullN(r, int(n)+2)
+		if err != nil {
+			return Reply{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Reply{}, fmt.Errorf("%w: bulk missing CRLF", ErrProtocol)
+		}
+		return Reply{Type: BulkString, Bulk: buf[:n]}, nil
+	case '*':
+		n, err := strconv.ParseInt(string(line[1:]), 10, 64)
+		if err != nil || n > maxArrayLen {
+			return Reply{}, fmt.Errorf("%w: bad array length %q", ErrProtocol, line)
+		}
+		if n < 0 {
+			return Reply{Type: NullArray}, nil
+		}
+		els := make([]Reply, n)
+		for i := range els {
+			el, err := ReadReply(r)
+			if err != nil {
+				return Reply{}, err
+			}
+			els[i] = el
+		}
+		return Reply{Type: Array, Array: els}, nil
+	default:
+		return Reply{}, fmt.Errorf("%w: unexpected type byte %q", ErrProtocol, line[0])
+	}
+}
+
+// ReadCommand decodes one client command (a RESP array of bulk
+// strings) into its name and arguments. io.EOF is returned unmangled
+// on a clean connection close between commands.
+func ReadCommand(r *bufio.Reader) (string, [][]byte, error) {
+	rep, err := ReadReply(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if rep.Type != Array || len(rep.Array) == 0 {
+		return "", nil, fmt.Errorf("%w: command must be a nonempty array", ErrProtocol)
+	}
+	args := make([][]byte, len(rep.Array))
+	for i, el := range rep.Array {
+		if el.Type != BulkString {
+			return "", nil, fmt.Errorf("%w: command element %d not a bulk string", ErrProtocol, i)
+		}
+		args[i] = el.Bulk
+	}
+	return string(args[0]), args[1:], nil
+}
+
+// readFullN reads exactly n bytes, growing the buffer in bounded
+// chunks so a hostile length header cannot force a huge allocation
+// before the stream runs dry.
+func readFullN(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, chunk)
+	for len(buf) < n {
+		step := n - len(buf)
+		if step > chunk {
+			step = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// readLine reads a CRLF-terminated line, excluding the terminator.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		if err == nil || errors.Is(err, bufio.ErrBufferFull) {
+			line = append(line, frag...)
+			if err == nil {
+				break
+			}
+			continue
+		}
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("%w: line missing CRLF", ErrProtocol)
+	}
+	return line[:len(line)-2], nil
+}

@@ -1,0 +1,201 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func encodeReply(t *testing.T, r Reply) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteReply(w, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeReply(t *testing.T, b []byte) Reply {
+	t.Helper()
+	r, err := ReadReply(bufio.NewReader(bytes.NewReader(b)))
+	if err != nil {
+		t.Fatalf("decode %q: %v", b, err)
+	}
+	return r
+}
+
+func TestReplyWireFormats(t *testing.T) {
+	cases := []struct {
+		r    Reply
+		wire string
+	}{
+		{Reply{Type: SimpleString, Str: "OK"}, "+OK\r\n"},
+		{Reply{Type: ErrorReply, Str: "ERR boom"}, "-ERR boom\r\n"},
+		{Reply{Type: Integer, Int: -42}, ":-42\r\n"},
+		{Reply{Type: BulkString, Bulk: []byte("hello")}, "$5\r\nhello\r\n"},
+		{Reply{Type: BulkString, Bulk: []byte{}}, "$0\r\n\r\n"},
+		{Reply{Type: NullBulk}, "$-1\r\n"},
+		{Reply{Type: NullArray}, "*-1\r\n"},
+		{Reply{Type: Array, Array: []Reply{{Type: Integer, Int: 1}, {Type: BulkString, Bulk: []byte("x")}}},
+			"*2\r\n:1\r\n$1\r\nx\r\n"},
+		{Reply{Type: Array, Array: []Reply{}}, "*0\r\n"},
+	}
+	for i, c := range cases {
+		got := encodeReply(t, c.r)
+		if string(got) != c.wire {
+			t.Errorf("case %d: wire %q, want %q", i, got, c.wire)
+		}
+		back := decodeReply(t, got)
+		// Normalize empty vs nil slices for comparison.
+		if back.String() != c.r.String() || back.Type != c.r.Type {
+			t.Errorf("case %d: roundtrip %+v vs %+v", i, back, c.r)
+		}
+	}
+}
+
+func TestReplyRoundtripQuick(t *testing.T) {
+	f := func(payload []byte, n int64) bool {
+		rs := []Reply{
+			{Type: BulkString, Bulk: payload},
+			{Type: Integer, Int: n},
+			{Type: Array, Array: []Reply{
+				{Type: BulkString, Bulk: payload},
+				{Type: Integer, Int: n},
+				{Type: NullBulk},
+			}},
+		}
+		for _, r := range rs {
+			var buf bytes.Buffer
+			w := bufio.NewWriter(&buf)
+			if err := WriteReply(w, r); err != nil {
+				return false
+			}
+			w.Flush()
+			back, err := ReadReply(bufio.NewReader(&buf))
+			if err != nil {
+				return false
+			}
+			if !replyEqual(back, r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func replyEqual(a, b Reply) bool {
+	if a.Type != b.Type || a.Str != b.Str || a.Int != b.Int {
+		return false
+	}
+	if !bytes.Equal(a.Bulk, b.Bulk) {
+		return false
+	}
+	if len(a.Array) != len(b.Array) {
+		return false
+	}
+	for i := range a.Array {
+		if !replyEqual(a.Array[i], b.Array[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCommandRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteCommand(w, "SET", []byte("key"), []byte("value with\r\nbinary\x00bytes")); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	cmd, args, err := ReadCommand(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd != "SET" || len(args) != 2 || string(args[0]) != "key" {
+		t.Errorf("cmd %q args %q", cmd, args)
+	}
+	if !bytes.Equal(args[1], []byte("value with\r\nbinary\x00bytes")) {
+		t.Error("binary-unsafe argument transport")
+	}
+}
+
+func TestReadReplyMalformed(t *testing.T) {
+	cases := []string{
+		"",                // EOF
+		"\r\n",            // empty line
+		"!bogus\r\n",      // unknown type byte
+		":notanumber\r\n", // bad integer
+		"$abc\r\n",        // bad bulk length
+		"$5\r\nhi\r\n",    // truncated bulk
+		"$2\r\nhixx",      // missing CRLF
+		"*2\r\n:1\r\n",    // truncated array
+		"+no terminator",  // missing CRLF at EOF
+		"*xyz\r\n",        // bad array length
+	}
+	for i, c := range cases {
+		_, err := ReadReply(bufio.NewReader(strings.NewReader(c)))
+		if err == nil {
+			t.Errorf("case %d (%q): accepted", i, c)
+		}
+	}
+}
+
+func TestReadCommandErrors(t *testing.T) {
+	// A non-array is not a command.
+	if _, _, err := ReadCommand(bufio.NewReader(strings.NewReader(":5\r\n"))); err == nil {
+		t.Error("integer accepted as command")
+	}
+	// Empty array.
+	if _, _, err := ReadCommand(bufio.NewReader(strings.NewReader("*0\r\n"))); err == nil {
+		t.Error("empty array accepted as command")
+	}
+	// Array of non-bulk elements.
+	if _, _, err := ReadCommand(bufio.NewReader(strings.NewReader("*1\r\n:1\r\n"))); err == nil {
+		t.Error("integer element accepted in command")
+	}
+	// Clean EOF must surface as io.EOF for connection teardown.
+	if _, _, err := ReadCommand(bufio.NewReader(strings.NewReader(""))); !errors.Is(err, io.EOF) {
+		t.Errorf("EOF surfaced as %v", err)
+	}
+}
+
+func TestLongLineAcrossBufferBoundary(t *testing.T) {
+	// A simple string longer than the bufio buffer must still parse.
+	long := strings.Repeat("x", 5000)
+	r := bufio.NewReaderSize(strings.NewReader("+"+long+"\r\n"), 16)
+	rep, err := ReadReply(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Str != long {
+		t.Error("long line mangled")
+	}
+}
+
+func TestReplyStringRendering(t *testing.T) {
+	if got := (Reply{Type: NullBulk}).String(); got != "(nil)" {
+		t.Errorf("nil renders %q", got)
+	}
+	if got := (Reply{Type: ErrorReply, Str: "x"}).Err(); got == nil {
+		t.Error("error reply must convert to error")
+	}
+	if got := (Reply{Type: Integer, Int: 5}).Err(); got != nil {
+		t.Error("integer reply is not an error")
+	}
+	if !reflect.DeepEqual(Reply{Type: ReplyType(99)}.String(), "reply(99)") {
+		t.Error("unknown type must render")
+	}
+}

@@ -1,0 +1,177 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Server exposes an Engine over TCP using the RESP protocol, one
+// goroutine per connection, with the write side buffered so pipelined
+// command batches are answered in single flushes.
+type Server struct {
+	engine *Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	snapshotPath string
+}
+
+// NewServer wraps an engine; a nil engine gets a fresh one.
+func NewServer(engine *Engine) *Server {
+	if engine == nil {
+		engine = NewEngine()
+	}
+	return &Server{engine: engine, conns: make(map[net.Conn]struct{})}
+}
+
+// Engine returns the underlying storage engine (useful for embedding
+// and white-box tests).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// EnableSnapshot configures persistence: an existing snapshot at path
+// is loaded immediately, and the SAVE command (and Close) write back
+// to it. Must be called before Listen.
+func (s *Server) EnableSnapshot(path string) error {
+	s.mu.Lock()
+	s.snapshotPath = path
+	s.mu.Unlock()
+	err := s.engine.LoadSnapshotFile(path)
+	if err != nil && errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// handleServerCommand intercepts commands that need server context
+// (persistence); ok=false means the engine should handle the command.
+func (s *Server) handleServerCommand(cmd string) (Reply, bool) {
+	if !strings.EqualFold(cmd, "SAVE") {
+		return Reply{}, false
+	}
+	s.mu.Lock()
+	path := s.snapshotPath
+	s.mu.Unlock()
+	if path == "" {
+		return errReply("ERR snapshots not configured"), true
+	}
+	if err := s.engine.SaveSnapshotFile(path); err != nil {
+		return errReply("ERR " + err.Error()), true
+	}
+	return okReply(), true
+}
+
+// Listen binds the address (e.g. "127.0.0.1:0") and starts accepting
+// in a background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("kvstore: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("kvstore: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		cmd, args, err := ReadCommand(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Malformed input: answer with an error if possible, drop.
+			_ = WriteReply(w, errReply("ERR "+err.Error()))
+			_ = w.Flush()
+			return
+		}
+		reply, handled := s.handleServerCommand(cmd)
+		if !handled {
+			reply = s.engine.Do(cmd, args...)
+		}
+		if err := WriteReply(w, reply); err != nil {
+			return
+		}
+		// Flush only when no further command is already buffered:
+		// this is what makes pipelining pay off.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for the
+// connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	snapshotPath := s.snapshotPath
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	if snapshotPath != "" {
+		if serr := s.engine.SaveSnapshotFile(snapshotPath); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}

@@ -1,0 +1,200 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot persistence: the engine can serialize its full contents to
+// a compact binary image and reload it, Redis-RDB style, so partition
+// placements survive store restarts. The format is length-prefixed
+// throughout and versioned.
+
+const (
+	snapshotMagic   = "PKVS"
+	snapshotVersion = 1
+	// Value kind tags.
+	kindString byte = 1
+	kindList   byte = 2
+)
+
+// ErrBadSnapshot reports a corrupt or incompatible snapshot image.
+var ErrBadSnapshot = errors.New("kvstore: bad snapshot")
+
+// WriteSnapshot serializes every key to w. The engine remains usable
+// during the write, but the snapshot is only guaranteed to be a
+// consistent point-in-time image per shard (shards are locked one at a
+// time, matching Redis's relaxed BGSAVE semantics under concurrent
+// writers).
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+	writeBytes := func(b []byte) error {
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(b)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		_, err := bw.Write(b)
+		return err
+	}
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		for k, v := range s.strings {
+			if err := bw.WriteByte(kindString); err != nil {
+				s.mu.RUnlock()
+				return err
+			}
+			if err := writeBytes([]byte(k)); err != nil {
+				s.mu.RUnlock()
+				return err
+			}
+			if err := writeBytes(v); err != nil {
+				s.mu.RUnlock()
+				return err
+			}
+		}
+		for k, list := range s.lists {
+			if err := bw.WriteByte(kindList); err != nil {
+				s.mu.RUnlock()
+				return err
+			}
+			if err := writeBytes([]byte(k)); err != nil {
+				s.mu.RUnlock()
+				return err
+			}
+			var nBuf [4]byte
+			binary.LittleEndian.PutUint32(nBuf[:], uint32(len(list)))
+			if _, err := bw.Write(nBuf[:]); err != nil {
+				s.mu.RUnlock()
+				return err
+			}
+			for _, el := range list {
+				if err := writeBytes(el); err != nil {
+					s.mu.RUnlock()
+					return err
+				}
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot replaces the engine's contents with the image from r.
+func (e *Engine) ReadSnapshot(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("%w: short magic: %v", ErrBadSnapshot, err)
+	}
+	if string(magic) != snapshotMagic {
+		return fmt.Errorf("%w: magic %q", ErrBadSnapshot, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: missing version", ErrBadSnapshot)
+	}
+	if ver != snapshotVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, ver)
+	}
+	readBytes := func() ([]byte, error) {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > maxBulkLen {
+			return nil, fmt.Errorf("%w: value of %d bytes", ErrBadSnapshot, n)
+		}
+		return readFullN(br, int(n))
+	}
+	e.Flush()
+	for {
+		kind, err := br.ReadByte()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		key, err := readBytes()
+		if err != nil {
+			return fmt.Errorf("%w: truncated key: %v", ErrBadSnapshot, err)
+		}
+		switch kind {
+		case kindString:
+			val, err := readBytes()
+			if err != nil {
+				return fmt.Errorf("%w: truncated value: %v", ErrBadSnapshot, err)
+			}
+			if rep := e.Do("SET", key, val); rep.Type == ErrorReply {
+				return fmt.Errorf("%w: %s", ErrBadSnapshot, rep.Str)
+			}
+		case kindList:
+			var nBuf [4]byte
+			if _, err := io.ReadFull(br, nBuf[:]); err != nil {
+				return fmt.Errorf("%w: truncated list header: %v", ErrBadSnapshot, err)
+			}
+			n := binary.LittleEndian.Uint32(nBuf[:])
+			if n > maxArrayLen {
+				return fmt.Errorf("%w: list of %d elements", ErrBadSnapshot, n)
+			}
+			for j := uint32(0); j < n; j++ {
+				el, err := readBytes()
+				if err != nil {
+					return fmt.Errorf("%w: truncated list element: %v", ErrBadSnapshot, err)
+				}
+				if rep := e.Do("RPUSH", key, el); rep.Type == ErrorReply {
+					return fmt.Errorf("%w: %s", ErrBadSnapshot, rep.Str)
+				}
+			}
+		default:
+			return fmt.Errorf("%w: unknown kind %d", ErrBadSnapshot, kind)
+		}
+	}
+}
+
+// SaveSnapshotFile atomically writes the snapshot to path
+// (write-to-temp + rename).
+func (e *Engine) SaveSnapshotFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".pkvs-*")
+	if err != nil {
+		return fmt.Errorf("kvstore: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := e.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("kvstore: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("kvstore: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("kvstore: snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshotFile loads a snapshot from path; a missing file leaves
+// the engine empty and returns os.ErrNotExist.
+func (e *Engine) LoadSnapshotFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return e.ReadSnapshot(f)
+}

@@ -1,0 +1,408 @@
+// Package lp provides a dense two-phase primal simplex solver for
+// small linear programs, built from scratch on the standard library.
+//
+// The Pareto modeler (paper §III-D) reduces partition sizing to the LP
+//
+//	minimize    α·v + (1−α)·Σ k_i (m_i x_i + c_i)
+//	subject to  v ≥ m_i x_i + c_i   for every node i
+//	            Σ x_i = N,  x_i ≥ 0
+//
+// whose dimensions are tiny (one variable per node plus v), so a dense
+// tableau with Bland's anti-cycling rule is both simple and exact
+// enough. The solver is nevertheless a complete general-purpose LP
+// implementation: ≤ / = / ≥ constraints, free variables (internally
+// split into positive and negative parts), infeasibility and
+// unboundedness detection.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // ≤
+	EQ           // =
+	GE           // ≥
+)
+
+// String returns the operator symbol.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Sentinel errors returned by Solve.
+var (
+	// ErrInfeasible reports that no point satisfies all constraints.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded reports that the objective decreases without bound.
+	ErrUnbounded = errors.New("lp: unbounded")
+)
+
+type constraint struct {
+	coeffs []float64
+	op     Op
+	rhs    float64
+}
+
+// Problem is a linear program: minimize Objective·x subject to the
+// added constraints, with every variable nonnegative unless marked
+// free. The zero Problem is unusable; create with NewProblem.
+type Problem struct {
+	numVars int
+	obj     []float64
+	cons    []constraint
+	free    []bool
+}
+
+// NewProblem creates a minimization problem over numVars variables
+// with the given objective coefficients (length must equal numVars).
+func NewProblem(objective []float64) (*Problem, error) {
+	if len(objective) == 0 {
+		return nil, errors.New("lp: problem needs at least one variable")
+	}
+	obj := make([]float64, len(objective))
+	copy(obj, objective)
+	return &Problem{
+		numVars: len(objective),
+		obj:     obj,
+		free:    make([]bool, len(objective)),
+	}, nil
+}
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints returns the constraint count.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetFree marks variable i as unrestricted in sign. Internally it is
+// split into x⁺ − x⁻ during solving.
+func (p *Problem) SetFree(i int) error {
+	if i < 0 || i >= p.numVars {
+		return fmt.Errorf("lp: SetFree(%d) out of range [0,%d)", i, p.numVars)
+	}
+	p.free[i] = true
+	return nil
+}
+
+// AddConstraint appends the constraint coeffs·x op rhs. The coefficient
+// slice is copied; its length must equal NumVars.
+func (p *Problem) AddConstraint(coeffs []float64, op Op, rhs float64) error {
+	if len(coeffs) != p.numVars {
+		return fmt.Errorf("lp: constraint has %d coefficients, want %d", len(coeffs), p.numVars)
+	}
+	if op != LE && op != EQ && op != GE {
+		return fmt.Errorf("lp: unknown operator %v", op)
+	}
+	c := make([]float64, len(coeffs))
+	copy(c, coeffs)
+	p.cons = append(p.cons, constraint{coeffs: c, op: op, rhs: rhs})
+	return nil
+}
+
+// Solution is an optimal LP solution.
+type Solution struct {
+	// X holds the optimal variable values, in problem coordinates.
+	X []float64
+	// Objective is the optimal objective value.
+	Objective float64
+}
+
+// eps is the pivoting and feasibility tolerance.
+const eps = 1e-9
+
+// Solve runs two-phase primal simplex and returns an optimal basic
+// solution, ErrInfeasible, or ErrUnbounded.
+func (p *Problem) Solve() (*Solution, error) {
+	// Map problem variables to solver columns, splitting free vars.
+	// Column layout: for each var i, posCol[i]; for free vars also
+	// negCol[i] (coefficient −1×).
+	posCol := make([]int, p.numVars)
+	negCol := make([]int, p.numVars)
+	ncols := 0
+	for i := 0; i < p.numVars; i++ {
+		posCol[i] = ncols
+		ncols++
+		if p.free[i] {
+			negCol[i] = ncols
+			ncols++
+		} else {
+			negCol[i] = -1
+		}
+	}
+
+	m := len(p.cons)
+	// Build rows with nonnegative RHS; track per-row op after possible
+	// sign flip (≤ flips to ≥ and vice versa).
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	ops := make([]Op, m)
+	for r, c := range p.cons {
+		row := make([]float64, ncols)
+		for i, v := range c.coeffs {
+			row[posCol[i]] = v
+			if negCol[i] >= 0 {
+				row[negCol[i]] = -v
+			}
+		}
+		op, b := c.op, c.rhs
+		if b < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			b = -b
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[r], rhs[r], ops[r] = row, b, op
+	}
+
+	// Add slack/surplus columns, then artificials.
+	slackCol := make([]int, m)
+	for r := range rows {
+		switch ops[r] {
+		case LE, GE:
+			slackCol[r] = ncols
+			ncols++
+		default:
+			slackCol[r] = -1
+		}
+	}
+	artCol := make([]int, m)
+	nArt := 0
+	for r := range rows {
+		if ops[r] == GE || ops[r] == EQ {
+			artCol[r] = ncols + nArt
+			nArt++
+		} else {
+			artCol[r] = -1
+		}
+	}
+	total := ncols + nArt
+
+	t := &tableau{
+		m:     m,
+		n:     total,
+		a:     make([][]float64, m),
+		b:     make([]float64, m),
+		basis: make([]int, m),
+	}
+	for r := range rows {
+		row := make([]float64, total)
+		copy(row, rows[r])
+		if slackCol[r] >= 0 {
+			if ops[r] == LE {
+				row[slackCol[r]] = 1
+			} else {
+				row[slackCol[r]] = -1
+			}
+		}
+		if artCol[r] >= 0 {
+			row[artCol[r]] = 1
+		}
+		t.a[r] = row
+		t.b[r] = rhs[r]
+		if artCol[r] >= 0 {
+			t.basis[r] = artCol[r]
+		} else {
+			t.basis[r] = slackCol[r] // LE slack with +1 coefficient
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		phase1 := make([]float64, total)
+		for r := range rows {
+			if artCol[r] >= 0 {
+				phase1[artCol[r]] = 1
+			}
+		}
+		val, err := t.optimize(phase1)
+		if err != nil {
+			// Phase 1 is bounded below by 0; unboundedness means a bug,
+			// surface it as-is.
+			return nil, err
+		}
+		if val > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Drive remaining artificials out of the basis.
+		for r := 0; r < m; r++ {
+			if t.basis[r] < ncols {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < ncols; j++ {
+				if math.Abs(t.a[r][j]) > eps {
+					t.pivot(r, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it; basis keeps the artificial
+				// at value 0 which can never re-enter (column removed
+				// from the phase-2 objective and never chosen).
+				continue
+			}
+		}
+		// Forbid artificial columns from re-entering.
+		t.n = ncols
+		for r := range t.a {
+			t.a[r] = t.a[r][:ncols]
+		}
+	}
+
+	// Phase 2: the real objective over solver columns.
+	obj := make([]float64, t.n)
+	for i := 0; i < p.numVars; i++ {
+		obj[posCol[i]] += p.obj[i]
+		if negCol[i] >= 0 {
+			obj[negCol[i]] -= p.obj[i]
+		}
+	}
+	if _, err := t.optimize(obj); err != nil {
+		return nil, err
+	}
+
+	// Extract solution.
+	xcols := make([]float64, t.n)
+	for r, bi := range t.basis {
+		if bi >= 0 && bi < t.n {
+			xcols[bi] = t.b[r]
+		}
+	}
+	x := make([]float64, p.numVars)
+	for i := 0; i < p.numVars; i++ {
+		x[i] = xcols[posCol[i]]
+		if negCol[i] >= 0 {
+			x[i] -= xcols[negCol[i]]
+		}
+	}
+	objVal := 0.0
+	for i, v := range x {
+		objVal += p.obj[i] * v
+	}
+	return &Solution{X: x, Objective: objVal}, nil
+}
+
+// tableau is the dense simplex state: a·x = b with a current basis.
+type tableau struct {
+	m, n  int
+	a     [][]float64
+	b     []float64
+	basis []int
+}
+
+// pivot performs a Gauss–Jordan pivot on (row, col) and updates basis.
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	t.b[row] *= inv
+	pr[col] = 1 // kill residual rounding
+	for r := 0; r < t.m; r++ {
+		if r == row {
+			continue
+		}
+		f := t.a[r][col]
+		if f == 0 {
+			continue
+		}
+		ar := t.a[r]
+		for j := range ar {
+			ar[j] -= f * pr[j]
+		}
+		ar[col] = 0
+		t.b[r] -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// optimize runs primal simplex with Bland's rule on the given
+// objective, assuming the current basis is feasible. Returns the
+// optimal objective value.
+func (t *tableau) optimize(obj []float64) (float64, error) {
+	// Reduced costs maintained implicitly: z_j - c_j computed from the
+	// basis each iteration. Small problems make this affordable and
+	// numerically self-correcting.
+	cb := func() []float64 {
+		c := make([]float64, t.m)
+		for r, bi := range t.basis {
+			if bi >= 0 && bi < len(obj) {
+				c[r] = obj[bi]
+			}
+		}
+		return c
+	}
+	const maxIter = 100000
+	for iter := 0; iter < maxIter; iter++ {
+		cbv := cb()
+		// entering column: smallest index with reduced cost < -eps.
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			// reduced cost r_j = c_j − cb·a_j
+			rj := 0.0
+			if j < len(obj) {
+				rj = obj[j]
+			}
+			for r := 0; r < t.m; r++ {
+				rj -= cbv[r] * t.a[r][j]
+			}
+			if rj < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			// Optimal: objective = cb·b.
+			val := 0.0
+			for r := 0; r < t.m; r++ {
+				val += cbv[r] * t.b[r]
+			}
+			return val, nil
+		}
+		// leaving row: min ratio b_r / a_r,enter over positive entries;
+		// ties broken by smallest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for r := 0; r < t.m; r++ {
+			arj := t.a[r][enter]
+			if arj > eps {
+				ratio := t.b[r] / arj
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave < 0 || t.basis[r] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = r
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return 0, errors.New("lp: iteration limit exceeded")
+}

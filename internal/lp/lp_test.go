@@ -1,0 +1,400 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustProblem(t *testing.T, obj []float64) *Problem {
+	t.Helper()
+	p, err := NewProblem(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func addCon(t *testing.T, p *Problem, coeffs []float64, op Op, rhs float64) {
+	t.Helper()
+	if err := p.AddConstraint(coeffs, op, rhs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func solve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewProblemValidation(t *testing.T) {
+	if _, err := NewProblem(nil); err == nil {
+		t.Error("empty objective accepted")
+	}
+	p := mustProblem(t, []float64{1})
+	if err := p.AddConstraint([]float64{1, 2}, LE, 1); err == nil {
+		t.Error("wrong-width constraint accepted")
+	}
+	if err := p.AddConstraint([]float64{1}, Op(9), 1); err == nil {
+		t.Error("bad op accepted")
+	}
+	if err := p.SetFree(5); err == nil {
+		t.Error("SetFree out of range accepted")
+	}
+}
+
+func TestTextbookMaximization(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  (Dantzig's classic)
+	// optimum x=2, y=6, value 36. As minimization of the negation.
+	p := mustProblem(t, []float64{-3, -5})
+	addCon(t, p, []float64{1, 0}, LE, 4)
+	addCon(t, p, []float64{0, 2}, LE, 12)
+	addCon(t, p, []float64{3, 2}, LE, 18)
+	s := solve(t, p)
+	if !approx(s.X[0], 2, 1e-6) || !approx(s.X[1], 6, 1e-6) || !approx(s.Objective, -36, 1e-6) {
+		t.Errorf("got x=%v obj=%v, want [2 6] -36", s.X, s.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x ≤ 4 → x=4, y=6, obj=16.
+	p := mustProblem(t, []float64{1, 2})
+	addCon(t, p, []float64{1, 1}, EQ, 10)
+	addCon(t, p, []float64{1, 0}, LE, 4)
+	s := solve(t, p)
+	if !approx(s.X[0], 4, 1e-6) || !approx(s.X[1], 6, 1e-6) || !approx(s.Objective, 16, 1e-6) {
+		t.Errorf("got x=%v obj=%v, want [4 6] 16", s.X, s.Objective)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 5, x ≥ 1, y ≥ 1 → x=4, y=1, obj=11.
+	p := mustProblem(t, []float64{2, 3})
+	addCon(t, p, []float64{1, 1}, GE, 5)
+	addCon(t, p, []float64{1, 0}, GE, 1)
+	addCon(t, p, []float64{0, 1}, GE, 1)
+	s := solve(t, p)
+	if !approx(s.Objective, 11, 1e-6) {
+		t.Errorf("obj = %v, want 11 (x=%v)", s.Objective, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := mustProblem(t, []float64{1})
+	addCon(t, p, []float64{1}, GE, 5)
+	addCon(t, p, []float64{1}, LE, 3)
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := mustProblem(t, []float64{1, 1})
+	addCon(t, p, []float64{1, 1}, EQ, 4)
+	addCon(t, p, []float64{1, 1}, EQ, 7)
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min −x with only x ≥ 0: unbounded below.
+	p := mustProblem(t, []float64{-1})
+	addCon(t, p, []float64{1}, GE, 0)
+	if _, err := p.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// min x s.t. −x ≤ −5  ⇔  x ≥ 5.
+	p := mustProblem(t, []float64{1})
+	addCon(t, p, []float64{-1}, LE, -5)
+	s := solve(t, p)
+	if !approx(s.X[0], 5, 1e-6) {
+		t.Errorf("x = %v, want 5", s.X[0])
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min y s.t. y ≥ x − 4, y ≥ −x, x ≤ 10.  With x,y free this is the
+	// classic V: optimum at x=2, y=−2.
+	p := mustProblem(t, []float64{0, 1})
+	if err := p.SetFree(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetFree(1); err != nil {
+		t.Fatal(err)
+	}
+	addCon(t, p, []float64{-1, 1}, GE, -4) // y − x ≥ −4
+	addCon(t, p, []float64{1, 1}, GE, 0)   // y + x ≥ 0
+	addCon(t, p, []float64{1, 0}, LE, 10)
+	s := solve(t, p)
+	if !approx(s.X[1], -2, 1e-6) {
+		t.Errorf("y = %v, want −2 (x=%v)", s.X[1], s.X[0])
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	// min −0.75x4 + 150x5 − 0.02x6 + 6x7
+	// s.t. 0.25x4 − 60x5 − 0.04x6 + 9x7 ≤ 0
+	//      0.5x4 − 90x5 − 0.02x6 + 3x7 ≤ 0
+	//      x6 ≤ 1
+	// optimum −0.05.
+	p := mustProblem(t, []float64{-0.75, 150, -0.02, 6})
+	addCon(t, p, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	addCon(t, p, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	addCon(t, p, []float64{0, 0, 1, 0}, LE, 1)
+	s := solve(t, p)
+	if !approx(s.Objective, -0.05, 1e-6) {
+		t.Errorf("obj = %v, want −0.05", s.Objective)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicate equality rows must not break phase 1.
+	p := mustProblem(t, []float64{1, 1})
+	addCon(t, p, []float64{1, 1}, EQ, 6)
+	addCon(t, p, []float64{2, 2}, EQ, 12)
+	addCon(t, p, []float64{1, 0}, GE, 2)
+	s := solve(t, p)
+	if !approx(s.Objective, 6, 1e-6) {
+		t.Errorf("obj = %v, want 6", s.Objective)
+	}
+}
+
+func TestMinimaxScheduling(t *testing.T) {
+	// The exact structure the Pareto modeler emits: minimize v subject
+	// to v ≥ m_i x_i + c_i, Σx_i = N. With m = (1,2), c = (0,0), N = 30
+	// the balance point is x1 = 20, x2 = 10, v = 20.
+	p := mustProblem(t, []float64{0, 0, 1}) // vars: x1, x2, v
+	addCon(t, p, []float64{1, 0, -1}, LE, 0)
+	addCon(t, p, []float64{0, 2, -1}, LE, 0)
+	addCon(t, p, []float64{1, 1, 0}, EQ, 30)
+	s := solve(t, p)
+	if !approx(s.X[0], 20, 1e-6) || !approx(s.X[1], 10, 1e-6) || !approx(s.X[2], 20, 1e-6) {
+		t.Errorf("got %v, want [20 10 20]", s.X)
+	}
+}
+
+// bruteForce finds the optimal vertex of a small LP (all vars ≥ 0) by
+// enumerating basis subsets of the constraint set (including the
+// nonnegativity bounds) and checking feasibility — exponential, but
+// exact for cross-validation.
+func bruteForce(obj []float64, cons []constraint) (float64, bool) {
+	n := len(obj)
+	// All hyperplanes: each constraint as equality + each axis x_i = 0.
+	type plane struct {
+		a []float64
+		b float64
+	}
+	var planes []plane
+	for _, c := range cons {
+		planes = append(planes, plane{c.coeffs, c.rhs})
+	}
+	for i := 0; i < n; i++ {
+		a := make([]float64, n)
+		a[i] = 1
+		planes = append(planes, plane{a, 0})
+	}
+	best := math.Inf(1)
+	found := false
+	idx := make([]int, n)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == n {
+			// Solve the n×n system.
+			A := make([][]float64, n)
+			b := make([]float64, n)
+			for r := 0; r < n; r++ {
+				A[r] = append([]float64(nil), planes[idx[r]].a...)
+				b[r] = planes[idx[r]].b
+			}
+			x, ok := gauss(A, b)
+			if !ok {
+				return
+			}
+			// Feasibility.
+			for _, v := range x {
+				if v < -1e-7 {
+					return
+				}
+			}
+			for _, c := range cons {
+				lhs := 0.0
+				for i := range x {
+					lhs += c.coeffs[i] * x[i]
+				}
+				switch c.op {
+				case LE:
+					if lhs > c.rhs+1e-7 {
+						return
+					}
+				case GE:
+					if lhs < c.rhs-1e-7 {
+						return
+					}
+				case EQ:
+					if math.Abs(lhs-c.rhs) > 1e-7 {
+						return
+					}
+				}
+			}
+			val := 0.0
+			for i := range x {
+				val += obj[i] * x[i]
+			}
+			if val < best {
+				best = val
+				found = true
+			}
+			return
+		}
+		for i := start; i < len(planes); i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+func gauss(A [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		piv := -1
+		bestAbs := 1e-9
+		for r := col; r < n; r++ {
+			if math.Abs(A[r][col]) > bestAbs {
+				bestAbs = math.Abs(A[r][col])
+				piv = r
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / A[col][col]
+		for j := col; j < n; j++ {
+			A[col][j] *= inv
+		}
+		b[col] *= inv
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := A[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				A[r][j] -= f * A[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	return b, true
+}
+
+func TestRandomLPsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(2) // 2–3 variables keeps brute force fast
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = math.Round(rng.Float64()*20-10) / 2
+		}
+		p := mustProblem(t, obj)
+		var cons []constraint
+		nc := 2 + rng.Intn(3)
+		for c := 0; c < nc; c++ {
+			coeffs := make([]float64, n)
+			for i := range coeffs {
+				coeffs[i] = math.Round(rng.Float64()*10-2) / 2
+			}
+			rhs := math.Round(rng.Float64() * 20)
+			addCon(t, p, coeffs, LE, rhs)
+			cons = append(cons, constraint{coeffs, LE, rhs})
+		}
+		// Add a bounding box so the LP is never unbounded.
+		for i := 0; i < n; i++ {
+			coeffs := make([]float64, n)
+			coeffs[i] = 1
+			addCon(t, p, coeffs, LE, 50)
+			cons = append(cons, constraint{coeffs, LE, 50})
+		}
+		s, err := p.Solve()
+		want, feasible := bruteForce(obj, cons)
+		if !feasible {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Errorf("trial %d: brute force infeasible, solver said %v", trial, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("trial %d: solver failed (%v), brute force found %v", trial, err, want)
+			continue
+		}
+		if !approx(s.Objective, want, 1e-5) {
+			t.Errorf("trial %d: solver %v, brute force %v", trial, s.Objective, want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p := mustProblem(t, []float64{1, 2})
+	addCon(t, p, []float64{1, 1}, LE, 5)
+	if p.NumVars() != 2 || p.NumConstraints() != 1 {
+		t.Error("accessors wrong")
+	}
+	if LE.String() != "<=" || EQ.String() != "=" || GE.String() != ">=" {
+		t.Error("op strings wrong")
+	}
+	if Op(7).String() == "" {
+		t.Error("unknown op must print")
+	}
+}
+
+func TestZeroConstraintProblem(t *testing.T) {
+	// min x with no constraints: optimum x = 0.
+	p := mustProblem(t, []float64{1})
+	s := solve(t, p)
+	if !approx(s.X[0], 0, 1e-9) {
+		t.Errorf("x = %v, want 0", s.X[0])
+	}
+}
+
+func BenchmarkSolve16Nodes(b *testing.B) {
+	// The modeler's LP at 16 partitions: 17 vars, 17 constraints.
+	for i := 0; i < b.N; i++ {
+		obj := make([]float64, 17)
+		obj[16] = 1
+		for j := 0; j < 16; j++ {
+			obj[j] = 0.001 * float64(j+1)
+		}
+		p, _ := NewProblem(obj)
+		for j := 0; j < 16; j++ {
+			coeffs := make([]float64, 17)
+			coeffs[j] = float64(j%4 + 1)
+			coeffs[16] = -1
+			_ = p.AddConstraint(coeffs, LE, 0)
+		}
+		sum := make([]float64, 17)
+		for j := 0; j < 16; j++ {
+			sum[j] = 1
+		}
+		_ = p.AddConstraint(sum, EQ, 1e6)
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

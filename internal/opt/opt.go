@@ -1,0 +1,485 @@
+// Package opt implements the Pareto-optimal modeler (paper §III-D):
+// given per-node execution-time utility functions f_i(x) = m_i·x + c_i
+// and dirty-power constants k_i, it sizes the p data partitions by
+// solving the scalarized multi-objective linear program
+//
+//	minimize    α·v + (1−α)·Σ_i k_i·(m_i·x_i + c_i)
+//	subject to  v ≥ m_i·x_i + c_i       (v is the makespan)
+//	            Σ_i x_i = N,  x_i ≥ 0
+//
+// Scalarization guarantees every solution is Pareto-optimal; sweeping
+// α from 1 to 0 traces the time/dirty-energy Pareto frontier. α = 1 is
+// the paper's Het-Aware scheme (pure makespan minimization); α slightly
+// below 1 is Het-Energy-Aware.
+//
+// Because the two objectives have very different scales, raw α must sit
+// extremely close to 1 to trade time against energy (the paper uses
+// 0.999 and 0.995 and flags normalization as future work). This package
+// implements that future work too: OptimizeNormalized rescales both
+// objectives to [0, 1] using their extreme values before scalarizing,
+// making α behave uniformly.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pareto/internal/lp"
+	"pareto/internal/sampling"
+)
+
+// NodeModel aggregates what the modeler knows about one node: its
+// learned time utility function and its dirty-power constant
+// k_i = E_i − mean GE_i (W), per §III-B's linearization.
+type NodeModel struct {
+	// Time predicts execution seconds from data-unit count.
+	Time sampling.LinearFit
+	// DirtyRate is k_i in watts; ≥ 0.
+	DirtyRate float64
+}
+
+// Plan is the modeler's output partition sizing.
+type Plan struct {
+	// Sizes holds integral per-node data-unit counts summing to the
+	// requested total.
+	Sizes []int
+	// X is the raw (fractional) LP solution.
+	X []float64
+	// Makespan is the predicted maximum per-node execution time, v.
+	Makespan float64
+	// DirtyEnergy is the predicted total dirty energy in joules:
+	// Σ k_i · f_i(x_i) over nodes with x_i > 0.
+	DirtyEnergy float64
+	// Alpha is the scalarization weight used.
+	Alpha float64
+}
+
+func validate(nodes []NodeModel, total int, alpha float64) error {
+	if len(nodes) == 0 {
+		return errors.New("opt: no nodes")
+	}
+	if total <= 0 {
+		return fmt.Errorf("opt: total data units %d, need ≥ 1", total)
+	}
+	if alpha < 0 || alpha > 1 {
+		return fmt.Errorf("opt: alpha %v out of [0,1]", alpha)
+	}
+	for i, n := range nodes {
+		if n.Time.Slope < 0 || n.Time.Intercept < 0 {
+			return fmt.Errorf("opt: node %d has negative time model (%v, %v); clamp fits first",
+				i, n.Time.Slope, n.Time.Intercept)
+		}
+		if n.DirtyRate < 0 {
+			return fmt.Errorf("opt: node %d has negative dirty rate %v", i, n.DirtyRate)
+		}
+	}
+	return nil
+}
+
+// Constraints are optional side conditions on the partition sizing.
+type Constraints struct {
+	// MinSize forces x_i ≥ MinSize for every node. Scaled-support
+	// mining algorithms degenerate on very small partitions (a local
+	// threshold of a couple of records makes everything locally
+	// frequent), so production deployments floor the share a node may
+	// receive. Values above total/p are capped there. 0 disables.
+	MinSize float64
+}
+
+// Optimize solves the scalarized LP at the given α and returns the
+// partition sizing. α = 1 reproduces Het-Aware; the paper's
+// Het-Energy-Aware runs use α = 0.999 (mining) and 0.995 (compression).
+func Optimize(nodes []NodeModel, total int, alpha float64) (*Plan, error) {
+	return OptimizeWithConstraints(nodes, total, alpha, Constraints{})
+}
+
+// OptimizeWithConstraints is Optimize with side conditions.
+func OptimizeWithConstraints(nodes []NodeModel, total int, alpha float64, cons Constraints) (*Plan, error) {
+	if err := validate(nodes, total, alpha); err != nil {
+		return nil, err
+	}
+	if cons.MinSize < 0 {
+		return nil, fmt.Errorf("opt: negative MinSize %v", cons.MinSize)
+	}
+	if cap := float64(total) / float64(len(nodes)); cons.MinSize > cap {
+		cons.MinSize = cap
+	}
+	x, v, err := solveScalarized(nodes, total, alpha, 1, 1, cons)
+	if err != nil {
+		return nil, err
+	}
+	return buildPlan(nodes, total, alpha, x, v), nil
+}
+
+// OptimizeNormalized solves the scalarized LP after rescaling both
+// objectives to [0, 1] over their attainable ranges, so α = 0.5 weighs
+// time and energy equally (the normalization the paper proposes as
+// future work). It costs two extra extreme-point LP solves.
+func OptimizeNormalized(nodes []NodeModel, total int, alpha float64) (*Plan, error) {
+	if err := validate(nodes, total, alpha); err != nil {
+		return nil, err
+	}
+	// Extreme 1: pure time (α=1) gives the smallest possible makespan.
+	xT, vMin, err := solveScalarized(nodes, total, 1, 1, 1, Constraints{})
+	if err != nil {
+		return nil, err
+	}
+	// Extreme 2: pure energy (α=0) gives the smallest possible energy.
+	xE, _, err := solveScalarized(nodes, total, 0, 1, 1, Constraints{})
+	if err != nil {
+		return nil, err
+	}
+	eMin := energyOf(nodes, xE)
+	eMax := energyOf(nodes, xT)
+	vMax := makespanOf(nodes, xE)
+	vScale := vMax - vMin
+	if vScale <= 0 {
+		vScale = math.Max(vMin, 1)
+	}
+	eScale := eMax - eMin
+	if eScale <= 0 {
+		eScale = math.Max(eMax, 1)
+	}
+	x, v, err := solveScalarized(nodes, total, alpha, vScale, eScale, Constraints{})
+	if err != nil {
+		return nil, err
+	}
+	return buildPlan(nodes, total, alpha, x, v), nil
+}
+
+// solveScalarized builds and solves the LP
+//
+//	min (α/vScale)·v + ((1−α)/eScale)·Σ k_i m_i x_i
+//
+// returning the fractional x and the achieved makespan v.
+func solveScalarized(nodes []NodeModel, total int, alpha, vScale, eScale float64, cons Constraints) ([]float64, float64, error) {
+	p := len(nodes)
+	obj := make([]float64, p+1)
+	for i, n := range nodes {
+		obj[i] = (1 - alpha) / eScale * n.DirtyRate * n.Time.Slope
+	}
+	obj[p] = alpha / vScale
+	prob, err := lp.NewProblem(obj)
+	if err != nil {
+		return nil, 0, fmt.Errorf("opt: %w", err)
+	}
+	for i, n := range nodes {
+		// m_i·x_i − v ≤ −c_i
+		row := make([]float64, p+1)
+		row[i] = n.Time.Slope
+		row[p] = -1
+		if err := prob.AddConstraint(row, lp.LE, -n.Time.Intercept); err != nil {
+			return nil, 0, fmt.Errorf("opt: %w", err)
+		}
+		if cons.MinSize > 0 {
+			floor := make([]float64, p+1)
+			floor[i] = 1
+			if err := prob.AddConstraint(floor, lp.GE, cons.MinSize); err != nil {
+				return nil, 0, fmt.Errorf("opt: %w", err)
+			}
+		}
+	}
+	sum := make([]float64, p+1)
+	for i := 0; i < p; i++ {
+		sum[i] = 1
+	}
+	if err := prob.AddConstraint(sum, lp.EQ, float64(total)); err != nil {
+		return nil, 0, fmt.Errorf("opt: %w", err)
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, 0, fmt.Errorf("opt: scalarized LP: %w", err)
+	}
+	x := sol.X[:p]
+	// With α = 0 the LP leaves v at its minimal feasible value anyway
+	// (it only appears in constraints); recompute the true makespan
+	// from x for reporting.
+	return x, makespanOf(nodes, x), nil
+}
+
+// makespanOf returns max_i f_i(x_i) over nodes with x_i > 0 (an idle
+// node does not run and cannot bottleneck the job).
+func makespanOf(nodes []NodeModel, x []float64) float64 {
+	v := 0.0
+	for i, n := range nodes {
+		if x[i] <= 0 {
+			continue
+		}
+		if t := n.Time.Predict(x[i]); t > v {
+			v = t
+		}
+	}
+	return v
+}
+
+// energyOf returns Σ k_i f_i(x_i) over nodes with x_i > 0.
+func energyOf(nodes []NodeModel, x []float64) float64 {
+	e := 0.0
+	for i, n := range nodes {
+		if x[i] <= 0 {
+			continue
+		}
+		e += n.DirtyRate * n.Time.Predict(x[i])
+	}
+	return e
+}
+
+// buildPlan rounds the fractional solution to integers summing to
+// total (largest-remainder apportionment) and fills in predictions.
+func buildPlan(nodes []NodeModel, total int, alpha float64, x []float64, v float64) *Plan {
+	sizes := RoundToTotal(x, total)
+	xi := make([]float64, len(sizes))
+	for i, s := range sizes {
+		xi[i] = float64(s)
+	}
+	return &Plan{
+		Sizes:       sizes,
+		X:           x,
+		Makespan:    makespanOf(nodes, xi),
+		DirtyEnergy: energyOf(nodes, xi),
+		Alpha:       alpha,
+	}
+}
+
+// RoundToTotal rounds nonnegative fractional shares to integers that
+// sum exactly to total, using largest-remainder apportionment.
+// Negative inputs (LP jitter) are treated as zero.
+func RoundToTotal(x []float64, total int) []int {
+	n := len(x)
+	sizes := make([]int, n)
+	type rem struct {
+		i int
+		f float64
+	}
+	rems := make([]rem, 0, n)
+	assigned := 0
+	for i, v := range x {
+		if v < 0 {
+			v = 0
+		}
+		fl := math.Floor(v)
+		sizes[i] = int(fl)
+		assigned += sizes[i]
+		rems = append(rems, rem{i, v - fl})
+	}
+	left := total - assigned
+	if left < 0 {
+		// Fractional sum exceeded total (rounding noise): trim from the
+		// largest allocations.
+		for left < 0 {
+			big := 0
+			for i := range sizes {
+				if sizes[i] > sizes[big] {
+					big = i
+				}
+			}
+			sizes[big]--
+			left++
+		}
+		return sizes
+	}
+	// Distribute the remainder to the largest fractional parts,
+	// deterministically (fraction desc, index asc).
+	for k := 0; k < left; k++ {
+		best := -1
+		for j := range rems {
+			if rems[j].f < 0 {
+				continue
+			}
+			if best < 0 || rems[j].f > rems[best].f {
+				best = j
+			}
+		}
+		if best < 0 {
+			// All remainders consumed; spread round-robin.
+			sizes[k%n]++
+			continue
+		}
+		sizes[rems[best].i]++
+		rems[best].f = -1
+	}
+	return sizes
+}
+
+// WaterFill solves the α = 1 special case analytically: choose T so
+// that Σ_i max(0, (T − c_i)/m_i) = N, the classical water-filling
+// balance where every loaded node finishes at exactly T. It requires
+// every slope positive and is used to cross-validate the simplex
+// solution. Returns the fractional allocation and T.
+func WaterFill(nodes []NodeModel, total int) ([]float64, float64, error) {
+	if len(nodes) == 0 {
+		return nil, 0, errors.New("opt: no nodes")
+	}
+	if total <= 0 {
+		return nil, 0, errors.New("opt: total must be positive")
+	}
+	for i, n := range nodes {
+		if n.Time.Slope <= 0 {
+			return nil, 0, fmt.Errorf("opt: WaterFill needs positive slopes; node %d has %v", i, n.Time.Slope)
+		}
+	}
+	capacity := func(T float64) float64 {
+		var s float64
+		for _, n := range nodes {
+			if T > n.Time.Intercept {
+				s += (T - n.Time.Intercept) / n.Time.Slope
+			}
+		}
+		return s
+	}
+	lo, hi := 0.0, 0.0
+	for _, n := range nodes {
+		if n.Time.Intercept > lo {
+			lo = n.Time.Intercept
+		}
+	}
+	hi = lo + 1
+	for capacity(hi) < float64(total) {
+		hi *= 2
+	}
+	lo = 0
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if capacity(mid) < float64(total) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	T := (lo + hi) / 2
+	x := make([]float64, len(nodes))
+	for i, n := range nodes {
+		if T > n.Time.Intercept {
+			x[i] = (T - n.Time.Intercept) / n.Time.Slope
+		}
+	}
+	// Normalize tiny binary-search residue onto the most-loaded node,
+	// so an idle node (intercept above the water level) never receives
+	// a sliver of load that would make its intercept the bottleneck.
+	var sum float64
+	best := 0
+	for i, v := range x {
+		sum += v
+		if v > x[best] {
+			best = i
+		}
+	}
+	if diff := float64(total) - sum; diff != 0 {
+		x[best] += diff
+		if x[best] < 0 {
+			x[best] = 0
+		}
+	}
+	return x, T, nil
+}
+
+// FrontierPoint is one α sample of the Pareto frontier.
+type FrontierPoint struct {
+	Alpha       float64
+	Makespan    float64
+	DirtyEnergy float64
+	Plan        *Plan
+}
+
+// Frontier sweeps the scalarization weight over the given α values
+// (typically 1 → 0) and returns one Pareto point per value, as in the
+// paper's Figures 5 and 6.
+func Frontier(nodes []NodeModel, total int, alphas []float64) ([]FrontierPoint, error) {
+	if len(alphas) == 0 {
+		return nil, errors.New("opt: empty alpha sweep")
+	}
+	pts := make([]FrontierPoint, 0, len(alphas))
+	for _, a := range alphas {
+		plan, err := Optimize(nodes, total, a)
+		if err != nil {
+			return nil, fmt.Errorf("opt: frontier at alpha %v: %w", a, err)
+		}
+		pts = append(pts, FrontierPoint{Alpha: a, Makespan: plan.Makespan, DirtyEnergy: plan.DirtyEnergy, Plan: plan})
+	}
+	return pts, nil
+}
+
+// ExactFrontier enumerates the Pareto frontier's vertex points exactly
+// (up to tol in objective space) by recursive α bisection: the
+// scalarized LP is piecewise constant in its optimal vertex as α
+// varies, so whenever the solutions at two α values differ, some
+// breakpoint lies between them. Unlike Frontier, which samples a fixed
+// α ladder and can miss segments, this finds every distinct vertex.
+func ExactFrontier(nodes []NodeModel, total int, tol float64) ([]FrontierPoint, error) {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	solve := func(alpha float64) (FrontierPoint, error) {
+		plan, err := Optimize(nodes, total, alpha)
+		if err != nil {
+			return FrontierPoint{}, err
+		}
+		return FrontierPoint{Alpha: alpha, Makespan: plan.Makespan, DirtyEnergy: plan.DirtyEnergy, Plan: plan}, nil
+	}
+	lo, err := solve(0)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := solve(1)
+	if err != nil {
+		return nil, err
+	}
+	samePoint := func(a, b FrontierPoint) bool {
+		scaleT := math.Max(math.Abs(a.Makespan), 1)
+		scaleE := math.Max(math.Abs(a.DirtyEnergy), 1)
+		return math.Abs(a.Makespan-b.Makespan)/scaleT < tol &&
+			math.Abs(a.DirtyEnergy-b.DirtyEnergy)/scaleE < tol
+	}
+	var out []FrontierPoint
+	var rec func(a, b FrontierPoint, depth int) error
+	rec = func(a, b FrontierPoint, depth int) error {
+		if samePoint(a, b) || depth > 40 || b.Alpha-a.Alpha < 1e-9 {
+			return nil
+		}
+		mid, err := solve((a.Alpha + b.Alpha) / 2)
+		if err != nil {
+			return err
+		}
+		if err := rec(a, mid, depth+1); err != nil {
+			return err
+		}
+		if !samePoint(mid, a) && !samePoint(mid, b) {
+			out = append(out, mid)
+		}
+		return rec(mid, b, depth+1)
+	}
+	out = append(out, lo)
+	if err := rec(lo, hi, 0); err != nil {
+		return nil, err
+	}
+	if !samePoint(lo, hi) {
+		out = append(out, hi)
+	}
+	// Order by α ascending (energy-lean → time-lean) and deduplicate.
+	sort.Slice(out, func(i, j int) bool { return out[i].Alpha < out[j].Alpha })
+	dedup := out[:0]
+	for _, p := range out {
+		if len(dedup) == 0 || !samePoint(dedup[len(dedup)-1], p) {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup, nil
+}
+
+// DefaultAlphaSweep returns the α ladder used by the frontier figures:
+// dense near 1 (where the interesting tradeoffs live, given the raw
+// objective scales) and sparse toward 0.
+func DefaultAlphaSweep() []float64 {
+	return []float64{1.0, 0.9999, 0.9995, 0.999, 0.995, 0.99, 0.95, 0.9, 0.5, 0.1, 0.0}
+}
+
+// Dominates reports whether point a Pareto-dominates point b (no worse
+// in both objectives, strictly better in at least one).
+func Dominates(a, b FrontierPoint) bool {
+	const tol = 1e-9
+	noWorse := a.Makespan <= b.Makespan+tol && a.DirtyEnergy <= b.DirtyEnergy+tol
+	better := a.Makespan < b.Makespan-tol || a.DirtyEnergy < b.DirtyEnergy-tol
+	return noWorse && better
+}

@@ -1,0 +1,110 @@
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// SelectNodes picks which p nodes of a larger candidate pool should
+// host partitions — the geo-distributed deployment of paper §II, where
+// a job may run on any p servers across regions and the scheduler
+// prefers fast and green ones. It greedily grows the subset by
+// marginal scalarized-objective improvement and then polishes with
+// single-node swaps, solving the partition-sizing LP for every
+// candidate subset evaluation.
+//
+// It returns the chosen node indices (ascending) and the sizing plan
+// over exactly those nodes (Plan.Sizes aligns with the returned
+// indices).
+func SelectNodes(nodes []NodeModel, total, p int, alpha float64) ([]int, *Plan, error) {
+	if p < 1 {
+		return nil, nil, fmt.Errorf("opt: select %d nodes", p)
+	}
+	if p > len(nodes) {
+		return nil, nil, fmt.Errorf("opt: select %d of %d nodes", p, len(nodes))
+	}
+	if err := validate(nodes, total, alpha); err != nil {
+		return nil, nil, err
+	}
+	objective := func(subset []int) (*Plan, float64, error) {
+		sub := make([]NodeModel, len(subset))
+		for i, idx := range subset {
+			sub[i] = nodes[idx]
+		}
+		plan, err := Optimize(sub, total, alpha)
+		if err != nil {
+			return nil, 0, err
+		}
+		return plan, alpha*plan.Makespan + (1-alpha)*plan.DirtyEnergy, nil
+	}
+
+	// Greedy growth from the best singleton.
+	chosen := make([]int, 0, p)
+	inSet := make([]bool, len(nodes))
+	var bestPlan *Plan
+	for len(chosen) < p {
+		bestIdx := -1
+		bestVal := 0.0
+		var bestTrialPlan *Plan
+		for i := range nodes {
+			if inSet[i] {
+				continue
+			}
+			trial := append(append([]int(nil), chosen...), i)
+			plan, val, err := objective(trial)
+			if err != nil {
+				return nil, nil, err
+			}
+			if bestIdx < 0 || val < bestVal {
+				bestIdx, bestVal, bestTrialPlan = i, val, plan
+			}
+		}
+		if bestIdx < 0 {
+			return nil, nil, errors.New("opt: node selection stalled")
+		}
+		chosen = append(chosen, bestIdx)
+		inSet[bestIdx] = true
+		bestPlan = bestTrialPlan
+	}
+
+	// Local search: try swapping each chosen node for each unchosen one.
+	_, curVal, err := objective(chosen)
+	if err != nil {
+		return nil, nil, err
+	}
+	improved := true
+	for rounds := 0; improved && rounds < 10; rounds++ {
+		improved = false
+		for ci := 0; ci < len(chosen); ci++ {
+			for i := range nodes {
+				if inSet[i] {
+					continue
+				}
+				old := chosen[ci]
+				chosen[ci] = i
+				plan, val, err := objective(chosen)
+				if err != nil {
+					return nil, nil, err
+				}
+				if val < curVal-1e-12 {
+					inSet[old] = false
+					inSet[i] = true
+					curVal = val
+					bestPlan = plan
+					improved = true
+				} else {
+					chosen[ci] = old
+				}
+			}
+		}
+	}
+	// Canonical ascending order; re-solve so Plan aligns with it.
+	sort.Ints(chosen)
+	plan, _, err := objective(chosen)
+	if err != nil {
+		return nil, nil, err
+	}
+	bestPlan = plan
+	return chosen, bestPlan, nil
+}

@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"pareto/internal/sampling"
+)
+
+func TestSelectNodesValidation(t *testing.T) {
+	nodes := paperNodes()
+	if _, _, err := SelectNodes(nodes, 100, 0, 1); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, _, err := SelectNodes(nodes, 100, 9, 1); err == nil {
+		t.Error("p > pool accepted")
+	}
+	if _, _, err := SelectNodes(nodes, 0, 2, 1); err == nil {
+		t.Error("zero total accepted")
+	}
+}
+
+func TestSelectNodesPrefersFastAtAlphaOne(t *testing.T) {
+	// Pool: two fast nodes, two slow ones. At α=1, selecting 2 must
+	// pick the fast pair.
+	pool := []NodeModel{
+		{Time: sampling.LinearFit{Slope: 0.001}, DirtyRate: 400},
+		{Time: sampling.LinearFit{Slope: 0.004}, DirtyRate: 10},
+		{Time: sampling.LinearFit{Slope: 0.001}, DirtyRate: 400},
+		{Time: sampling.LinearFit{Slope: 0.004}, DirtyRate: 10},
+	}
+	chosen, plan, err := SelectNodes(pool, 100000, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen[0] != 0 || chosen[1] != 2 {
+		t.Errorf("chose %v, want the fast pair [0 2]", chosen)
+	}
+	if len(plan.Sizes) != 2 {
+		t.Errorf("plan over %d nodes", len(plan.Sizes))
+	}
+	sum := plan.Sizes[0] + plan.Sizes[1]
+	if sum != 100000 {
+		t.Errorf("sizes sum %d", sum)
+	}
+}
+
+func TestSelectNodesPrefersGreenAtLowAlpha(t *testing.T) {
+	pool := []NodeModel{
+		{Time: sampling.LinearFit{Slope: 0.001}, DirtyRate: 400}, // fast, dirty
+		{Time: sampling.LinearFit{Slope: 0.0012}, DirtyRate: 0},  // nearly as fast, green
+		{Time: sampling.LinearFit{Slope: 0.0012}, DirtyRate: 0},  // nearly as fast, green
+		{Time: sampling.LinearFit{Slope: 0.01}, DirtyRate: 400},  // slow and dirty
+	}
+	chosen, plan, err := SelectNodes(pool, 100000, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen[0] != 1 || chosen[1] != 2 {
+		t.Errorf("chose %v, want the green pair [1 2]", chosen)
+	}
+	if plan.DirtyEnergy != 0 {
+		t.Errorf("dirty energy %v on all-green subset", plan.DirtyEnergy)
+	}
+}
+
+func TestSelectNodesExcludesDominatedNode(t *testing.T) {
+	// Node 3 is both slower AND dirtier than everyone: never selected
+	// unless forced by p.
+	pool := []NodeModel{
+		{Time: sampling.LinearFit{Slope: 0.001}, DirtyRate: 100},
+		{Time: sampling.LinearFit{Slope: 0.0015}, DirtyRate: 120},
+		{Time: sampling.LinearFit{Slope: 0.002}, DirtyRate: 150},
+		{Time: sampling.LinearFit{Slope: 0.02}, DirtyRate: 500},
+	}
+	for _, alpha := range []float64{1, 0.99, 0.5} {
+		chosen, _, err := SelectNodes(pool, 50000, 3, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range chosen {
+			if c == 3 {
+				t.Errorf("alpha %v: dominated node selected: %v", alpha, chosen)
+			}
+		}
+	}
+	// Forced at p=4 it must appear.
+	chosen, _, err := SelectNodes(pool, 50000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 4 {
+		t.Errorf("chose %v", chosen)
+	}
+}
+
+func TestSelectNodesFullPoolMatchesOptimize(t *testing.T) {
+	nodes := paperNodes()
+	total := 100000
+	chosen, plan, err := SelectNodes(nodes, total, len(nodes), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range chosen {
+		if c != i {
+			t.Errorf("full-pool selection %v", chosen)
+		}
+	}
+	direct, err := Optimize(nodes, total, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Makespan-direct.Makespan) > 1e-9 {
+		t.Errorf("selection makespan %v vs direct %v", plan.Makespan, direct.Makespan)
+	}
+}
+
+func TestSelectNodesMoreNodesNeverHurt(t *testing.T) {
+	// At α=1 the p+1-subset's objective cannot exceed the p-subset's
+	// (the extra node can always be left nearly idle — up to the idle
+	// intercept, which is zero here).
+	pool := make([]NodeModel, 6)
+	for i := range pool {
+		pool[i] = NodeModel{
+			Time:      sampling.LinearFit{Slope: 0.001 * float64(i+1)},
+			DirtyRate: float64(50 * (i + 1)),
+		}
+	}
+	var prev float64
+	for p := 1; p <= len(pool); p++ {
+		_, plan, err := SelectNodes(pool, 200000, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > 1 && plan.Makespan > prev+1e-9 {
+			t.Errorf("p=%d makespan %v above p=%d's %v", p, plan.Makespan, p-1, prev)
+		}
+		prev = plan.Makespan
+	}
+}

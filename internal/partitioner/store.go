@@ -1,0 +1,212 @@
+package partitioner
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"pareto/internal/kvstore"
+	"pareto/internal/pivots"
+)
+
+// Store is where final partitions live (paper §III-E supports disk
+// partitions and Redis-list partitions; an in-memory store rounds out
+// testing).
+type Store interface {
+	// WritePartition stores the records of partition id, replacing any
+	// previous content.
+	WritePartition(id int, records [][]byte) error
+	// ReadPartition returns partition id's records in order.
+	ReadPartition(id int) ([][]byte, error)
+}
+
+// MemoryStore keeps partitions in process memory.
+type MemoryStore struct {
+	parts map[int][][]byte
+}
+
+// NewMemoryStore creates an empty in-memory store.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{parts: make(map[int][][]byte)}
+}
+
+// WritePartition implements Store.
+func (m *MemoryStore) WritePartition(id int, records [][]byte) error {
+	cp := make([][]byte, len(records))
+	for i, r := range records {
+		c := make([]byte, len(r))
+		copy(c, r)
+		cp[i] = c
+	}
+	m.parts[id] = cp
+	return nil
+}
+
+// ReadPartition implements Store.
+func (m *MemoryStore) ReadPartition(id int) ([][]byte, error) {
+	p, ok := m.parts[id]
+	if !ok {
+		return nil, fmt.Errorf("partitioner: partition %d not found", id)
+	}
+	return p, nil
+}
+
+// DiskStore writes each partition as one file of concatenated
+// length-prefixed records (records already carry their 4-byte length
+// headers, so the file is self-delimiting).
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore uses dir (created if missing) for partition files.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("partitioner: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+func (d *DiskStore) path(id int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("partition-%04d.bin", id))
+}
+
+// WritePartition implements Store.
+func (d *DiskStore) WritePartition(id int, records [][]byte) error {
+	f, err := os.Create(d.path(id))
+	if err != nil {
+		return fmt.Errorf("partitioner: %w", err)
+	}
+	for _, r := range records {
+		if _, err := f.Write(r); err != nil {
+			f.Close()
+			return fmt.Errorf("partitioner: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("partitioner: %w", err)
+	}
+	return nil
+}
+
+// ReadPartition implements Store.
+func (d *DiskStore) ReadPartition(id int) ([][]byte, error) {
+	buf, err := os.ReadFile(d.path(id))
+	if err != nil {
+		return nil, fmt.Errorf("partitioner: %w", err)
+	}
+	return splitRecords(buf)
+}
+
+// splitRecords cuts a concatenation of length-prefixed records back
+// into individual records (headers retained).
+func splitRecords(buf []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			return nil, errors.New("partitioner: trailing bytes shorter than record header")
+		}
+		n := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+		if len(buf) < 4+n {
+			return nil, fmt.Errorf("partitioner: record claims %d bytes, %d available", n, len(buf)-4)
+		}
+		out = append(out, buf[:4+n])
+		buf = buf[4+n:]
+	}
+	return out, nil
+}
+
+// KVStore places partitions as lists in key-value store instances —
+// the paper's Redis deployment: one store per node, the framework
+// controls which partition lands on which node, and transfers are
+// batched through pipelining.
+type KVStore struct {
+	// clients[j] connects to the store instance hosting partition j.
+	clients []*kvstore.Client
+	// width is the pipeline width for bulk writes.
+	width int
+	// keyPrefix namespaces partition keys.
+	keyPrefix string
+}
+
+// NewKVStore builds a store over per-partition clients. width is the
+// pipeline width (≥1); the paper batches up to a preset width.
+func NewKVStore(clients []*kvstore.Client, width int, keyPrefix string) (*KVStore, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("partitioner: no kv clients")
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("partitioner: pipeline width %d", width)
+	}
+	if keyPrefix == "" {
+		keyPrefix = "partition"
+	}
+	return &KVStore{clients: clients, width: width, keyPrefix: keyPrefix}, nil
+}
+
+func (k *KVStore) key(id int) string {
+	return k.keyPrefix + ":" + strconv.Itoa(id)
+}
+
+func (k *KVStore) clientFor(id int) (*kvstore.Client, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("partitioner: partition id %d", id)
+	}
+	return k.clients[id%len(k.clients)], nil
+}
+
+// WritePartition implements Store: DEL then pipelined RPUSH of every
+// record to the partition's list.
+func (k *KVStore) WritePartition(id int, records [][]byte) error {
+	c, err := k.clientFor(id)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Del(k.key(id)); err != nil {
+		return fmt.Errorf("partitioner: clearing partition %d: %w", id, err)
+	}
+	p, err := c.NewPipeline(k.width)
+	if err != nil {
+		return err
+	}
+	for _, r := range records {
+		if err := p.Send("RPUSH", []byte(k.key(id)), r); err != nil {
+			return fmt.Errorf("partitioner: pushing to partition %d: %w", id, err)
+		}
+	}
+	reps, err := p.Finish()
+	if err != nil {
+		return fmt.Errorf("partitioner: flushing partition %d: %w", id, err)
+	}
+	for _, rep := range reps {
+		if err := rep.Err(); err != nil {
+			return fmt.Errorf("partitioner: partition %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// ReadPartition implements Store: one LRANGE fetches the entire list.
+func (k *KVStore) ReadPartition(id int) ([][]byte, error) {
+	c, err := k.clientFor(id)
+	if err != nil {
+		return nil, err
+	}
+	els, err := c.LRange(k.key(id), 0, -1)
+	if err != nil {
+		return nil, fmt.Errorf("partitioner: reading partition %d: %w", id, err)
+	}
+	return els, nil
+}
+
+// Place serializes every partition of the assignment from the corpus
+// and writes it to the store.
+func Place(c pivots.Corpus, a *Assignment, st Store) error {
+	for j := range a.Parts {
+		if err := st.WritePartition(j, RecordsOf(c, a, j)); err != nil {
+			return fmt.Errorf("partitioner: placing partition %d: %w", j, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package partitioner
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"pareto/internal/kvstore"
+	"pareto/internal/pivots"
+)
+
+func testCorpus(t *testing.T) *pivots.TextCorpus {
+	t.Helper()
+	docs := make([]pivots.Doc, 20)
+	for i := range docs {
+		docs[i] = pivots.Doc{Terms: []uint32{uint32(i), uint32(i + 20), uint32(i + 40)}}
+	}
+	c, err := pivots.NewTextCorpus(docs, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testAssignment() *Assignment {
+	return &Assignment{Parts: [][]int{
+		{0, 2, 4, 6, 8, 10, 12, 14, 16, 18},
+		{1, 3, 5, 7, 9, 11, 13, 15, 17, 19},
+	}}
+}
+
+func roundtripStore(t *testing.T, st Store) {
+	t.Helper()
+	corpus := testCorpus(t)
+	a := testAssignment()
+	if err := Place(corpus, a, st); err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Parts {
+		records, err := st.ReadPartition(j)
+		if err != nil {
+			t.Fatalf("read partition %d: %v", j, err)
+		}
+		if len(records) != len(a.Parts[j]) {
+			t.Fatalf("partition %d has %d records, want %d", j, len(records), len(a.Parts[j]))
+		}
+		// Decode and verify content matches the assigned docs.
+		for i, rec := range records {
+			doc, rest, err := pivots.DecodeTextRecord(rec)
+			if err != nil {
+				t.Fatalf("partition %d record %d: %v", j, i, err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("partition %d record %d has %d trailing bytes", j, i, len(rest))
+			}
+			want := corpus.Docs[a.Parts[j][i]]
+			if len(doc.Terms) != len(want.Terms) || doc.Terms[0] != want.Terms[0] {
+				t.Fatalf("partition %d record %d content mismatch", j, i)
+			}
+		}
+	}
+}
+
+func TestMemoryStoreRoundtrip(t *testing.T) {
+	roundtripStore(t, NewMemoryStore())
+}
+
+func TestMemoryStoreMissingPartition(t *testing.T) {
+	if _, err := NewMemoryStore().ReadPartition(3); err == nil {
+		t.Error("missing partition read succeeded")
+	}
+}
+
+func TestMemoryStoreIsolation(t *testing.T) {
+	m := NewMemoryStore()
+	rec := []byte{1, 0, 0, 0, 9}
+	if err := m.WritePartition(0, [][]byte{rec}); err != nil {
+		t.Fatal(err)
+	}
+	rec[4] = 7
+	got, err := m.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][4] != 9 {
+		t.Error("store aliases caller buffer")
+	}
+}
+
+func TestDiskStoreRoundtrip(t *testing.T) {
+	st, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundtripStore(t, st)
+}
+
+func TestDiskStoreRewrite(t *testing.T) {
+	st, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WritePartition(0, [][]byte{{2, 0, 0, 0, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WritePartition(0, [][]byte{{1, 0, 0, 0, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := st.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || !bytes.Equal(records[0], []byte{1, 0, 0, 0, 7}) {
+		t.Errorf("rewrite left %v", records)
+	}
+}
+
+func TestDiskStoreCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WritePartition(0, [][]byte{{200, 0, 0, 0}}); err != nil {
+		t.Fatal(err) // header claims 200 bytes, none follow
+	}
+	if _, err := st.ReadPartition(0); err == nil {
+		t.Error("corrupt partition read succeeded")
+	}
+	if _, err := st.ReadPartition(99); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}
+
+func TestKVStoreRoundtrip(t *testing.T) {
+	// Two store instances, partitions spread across them — the
+	// paper's one-store-per-node deployment in miniature.
+	var clients []*kvstore.Client
+	for i := 0; i < 2; i++ {
+		srv := kvstore.NewServer(nil)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		c, err := kvstore.Dial(addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients = append(clients, c)
+	}
+	st, err := NewKVStore(clients, 32, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundtripStore(t, st)
+	// Rewriting must replace, not append.
+	if err := st.WritePartition(0, [][]byte{{1, 0, 0, 0, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := st.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Errorf("rewrite left %d records", len(records))
+	}
+}
+
+func TestNewKVStoreValidation(t *testing.T) {
+	if _, err := NewKVStore(nil, 4, "x"); err == nil {
+		t.Error("no clients accepted")
+	}
+	srv := kvstore.NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := kvstore.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := NewKVStore([]*kvstore.Client{c}, 0, "x"); err == nil {
+		t.Error("zero width accepted")
+	}
+	st, err := NewKVStore([]*kvstore.Client{c}, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.key(0) != "partition:0" {
+		t.Errorf("default prefix key %q", st.key(0))
+	}
+	if _, err := st.clientFor(-1); err == nil {
+		t.Error("negative partition accepted")
+	}
+}
+
+func TestSplitRecords(t *testing.T) {
+	// Two records back to back.
+	buf := []byte{2, 0, 0, 0, 10, 11, 1, 0, 0, 0, 99}
+	recs, err := splitRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || !bytes.Equal(recs[1], []byte{1, 0, 0, 0, 99}) {
+		t.Errorf("split = %v", recs)
+	}
+	if _, err := splitRecords([]byte{1, 2}); err == nil {
+		t.Error("short header accepted")
+	}
+	if recs, err := splitRecords(nil); err != nil || len(recs) != 0 {
+		t.Error("empty buffer must split to nothing")
+	}
+}

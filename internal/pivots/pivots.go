@@ -1,0 +1,678 @@
+// Package pivots defines the data model of the framework — trees,
+// graphs and text documents — and the domain-specific conversion of
+// each record into a *pivot set*: a flat set of items over a common
+// universe (paper §III-C step 1).
+//
+// After pivot extraction every record, whatever its original type, is
+// just a set of uint64 items, so sketching, stratification and
+// partitioning run in a domain-independent way:
+//
+//   - Trees are encoded as Prüfer sequences for storage, and pivots
+//     (a, p, q) — "a is the least common ancestor of p and q" — are
+//     extracted from the tree structure over node labels.
+//   - Graph vertices use their adjacency list (set of neighbors) as
+//     the pivot set.
+//   - Text documents use their set of word (term) identifiers.
+//
+// The package also provides compact binary codecs for each record type
+// matching the storage layout of paper §IV: each record is a raw byte
+// sequence whose first four bytes carry its length, so a whole
+// partition can round-trip through the key-value store as one list.
+package pivots
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pareto/internal/sketch"
+)
+
+// Kind identifies the record domain of a corpus.
+type Kind int
+
+// Supported corpus kinds.
+const (
+	TreeData Kind = iota
+	GraphData
+	TextData
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case TreeData:
+		return "tree"
+	case GraphData:
+		return "graph"
+	case TextData:
+		return "text"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Corpus is the domain-independent view of a dataset that the
+// stratifier and partitioner operate on: every record exposes a pivot
+// set and a size weight (its contribution to a partition's data count).
+type Corpus interface {
+	// Kind reports the record domain.
+	Kind() Kind
+	// Len returns the number of records.
+	Len() int
+	// ItemSet returns the pivot set of record i. Callers must not
+	// modify the returned slice.
+	ItemSet(i int) []sketch.Item
+	// Weight returns the size proxy of record i (nodes for trees,
+	// out-degree+1 for graph vertices, tokens for documents).
+	Weight(i int) int
+	// AppendRecord serializes record i in the length-prefixed wire
+	// layout and returns the extended buffer.
+	AppendRecord(dst []byte, i int) []byte
+}
+
+// ---------------------------------------------------------------------------
+// Trees
+// ---------------------------------------------------------------------------
+
+// Tree is a rooted, labeled tree. Node 0 is the root. Parent[i] is the
+// parent of node i (Parent[0] == -1). Label[i] is the content label of
+// node i (e.g. an XML tag or grammar symbol identifier).
+type Tree struct {
+	Parent []int32
+	Label  []uint32
+}
+
+// Validate checks structural invariants: node 0 is the root, every
+// other node has a parent with a smaller index (nodes are stored in
+// topological order), and labels align with parents.
+func (t *Tree) Validate() error {
+	n := len(t.Parent)
+	if n == 0 {
+		return errors.New("pivots: empty tree")
+	}
+	if len(t.Label) != n {
+		return fmt.Errorf("pivots: tree has %d parents but %d labels", n, len(t.Label))
+	}
+	if t.Parent[0] != -1 {
+		return fmt.Errorf("pivots: node 0 must be root, got parent %d", t.Parent[0])
+	}
+	for i := 1; i < n; i++ {
+		if t.Parent[i] < 0 || int(t.Parent[i]) >= i {
+			return fmt.Errorf("pivots: node %d has invalid parent %d (need 0..%d)", i, t.Parent[i], i-1)
+		}
+	}
+	return nil
+}
+
+// NumNodes returns the node count.
+func (t *Tree) NumNodes() int { return len(t.Parent) }
+
+// Children returns the children lists of every node.
+func (t *Tree) Children() [][]int32 {
+	ch := make([][]int32, len(t.Parent))
+	for i := 1; i < len(t.Parent); i++ {
+		p := t.Parent[i]
+		ch[p] = append(ch[p], int32(i))
+	}
+	return ch
+}
+
+// Pivots extracts the LCA pivot set of the tree (paper §III-C step 1).
+// For every internal node a and every consecutive pair of its children
+// (c₁, c₂), node a is the least common ancestor of c₁ and c₂, yielding
+// the pivot (label(a), label(c₁), label(c₂)). Parent–child edges are
+// included as binary pivots so that path content is represented even in
+// chains, where no branching LCA pivots exist. The result is a set of
+// hashed items; duplicates are removed.
+func (t *Tree) Pivots() []sketch.Item {
+	ch := t.Children()
+	set := make(map[sketch.Item]struct{}, len(t.Parent))
+	for a, kids := range ch {
+		la := uint64(t.Label[a])
+		for i := range kids {
+			lc := uint64(t.Label[kids[i]])
+			set[sketch.Hash2(la, lc)] = struct{}{}
+			if i+1 < len(kids) {
+				set[sketch.Hash3(la, lc, uint64(t.Label[kids[i+1]]))] = struct{}{}
+			}
+		}
+	}
+	if len(set) == 0 {
+		// Single-node tree: its only content is the root label.
+		set[sketch.Hash2(uint64(t.Label[0]), ^uint64(0))] = struct{}{}
+	}
+	out := make([]sketch.Item, 0, len(set))
+	for it := range set {
+		out = append(out, it)
+	}
+	return out
+}
+
+// PruferEncode computes the Prüfer sequence of the tree viewed as an
+// unrooted tree on nodes 0..n−1. The sequence has length n−2 and,
+// together with n, uniquely identifies the tree structure (labels are
+// carried separately). Trees with fewer than 3 nodes encode to an
+// empty sequence.
+func PruferEncode(parent []int32) ([]int32, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, errors.New("pivots: cannot Prüfer-encode empty tree")
+	}
+	if n <= 2 {
+		return []int32{}, nil
+	}
+	deg := make([]int32, n)
+	for i := 1; i < n; i++ {
+		if parent[i] < 0 || int(parent[i]) >= n {
+			return nil, fmt.Errorf("pivots: node %d has out-of-range parent %d", i, parent[i])
+		}
+		deg[i]++
+		deg[parent[i]]++
+	}
+	// The classical algorithm repeatedly removes the smallest-ID leaf
+	// and records its remaining neighbor. A moving pointer plus leaf
+	// cascade keeps the whole encode O(n).
+	removed := make([]bool, n)
+	adj := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		p := parent[i]
+		adj[i] = append(adj[i], p)
+		adj[p] = append(adj[p], int32(i))
+	}
+	seq := make([]int32, 0, n-2)
+	ptr := int32(0)
+	var leaf int32 = -1
+	for len(seq) < n-2 {
+		if leaf < 0 {
+			for deg[ptr] != 1 || removed[ptr] {
+				ptr++
+			}
+			leaf = ptr
+		}
+		// Record the single unremoved neighbor of the leaf.
+		var nb int32 = -1
+		for _, u := range adj[leaf] {
+			if !removed[u] {
+				nb = u
+				break
+			}
+		}
+		if nb < 0 {
+			return nil, errors.New("pivots: malformed tree during Prüfer encode")
+		}
+		seq = append(seq, nb)
+		removed[leaf] = true
+		deg[nb]--
+		if deg[nb] == 1 && nb < ptr {
+			leaf = nb // cascade: the neighbor became the smallest leaf
+		} else {
+			leaf = -1
+		}
+	}
+	return seq, nil
+}
+
+// PruferDecode reconstructs the unrooted tree edges from a Prüfer
+// sequence over n nodes and re-roots it at node 0, returning a parent
+// array in which children always have larger BFS order than parents is
+// NOT guaranteed — the parent array is valid (Parent[0] = −1, acyclic)
+// but node numbering is preserved from the sequence universe.
+func PruferDecode(seq []int32, n int) ([]int32, error) {
+	if n <= 0 {
+		return nil, errors.New("pivots: PruferDecode needs n ≥ 1")
+	}
+	if n == 1 {
+		return []int32{-1}, nil
+	}
+	if len(seq) != n-2 {
+		return nil, fmt.Errorf("pivots: Prüfer sequence length %d, want %d", len(seq), n-2)
+	}
+	deg := make([]int32, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, v := range seq {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("pivots: Prüfer entry %d out of range [0,%d)", v, n)
+		}
+		deg[v]++
+	}
+	adj := make([][]int32, n)
+	addEdge := func(a, b int32) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	ptr := int32(0)
+	leaf := int32(-1)
+	for _, v := range seq {
+		if leaf < 0 {
+			for deg[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+		addEdge(leaf, v)
+		deg[leaf]--
+		deg[v]--
+		if deg[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			leaf = -1
+		}
+	}
+	// Two nodes of degree 1 remain; connect them.
+	var last [2]int32
+	k := 0
+	for i := int32(0); i < int32(n); i++ {
+		if deg[i] == 1 {
+			last[k] = i
+			k++
+			if k == 2 {
+				break
+			}
+		}
+	}
+	if k != 2 {
+		return nil, errors.New("pivots: malformed Prüfer sequence")
+	}
+	addEdge(last[0], last[1])
+	// Root at 0 via BFS.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[0] = -1
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if parent[u] == -2 {
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	for i := range parent {
+		if parent[i] == -2 {
+			return nil, errors.New("pivots: Prüfer decode produced a disconnected graph")
+		}
+	}
+	return parent, nil
+}
+
+// TreeCorpus is a collection of trees with cached pivot sets.
+type TreeCorpus struct {
+	Trees []Tree
+
+	items [][]sketch.Item
+}
+
+// NewTreeCorpus validates every tree and precomputes pivot sets.
+func NewTreeCorpus(trees []Tree) (*TreeCorpus, error) {
+	c := &TreeCorpus{Trees: trees, items: make([][]sketch.Item, len(trees))}
+	for i := range trees {
+		if err := trees[i].Validate(); err != nil {
+			return nil, fmt.Errorf("tree %d: %w", i, err)
+		}
+		c.items[i] = trees[i].Pivots()
+	}
+	return c, nil
+}
+
+// Kind returns TreeData.
+func (c *TreeCorpus) Kind() Kind { return TreeData }
+
+// Len returns the number of trees.
+func (c *TreeCorpus) Len() int { return len(c.Trees) }
+
+// ItemSet returns the cached pivot set of tree i.
+func (c *TreeCorpus) ItemSet(i int) []sketch.Item { return c.items[i] }
+
+// Weight returns the node count of tree i.
+func (c *TreeCorpus) Weight(i int) int { return c.Trees[i].NumNodes() }
+
+// TotalNodes returns the node count across all trees.
+func (c *TreeCorpus) TotalNodes() int {
+	n := 0
+	for i := range c.Trees {
+		n += c.Trees[i].NumNodes()
+	}
+	return n
+}
+
+// AppendRecord serializes tree i as:
+//
+//	uint32 payloadLen | uint32 n | n × int32 parent | n × uint32 label
+//
+// all little-endian, the layout of paper §IV (length header first).
+func (c *TreeCorpus) AppendRecord(dst []byte, i int) []byte {
+	t := &c.Trees[i]
+	n := len(t.Parent)
+	payload := 4 + 8*n
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	for _, p := range t.Parent {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p))
+	}
+	for _, l := range t.Label {
+		dst = binary.LittleEndian.AppendUint32(dst, l)
+	}
+	return dst
+}
+
+// DecodeTreeRecord parses one length-prefixed tree record from buf,
+// returning the tree and the remaining buffer.
+func DecodeTreeRecord(buf []byte) (Tree, []byte, error) {
+	payload, rest, err := splitRecord(buf)
+	if err != nil {
+		return Tree{}, nil, err
+	}
+	if len(payload) < 4 {
+		return Tree{}, nil, errors.New("pivots: tree record too short")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) != 4+8*n {
+		return Tree{}, nil, fmt.Errorf("pivots: tree record payload %d bytes, want %d", len(payload), 4+8*n)
+	}
+	t := Tree{Parent: make([]int32, n), Label: make([]uint32, n)}
+	off := 4
+	for i := 0; i < n; i++ {
+		t.Parent[i] = int32(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	for i := 0; i < n; i++ {
+		t.Label[i] = binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+	}
+	return t, rest, nil
+}
+
+// ---------------------------------------------------------------------------
+// Graphs
+// ---------------------------------------------------------------------------
+
+// Graph is a directed graph in adjacency-list form. Adj[v] lists the
+// out-neighbors of vertex v in strictly increasing order (required by
+// the webgraph compressor; generators guarantee it and Validate checks).
+// Each vertex is one record of the corpus, as in the paper's webgraph
+// workloads where vertices (and their adjacency payload) are the data
+// items being placed.
+type Graph struct {
+	Adj [][]uint32
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Adj) }
+
+// NumEdges returns the total directed edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, a := range g.Adj {
+		n += len(a)
+	}
+	return n
+}
+
+// Validate checks neighbor ordering and range.
+func (g *Graph) Validate() error {
+	n := uint32(len(g.Adj))
+	for v, nbrs := range g.Adj {
+		for i, u := range nbrs {
+			if u >= n {
+				return fmt.Errorf("pivots: vertex %d has out-of-range neighbor %d", v, u)
+			}
+			if i > 0 && nbrs[i-1] >= u {
+				return fmt.Errorf("pivots: vertex %d adjacency not strictly increasing at %d", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// GraphCorpus exposes a Graph as a corpus of per-vertex records.
+type GraphCorpus struct {
+	G *Graph
+
+	items [][]sketch.Item
+}
+
+// NewGraphCorpus validates the graph and caches per-vertex pivot sets
+// (the neighbor sets themselves, per paper §III-C step 1).
+func NewGraphCorpus(g *Graph) (*GraphCorpus, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	c := &GraphCorpus{G: g, items: make([][]sketch.Item, len(g.Adj))}
+	for v, nbrs := range g.Adj {
+		set := make([]sketch.Item, len(nbrs))
+		for i, u := range nbrs {
+			set[i] = sketch.Item(u)
+		}
+		c.items[v] = set
+	}
+	return c, nil
+}
+
+// Kind returns GraphData.
+func (c *GraphCorpus) Kind() Kind { return GraphData }
+
+// Len returns the vertex count.
+func (c *GraphCorpus) Len() int { return len(c.G.Adj) }
+
+// ItemSet returns the neighbor set of vertex i.
+func (c *GraphCorpus) ItemSet(i int) []sketch.Item { return c.items[i] }
+
+// Weight returns out-degree + 1 (the vertex itself plus its edges —
+// the bytes that must be stored and compressed for this record).
+func (c *GraphCorpus) Weight(i int) int { return len(c.G.Adj[i]) + 1 }
+
+// AppendRecord serializes vertex i as:
+//
+//	uint32 payloadLen | uint32 vertexID | uint32 deg | deg × uint32 neighbor
+func (c *GraphCorpus) AppendRecord(dst []byte, i int) []byte {
+	nbrs := c.G.Adj[i]
+	payload := 8 + 4*len(nbrs)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(i))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(nbrs)))
+	for _, u := range nbrs {
+		dst = binary.LittleEndian.AppendUint32(dst, u)
+	}
+	return dst
+}
+
+// DecodeGraphRecord parses one vertex record, returning the vertex ID,
+// its adjacency list and the remaining buffer.
+func DecodeGraphRecord(buf []byte) (uint32, []uint32, []byte, error) {
+	payload, rest, err := splitRecord(buf)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if len(payload) < 8 {
+		return 0, nil, nil, errors.New("pivots: graph record too short")
+	}
+	v := binary.LittleEndian.Uint32(payload)
+	deg := int(binary.LittleEndian.Uint32(payload[4:]))
+	if len(payload) != 8+4*deg {
+		return 0, nil, nil, fmt.Errorf("pivots: graph record payload %d bytes, want %d", len(payload), 8+4*deg)
+	}
+	nbrs := make([]uint32, deg)
+	for i := 0; i < deg; i++ {
+		nbrs[i] = binary.LittleEndian.Uint32(payload[8+4*i:])
+	}
+	return v, nbrs, rest, nil
+}
+
+// ---------------------------------------------------------------------------
+// Text
+// ---------------------------------------------------------------------------
+
+// Doc is a text document represented as a bag of term IDs (a row of a
+// document–term corpus such as RCV1). Terms holds the distinct term
+// IDs present in the document, in strictly increasing order.
+type Doc struct {
+	Terms []uint32
+}
+
+// TextCorpus is a collection of documents over a shared vocabulary.
+type TextCorpus struct {
+	Docs      []Doc
+	VocabSize int
+
+	items [][]sketch.Item
+}
+
+// NewTextCorpus validates term ordering/range and caches item sets.
+func NewTextCorpus(docs []Doc, vocabSize int) (*TextCorpus, error) {
+	if vocabSize <= 0 {
+		return nil, errors.New("pivots: vocabSize must be positive")
+	}
+	c := &TextCorpus{Docs: docs, VocabSize: vocabSize, items: make([][]sketch.Item, len(docs))}
+	for d, doc := range docs {
+		set := make([]sketch.Item, len(doc.Terms))
+		for i, t := range doc.Terms {
+			if int(t) >= vocabSize {
+				return nil, fmt.Errorf("pivots: doc %d term %d exceeds vocab %d", d, t, vocabSize)
+			}
+			if i > 0 && doc.Terms[i-1] >= t {
+				return nil, fmt.Errorf("pivots: doc %d terms not strictly increasing at %d", d, i)
+			}
+			set[i] = sketch.Item(t)
+		}
+		c.items[d] = set
+	}
+	return c, nil
+}
+
+// Kind returns TextData.
+func (c *TextCorpus) Kind() Kind { return TextData }
+
+// Len returns the number of documents.
+func (c *TextCorpus) Len() int { return len(c.Docs) }
+
+// ItemSet returns the term set of document i.
+func (c *TextCorpus) ItemSet(i int) []sketch.Item { return c.items[i] }
+
+// Weight returns the distinct-term count of document i.
+func (c *TextCorpus) Weight(i int) int { return len(c.Docs[i].Terms) }
+
+// AppendRecord serializes document i as:
+//
+//	uint32 payloadLen | uint32 nTerms | n × uint32 term
+func (c *TextCorpus) AppendRecord(dst []byte, i int) []byte {
+	terms := c.Docs[i].Terms
+	payload := 4 + 4*len(terms)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(terms)))
+	for _, t := range terms {
+		dst = binary.LittleEndian.AppendUint32(dst, t)
+	}
+	return dst
+}
+
+// DecodeTextRecord parses one document record, returning the document
+// and the remaining buffer.
+func DecodeTextRecord(buf []byte) (Doc, []byte, error) {
+	payload, rest, err := splitRecord(buf)
+	if err != nil {
+		return Doc{}, nil, err
+	}
+	if len(payload) < 4 {
+		return Doc{}, nil, errors.New("pivots: text record too short")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) != 4+4*n {
+		return Doc{}, nil, fmt.Errorf("pivots: text record payload %d bytes, want %d", len(payload), 4+4*n)
+	}
+	terms := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		terms[i] = binary.LittleEndian.Uint32(payload[4+4*i:])
+	}
+	return Doc{Terms: terms}, rest, nil
+}
+
+// DecodeTreeRecords parses a whole stream of tree records (the datagen
+// / DiskStore file layout) into a corpus-ready slice.
+func DecodeTreeRecords(buf []byte) ([]Tree, error) {
+	var trees []Tree
+	for len(buf) > 0 {
+		t, rest, err := DecodeTreeRecord(buf)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", len(trees), err)
+		}
+		trees = append(trees, t)
+		buf = rest
+	}
+	return trees, nil
+}
+
+// DecodeGraphRecords parses a stream of vertex records into a Graph.
+// Vertex IDs index the adjacency table; the table is sized to the
+// largest ID seen (endpoints included), so partial partitions decode.
+func DecodeGraphRecords(buf []byte) (*Graph, error) {
+	type rec struct {
+		v    uint32
+		nbrs []uint32
+	}
+	var recs []rec
+	maxV := uint32(0)
+	for len(buf) > 0 {
+		v, nbrs, rest, err := DecodeGraphRecord(buf)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", len(recs), err)
+		}
+		recs = append(recs, rec{v, nbrs})
+		if v > maxV {
+			maxV = v
+		}
+		for _, u := range nbrs {
+			if u > maxV {
+				maxV = u
+			}
+		}
+		buf = rest
+	}
+	if len(recs) == 0 {
+		return &Graph{}, nil
+	}
+	adj := make([][]uint32, int(maxV)+1)
+	for _, r := range recs {
+		adj[r.v] = r.nbrs
+	}
+	return &Graph{Adj: adj}, nil
+}
+
+// DecodeTextRecords parses a stream of document records, returning the
+// documents and the implied vocabulary size (max term + 1).
+func DecodeTextRecords(buf []byte) ([]Doc, int, error) {
+	var docs []Doc
+	maxTerm := uint32(0)
+	for len(buf) > 0 {
+		d, rest, err := DecodeTextRecord(buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("record %d: %w", len(docs), err)
+		}
+		docs = append(docs, d)
+		for _, t := range d.Terms {
+			if t > maxTerm {
+				maxTerm = t
+			}
+		}
+		buf = rest
+	}
+	return docs, int(maxTerm) + 1, nil
+}
+
+// splitRecord strips one uint32-length-prefixed record from buf.
+func splitRecord(buf []byte) (payload, rest []byte, err error) {
+	if len(buf) < 4 {
+		return nil, nil, errors.New("pivots: record buffer shorter than length header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) < 4+n {
+		return nil, nil, fmt.Errorf("pivots: record claims %d payload bytes, only %d available", n, len(buf)-4)
+	}
+	return buf[4 : 4+n], buf[4+n:], nil
+}

@@ -1,0 +1,464 @@
+package pivots
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pareto/internal/sketch"
+)
+
+// randomParentArray builds a random valid parent array (parent[i] < i).
+func randomParentArray(rng *rand.Rand, n int) []int32 {
+	p := make([]int32, n)
+	p[0] = -1
+	for i := 1; i < n; i++ {
+		p[i] = int32(rng.Intn(i))
+	}
+	return p
+}
+
+// edgeSet canonicalizes a parent array into a sorted list of
+// undirected edges for structural comparison.
+func edgeSet(parent []int32) [][2]int32 {
+	var es [][2]int32
+	for i := 1; i < len(parent); i++ {
+		a, b := int32(i), parent[i]
+		if a > b {
+			a, b = b, a
+		}
+		es = append(es, [2]int32{a, b})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+func TestTreeValidate(t *testing.T) {
+	good := Tree{Parent: []int32{-1, 0, 0, 1}, Label: []uint32{1, 2, 3, 4}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+	bad := []Tree{
+		{}, // empty
+		{Parent: []int32{-1, 0}, Label: []uint32{1}},     // label mismatch
+		{Parent: []int32{0, 0}, Label: []uint32{1, 2}},   // node 0 not root
+		{Parent: []int32{-1, 1}, Label: []uint32{1, 2}},  // self/forward parent
+		{Parent: []int32{-1, -1}, Label: []uint32{1, 2}}, // second root
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad tree %d accepted", i)
+		}
+	}
+}
+
+func TestPruferKnownSequence(t *testing.T) {
+	// Star on 4 nodes centered at 0: every removal records 0.
+	star := []int32{-1, 0, 0, 0}
+	seq, err := PruferEncode(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, []int32{0, 0}) {
+		t.Errorf("star Prüfer = %v, want [0 0]", seq)
+	}
+	// Path 0-1-2-3: leaves removed 0 (records 1), then 1 (records 2).
+	path := []int32{-1, 0, 1, 2}
+	seq, err = PruferEncode(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, []int32{1, 2}) {
+		t.Errorf("path Prüfer = %v, want [1 2]", seq)
+	}
+}
+
+func TestPruferSmallTrees(t *testing.T) {
+	for _, p := range [][]int32{{-1}, {-1, 0}} {
+		seq, err := PruferEncode(p)
+		if err != nil {
+			t.Fatalf("encode %v: %v", p, err)
+		}
+		if len(seq) != 0 {
+			t.Errorf("tree of %d nodes: sequence %v, want empty", len(p), seq)
+		}
+		dec, err := PruferDecode(seq, len(p))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(edgeSet(dec), edgeSet(p)) {
+			t.Errorf("roundtrip changed edges: %v vs %v", dec, p)
+		}
+	}
+}
+
+func TestPruferRoundtripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(60)
+		p := randomParentArray(rng, n)
+		seq, err := PruferEncode(p)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if len(seq) != n-2 {
+			t.Fatalf("sequence length %d, want %d", len(seq), n-2)
+		}
+		dec, err := PruferDecode(seq, n)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(edgeSet(dec), edgeSet(p)) {
+			t.Fatalf("trial %d: edge sets differ\n in: %v\nout: %v", trial, p, dec)
+		}
+	}
+}
+
+func TestPruferDecodeErrors(t *testing.T) {
+	if _, err := PruferDecode(nil, 0); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := PruferDecode([]int32{0}, 4); err == nil {
+		t.Error("wrong sequence length must fail")
+	}
+	if _, err := PruferDecode([]int32{9, 0}, 4); err == nil {
+		t.Error("out-of-range entry must fail")
+	}
+}
+
+func TestPruferEncodeErrors(t *testing.T) {
+	if _, err := PruferEncode(nil); err == nil {
+		t.Error("empty tree must fail")
+	}
+	if _, err := PruferEncode([]int32{-1, 7, 0}); err == nil {
+		t.Error("out-of-range parent must fail")
+	}
+}
+
+func TestTreePivotsLCA(t *testing.T) {
+	// Root a with children b, c: pivots must include the LCA triple
+	// (a, b, c) and the edges (a,b), (a,c).
+	tr := Tree{Parent: []int32{-1, 0, 0}, Label: []uint32{10, 20, 30}}
+	got := tr.Pivots()
+	want := map[sketch.Item]bool{
+		sketch.Hash2(10, 20):     true,
+		sketch.Hash2(10, 30):     true,
+		sketch.Hash3(10, 20, 30): true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pivots, want %d", len(got), len(want))
+	}
+	for _, it := range got {
+		if !want[it] {
+			t.Errorf("unexpected pivot %d", it)
+		}
+	}
+}
+
+func TestTreePivotsChain(t *testing.T) {
+	// A chain has no branching, so only edge pivots appear.
+	tr := Tree{Parent: []int32{-1, 0, 1}, Label: []uint32{1, 2, 3}}
+	got := tr.Pivots()
+	if len(got) != 2 {
+		t.Fatalf("chain pivots = %d, want 2 edges", len(got))
+	}
+}
+
+func TestTreePivotsSingleNode(t *testing.T) {
+	tr := Tree{Parent: []int32{-1}, Label: []uint32{7}}
+	if got := tr.Pivots(); len(got) != 1 {
+		t.Errorf("single-node pivots = %d, want 1", len(got))
+	}
+	// Two single-node trees with different labels must differ.
+	tr2 := Tree{Parent: []int32{-1}, Label: []uint32{8}}
+	if tr.Pivots()[0] == tr2.Pivots()[0] {
+		t.Error("single-node pivot must depend on label")
+	}
+}
+
+func TestTreePivotsContentSensitive(t *testing.T) {
+	a := Tree{Parent: []int32{-1, 0, 0, 1}, Label: []uint32{1, 2, 3, 4}}
+	b := Tree{Parent: []int32{-1, 0, 0, 1}, Label: []uint32{1, 2, 3, 5}}
+	ja := sketch.ExactJaccard(a.Pivots(), a.Pivots())
+	jb := sketch.ExactJaccard(a.Pivots(), b.Pivots())
+	if ja != 1 {
+		t.Error("self Jaccard must be 1")
+	}
+	if jb >= 1 {
+		t.Error("different labels must change the pivot set")
+	}
+}
+
+func TestTreeCorpus(t *testing.T) {
+	trees := []Tree{
+		{Parent: []int32{-1, 0, 0}, Label: []uint32{1, 2, 3}},
+		{Parent: []int32{-1, 0}, Label: []uint32{4, 5}},
+	}
+	c, err := NewTreeCorpus(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind() != TreeData {
+		t.Error("wrong kind")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.Weight(0) != 3 || c.Weight(1) != 2 {
+		t.Errorf("weights = %d,%d", c.Weight(0), c.Weight(1))
+	}
+	if c.TotalNodes() != 5 {
+		t.Errorf("TotalNodes = %d", c.TotalNodes())
+	}
+	if len(c.ItemSet(0)) == 0 {
+		t.Error("empty item set")
+	}
+	if _, err := NewTreeCorpus([]Tree{{}}); err == nil {
+		t.Error("invalid tree must be rejected")
+	}
+}
+
+func TestTreeRecordRoundtrip(t *testing.T) {
+	trees := []Tree{
+		{Parent: []int32{-1, 0, 1, 1}, Label: []uint32{9, 8, 7, 6}},
+		{Parent: []int32{-1}, Label: []uint32{42}},
+	}
+	c, err := NewTreeCorpus(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for i := range trees {
+		buf = c.AppendRecord(buf, i)
+	}
+	for i := range trees {
+		var tr Tree
+		var err error
+		tr, buf, err = DecodeTreeRecord(buf)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(tr, trees[i]) {
+			t.Errorf("record %d roundtrip mismatch: %+v vs %+v", i, tr, trees[i])
+		}
+	}
+	if len(buf) != 0 {
+		t.Errorf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestDecodeTreeRecordErrors(t *testing.T) {
+	if _, _, err := DecodeTreeRecord([]byte{1, 2}); err == nil {
+		t.Error("short header must fail")
+	}
+	if _, _, err := DecodeTreeRecord([]byte{100, 0, 0, 0, 1}); err == nil {
+		t.Error("truncated payload must fail")
+	}
+	if _, _, err := DecodeTreeRecord([]byte{2, 0, 0, 0, 9, 9}); err == nil {
+		t.Error("payload shorter than node header must fail")
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	g := &Graph{Adj: [][]uint32{{1, 2}, {2}, {}}}
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+	if err := (&Graph{Adj: [][]uint32{{5}}}).Validate(); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+	if err := (&Graph{Adj: [][]uint32{{1, 1}, {}}}).Validate(); err == nil {
+		t.Error("duplicate neighbor accepted")
+	}
+	if err := (&Graph{Adj: [][]uint32{{1, 0}, {}}}).Validate(); err == nil {
+		t.Error("descending neighbors accepted")
+	}
+}
+
+func TestGraphCorpus(t *testing.T) {
+	g := &Graph{Adj: [][]uint32{{1, 2}, {0, 2}, {}}}
+	c, err := NewGraphCorpus(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind() != GraphData || c.Len() != 3 {
+		t.Error("kind/len wrong")
+	}
+	if c.Weight(0) != 3 || c.Weight(2) != 1 {
+		t.Errorf("weights: %d, %d", c.Weight(0), c.Weight(2))
+	}
+	if g.NumEdges() != 4 || g.NumVertices() != 3 {
+		t.Errorf("counts: %d edges, %d vertices", g.NumEdges(), g.NumVertices())
+	}
+	// Vertices 0 and 1 share neighbor 2: Jaccard = 1/3.
+	j := sketch.ExactJaccard(c.ItemSet(0), c.ItemSet(1))
+	if j != 1.0/3.0 {
+		t.Errorf("neighbor Jaccard = %v, want 1/3", j)
+	}
+}
+
+func TestGraphRecordRoundtrip(t *testing.T) {
+	g := &Graph{Adj: [][]uint32{{1, 3}, {}, {0, 1, 3}, {2}}}
+	c, err := NewGraphCorpus(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for i := 0; i < c.Len(); i++ {
+		buf = c.AppendRecord(buf, i)
+	}
+	for i := 0; i < c.Len(); i++ {
+		v, nbrs, rest, err := DecodeGraphRecord(buf)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if int(v) != i {
+			t.Errorf("vertex ID %d, want %d", v, i)
+		}
+		if len(nbrs) != len(g.Adj[i]) {
+			t.Errorf("vertex %d: %d neighbors, want %d", i, len(nbrs), len(g.Adj[i]))
+		}
+		for k := range nbrs {
+			if nbrs[k] != g.Adj[i][k] {
+				t.Errorf("vertex %d neighbor %d mismatch", i, k)
+			}
+		}
+		buf = rest
+	}
+}
+
+func TestTextCorpus(t *testing.T) {
+	docs := []Doc{{Terms: []uint32{0, 5, 9}}, {Terms: []uint32{5}}}
+	c, err := NewTextCorpus(docs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind() != TextData || c.Len() != 2 || c.Weight(0) != 3 {
+		t.Error("basic accessors wrong")
+	}
+	if _, err := NewTextCorpus(docs, 0); err == nil {
+		t.Error("zero vocab accepted")
+	}
+	if _, err := NewTextCorpus([]Doc{{Terms: []uint32{11}}}, 10); err == nil {
+		t.Error("out-of-vocab term accepted")
+	}
+	if _, err := NewTextCorpus([]Doc{{Terms: []uint32{3, 3}}}, 10); err == nil {
+		t.Error("non-increasing terms accepted")
+	}
+}
+
+func TestTextRecordRoundtrip(t *testing.T) {
+	docs := []Doc{{Terms: []uint32{1, 2, 3}}, {Terms: nil}}
+	c, err := NewTextCorpus(docs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	buf = c.AppendRecord(buf, 0)
+	buf = c.AppendRecord(buf, 1)
+	d0, rest, err := DecodeTextRecord(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d0.Terms, []uint32{1, 2, 3}) {
+		t.Errorf("doc0 = %v", d0.Terms)
+	}
+	d1, rest, err := DecodeTextRecord(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Terms) != 0 || len(rest) != 0 {
+		t.Errorf("doc1 = %v, rest %d bytes", d1.Terms, len(rest))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if TreeData.String() != "tree" || GraphData.String() != "graph" || TextData.String() != "text" {
+		t.Error("Kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must still print")
+	}
+}
+
+func TestDecodeTreeRecordsStream(t *testing.T) {
+	trees := []Tree{
+		{Parent: []int32{-1, 0}, Label: []uint32{1, 2}},
+		{Parent: []int32{-1}, Label: []uint32{3}},
+	}
+	c, err := NewTreeCorpus(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for i := range trees {
+		buf = c.AppendRecord(buf, i)
+	}
+	got, err := DecodeTreeRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !reflect.DeepEqual(got[0], trees[0]) {
+		t.Errorf("decoded %v", got)
+	}
+	if _, err := DecodeTreeRecords([]byte{9, 9}); err == nil {
+		t.Error("corrupt stream accepted")
+	}
+	if got, err := DecodeTreeRecords(nil); err != nil || len(got) != 0 {
+		t.Error("empty stream must decode to nothing")
+	}
+}
+
+func TestDecodeGraphRecordsStream(t *testing.T) {
+	g := &Graph{Adj: [][]uint32{{1, 2}, {}, {0}}}
+	c, err := NewGraphCorpus(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for i := 0; i < c.Len(); i++ {
+		buf = c.AppendRecord(buf, i)
+	}
+	got, err := DecodeGraphRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != 3 || got.NumEdges() != 3 {
+		t.Errorf("decoded %d vertices %d edges", got.NumVertices(), got.NumEdges())
+	}
+	empty, err := DecodeGraphRecords(nil)
+	if err != nil || empty.NumVertices() != 0 {
+		t.Error("empty stream must decode to empty graph")
+	}
+	if _, err := DecodeGraphRecords([]byte{1, 0, 0, 0, 5}); err == nil {
+		t.Error("corrupt stream accepted")
+	}
+}
+
+func TestDecodeTextRecordsStream(t *testing.T) {
+	docs := []Doc{{Terms: []uint32{0, 7}}, {Terms: []uint32{3}}}
+	c, err := NewTextCorpus(docs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for i := range docs {
+		buf = c.AppendRecord(buf, i)
+	}
+	got, vocab, err := DecodeTextRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || vocab != 8 {
+		t.Errorf("decoded %d docs, vocab %d", len(got), vocab)
+	}
+	if _, _, err := DecodeTextRecords([]byte{1, 2}); err == nil {
+		t.Error("corrupt stream accepted")
+	}
+}

@@ -1,0 +1,359 @@
+// Package sampling implements the task-specific heterogeneity
+// estimator's learning machinery (paper §III-A): progressive sampling
+// schedules and least-squares regression of execution time on input
+// size.
+//
+// The framework runs the *actual* analytics algorithm on a ladder of
+// small representative samples (0.05%–2% of the data by default) on
+// every node, records (sample size, execution time) pairs, and fits a
+// per-node linear model f_i(x) = m_i·x + c_i. The paper argues (§III-D)
+// that higher-order polynomial fits are statistically unaffordable at
+// these sample counts; PolyFit exists to reproduce that ablation.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultSchedule bounds from the paper: samples from 0.05% to 2% of
+// the input, in DefaultSteps geometric steps.
+const (
+	DefaultMinFrac = 0.0005
+	DefaultMaxFrac = 0.02
+	DefaultSteps   = 6
+)
+
+// Schedule returns a strictly increasing ladder of sample sizes for a
+// dataset of n records, spanning [minFrac, maxFrac] geometrically in
+// the given number of steps. Every size is at least 1 and at most n;
+// consecutive duplicates (tiny n) are collapsed.
+func Schedule(n int, minFrac, maxFrac float64, steps int) ([]int, error) {
+	if n <= 0 {
+		return nil, errors.New("sampling: schedule needs n ≥ 1")
+	}
+	if steps < 2 {
+		return nil, errors.New("sampling: schedule needs ≥ 2 steps")
+	}
+	if minFrac <= 0 || maxFrac > 1 || minFrac >= maxFrac {
+		return nil, fmt.Errorf("sampling: bad fraction range [%v, %v]", minFrac, maxFrac)
+	}
+	ratio := math.Pow(maxFrac/minFrac, 1/float64(steps-1))
+	sizes := make([]int, 0, steps)
+	f := minFrac
+	for i := 0; i < steps; i++ {
+		s := int(math.Round(f * float64(n)))
+		if s < 1 {
+			s = 1
+		}
+		if s > n {
+			s = n
+		}
+		if len(sizes) == 0 || s > sizes[len(sizes)-1] {
+			sizes = append(sizes, s)
+		}
+		f *= ratio
+	}
+	if len(sizes) < 2 {
+		// Degenerate tiny datasets: force a two-point ladder.
+		if n >= 2 {
+			sizes = []int{1, n}
+		} else {
+			return nil, fmt.Errorf("sampling: dataset of %d records cannot support a schedule", n)
+		}
+	}
+	return sizes, nil
+}
+
+// DefaultScheduleFor applies the paper's default ladder to n records.
+func DefaultScheduleFor(n int) ([]int, error) {
+	return Schedule(n, DefaultMinFrac, DefaultMaxFrac, DefaultSteps)
+}
+
+// DefaultMinRecords is the sample-size floor applied by
+// ScheduleWithFloor when minRecords is 0.
+const DefaultMinRecords = 64
+
+// ScheduleWithFloor is Schedule with an absolute lower bound on sample
+// sizes. The paper's 0.05%–2% fractions assume datasets large enough
+// that even the smallest sample is statistically meaningful; on
+// scaled-down corpora a fractional sample of a handful of records puts
+// support-scaled mining into a degenerate regime (local minsup ≈ 1)
+// whose cost says nothing about full-partition behaviour. The floor
+// keeps every profiling run out of that regime; the ceiling is raised
+// to at least 4× the floor so the ladder still spans a fittable range.
+func ScheduleWithFloor(n int, minFrac, maxFrac float64, steps, minRecords int) ([]int, error) {
+	if minRecords <= 0 {
+		minRecords = DefaultMinRecords
+	}
+	if n <= 0 {
+		return nil, errors.New("sampling: schedule needs n ≥ 1")
+	}
+	if steps < 2 {
+		return nil, errors.New("sampling: schedule needs ≥ 2 steps")
+	}
+	if minFrac <= 0 || maxFrac > 1 || minFrac >= maxFrac {
+		return nil, fmt.Errorf("sampling: bad fraction range [%v, %v]", minFrac, maxFrac)
+	}
+	lo := int(math.Round(minFrac * float64(n)))
+	if lo < minRecords {
+		lo = minRecords
+	}
+	hi := int(math.Round(maxFrac * float64(n)))
+	if hi < 4*minRecords {
+		hi = 4 * minRecords
+	}
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi <= lo {
+		// Tiny corpus: fall back to a two-point ladder.
+		if n >= 2 {
+			return []int{(n + 1) / 2, n}, nil
+		}
+		return nil, fmt.Errorf("sampling: dataset of %d records cannot support a schedule", n)
+	}
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(steps-1))
+	sizes := make([]int, 0, steps)
+	f := float64(lo)
+	for i := 0; i < steps; i++ {
+		s := int(math.Round(f))
+		if s > n {
+			s = n
+		}
+		if len(sizes) == 0 || s > sizes[len(sizes)-1] {
+			sizes = append(sizes, s)
+		}
+		f *= ratio
+	}
+	if len(sizes) < 2 {
+		return []int{lo, hi}, nil
+	}
+	return sizes, nil
+}
+
+// Point is one profiling observation: the algorithm ran over X data
+// units in Y seconds.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// LinearFit is the learned per-node utility function for time:
+// f(x) = Slope·x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// Predict evaluates the model at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// ClampNonNegative returns a copy with a nonnegative intercept:
+// execution time extrapolated to zero input cannot be negative, and
+// the Pareto LP requires c_i ≥ 0 for v ≥ 0 to hold.
+func (f LinearFit) ClampNonNegative() LinearFit {
+	if f.Intercept < 0 {
+		f.Intercept = 0
+	}
+	if f.Slope < 0 {
+		f.Slope = 0
+	}
+	return f
+}
+
+// FitLinear computes the ordinary-least-squares line through the
+// points. At least two points with distinct X are required.
+func FitLinear(pts []Point) (LinearFit, error) {
+	if len(pts) < 2 {
+		return LinearFit{}, fmt.Errorf("sampling: need ≥ 2 points, got %d", len(pts))
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(pts))
+	mx, my := sx/n, sy/n
+	var sxx, sxy float64
+	for _, p := range pts {
+		dx := p.X - mx
+		sxx += dx * dx
+		sxy += dx * (p.Y - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("sampling: all sample sizes identical; cannot fit")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	// R².
+	var ssTot, ssRes float64
+	for _, p := range pts {
+		ssTot += (p.Y - my) * (p.Y - my)
+		r := p.Y - (slope*p.X + intercept)
+		ssRes += r * r
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// PolyFit is a polynomial regression model y = Σ Coeffs[k]·x^k, kept
+// for the paper's §III-D ablation comparing linear vs higher-order
+// utility functions.
+type PolyFit struct {
+	Coeffs []float64
+	R2     float64
+}
+
+// Predict evaluates the polynomial at x (Horner).
+func (f PolyFit) Predict(x float64) float64 {
+	y := 0.0
+	for k := len(f.Coeffs) - 1; k >= 0; k-- {
+		y = y*x + f.Coeffs[k]
+	}
+	return y
+}
+
+// FitPoly fits a degree-d polynomial by solving the normal equations
+// with partial-pivot Gaussian elimination. Needs at least d+1 points.
+// X values are rescaled internally for conditioning.
+func FitPoly(pts []Point, degree int) (PolyFit, error) {
+	if degree < 1 {
+		return PolyFit{}, errors.New("sampling: degree must be ≥ 1")
+	}
+	if len(pts) < degree+1 {
+		return PolyFit{}, fmt.Errorf("sampling: degree %d needs ≥ %d points, got %d", degree, degree+1, len(pts))
+	}
+	// Rescale X to [0, 1] for numerical stability, then undo.
+	maxX := 0.0
+	for _, p := range pts {
+		if math.Abs(p.X) > maxX {
+			maxX = math.Abs(p.X)
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	m := degree + 1
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+	}
+	for _, p := range pts {
+		x := p.X / maxX
+		pow := make([]float64, 2*m-1)
+		pow[0] = 1
+		for k := 1; k < len(pow); k++ {
+			pow[k] = pow[k-1] * x
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				a[i][j] += pow[i+j]
+			}
+			b[i] += pow[i] * p.Y
+		}
+	}
+	coef, ok := solveDense(a, b)
+	if !ok {
+		return PolyFit{}, errors.New("sampling: singular normal equations (degenerate sample sizes)")
+	}
+	// Undo the X rescale: coefficient k divides by maxX^k.
+	scale := 1.0
+	for k := range coef {
+		coef[k] /= scale
+		scale *= maxX
+	}
+	fit := PolyFit{Coeffs: coef}
+	var my float64
+	for _, p := range pts {
+		my += p.Y
+	}
+	my /= float64(len(pts))
+	var ssTot, ssRes float64
+	for _, p := range pts {
+		ssTot += (p.Y - my) * (p.Y - my)
+		r := p.Y - fit.Predict(p.X)
+		ssRes += r * r
+	}
+	fit.R2 = 1.0
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit, nil
+}
+
+// solveDense solves a·x = b with partial pivoting; returns ok=false on
+// a (near-)singular system. a and b are clobbered.
+func solveDense(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		piv, best := -1, 1e-12
+		for r := col; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for j := col; j < n; j++ {
+			a[col][j] *= inv
+		}
+		b[col] *= inv
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	return b, true
+}
+
+// ProfileFunc measures the target algorithm once: it runs the workload
+// on a representative sample of the given size and returns the
+// (simulated or wall-clock) execution time in seconds.
+type ProfileFunc func(sampleSize int) (float64, error)
+
+// ProfileNode executes the progressive-sampling loop for one node:
+// for each scheduled size it invokes run and collects (size, time),
+// then fits the linear utility function. The returned fit is clamped
+// nonnegative, as required by the Pareto modeler.
+func ProfileNode(sizes []int, run ProfileFunc) (LinearFit, []Point, error) {
+	if len(sizes) < 2 {
+		return LinearFit{}, nil, errors.New("sampling: need ≥ 2 scheduled sizes")
+	}
+	pts := make([]Point, 0, len(sizes))
+	for _, s := range sizes {
+		y, err := run(s)
+		if err != nil {
+			return LinearFit{}, nil, fmt.Errorf("sampling: profiling at size %d: %w", s, err)
+		}
+		pts = append(pts, Point{X: float64(s), Y: y})
+	}
+	fit, err := FitLinear(pts)
+	if err != nil {
+		return LinearFit{}, pts, err
+	}
+	return fit.ClampNonNegative(), pts, nil
+}

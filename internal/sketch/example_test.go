@@ -1,0 +1,22 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"pareto/internal/sketch"
+)
+
+// Estimate the Jaccard similarity of two sets from their sketches.
+func ExampleHasher_Sketch() {
+	h, err := sketch.NewHasher(256, 42)
+	if err != nil {
+		panic(err)
+	}
+	a := []sketch.Item{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []sketch.Item{1, 2, 3, 4, 9, 10, 11, 12} // Jaccard = 4/12 = 1/3
+	est := h.Sketch(a).Agreement(h.Sketch(b))
+	exact := sketch.ExactJaccard(a, b)
+	fmt.Printf("exact=%.3f estimate within 0.1: %v\n", exact, est > exact-0.1 && est < exact+0.1)
+	// Output:
+	// exact=0.333 estimate within 0.1: true
+}

@@ -1,0 +1,238 @@
+// Package sketch implements min-wise independent permutation sketches
+// (MinHash) over item sets, following Broder et al. (STOC 1998) with the
+// cheap "min-wise independent linear permutations" family of Bohman,
+// Cooper and Frieze (Electron. J. Combin. 2000) that the paper adopts
+// for efficiency (paper §III-C step 2).
+//
+// A sketch is a fixed-length vector of k minima, one per random linear
+// permutation h(x) = (a·x + b) mod p over a large prime field. The
+// probability that two sketches agree in one coordinate approximates
+// the Jaccard similarity of the underlying sets, so Hamming agreement
+// between sketches estimates Jaccard similarity without touching the
+// (potentially huge) original sets.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"math/rand"
+)
+
+// MersennePrime61 is the field modulus 2^61−1 used by the linear
+// permutation family. It is large enough that collisions between
+// distinct 61-bit items are impossible and reduction is branch-cheap.
+const MersennePrime61 = (1 << 61) - 1
+
+// Item is a universe element. Raw data (words, pivots, neighbor IDs)
+// is hashed into Items before sketching; see HashString and HashBytes.
+type Item = uint64
+
+// LinearPermutation is one member of the min-wise independent linear
+// family: π(x) = (A·x + B) mod 2^61−1 with A ∈ [1, p−1], B ∈ [0, p−1].
+type LinearPermutation struct {
+	A uint64
+	B uint64
+}
+
+// Apply evaluates the permutation at x. x is first folded into the
+// field so that arbitrary 64-bit items are accepted.
+func (lp LinearPermutation) Apply(x Item) uint64 {
+	return addMod(mulMod(lp.A, reduce(x)), lp.B)
+}
+
+// reduce folds an arbitrary 64-bit value into [0, 2^61−1).
+func reduce(x uint64) uint64 {
+	x = (x >> 61) + (x & MersennePrime61)
+	if x >= MersennePrime61 {
+		x -= MersennePrime61
+	}
+	return x
+}
+
+// mulMod returns a·b mod 2^61−1 using a 128-bit intermediate product.
+func mulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a·b = hi·2^64 + lo. With p = 2^61−1, 2^61 ≡ 1, so
+	// 2^64 ≡ 8 (mod p) and the product folds in two steps.
+	r := (lo & MersennePrime61) + (lo >> 61) + (hi<<3)&MersennePrime61 + (hi >> 58)
+	r = (r & MersennePrime61) + (r >> 61)
+	if r >= MersennePrime61 {
+		r -= MersennePrime61
+	}
+	return r
+}
+
+// addMod returns a+b mod 2^61−1 for a, b already < 2^61−1.
+func addMod(a, b uint64) uint64 {
+	s := a + b
+	if s >= MersennePrime61 {
+		s -= MersennePrime61
+	}
+	return s
+}
+
+// Sketch is the k-dimensional signature of one item set. Sketches are
+// the categorical feature vectors consumed by the compositeKModes
+// stratifier: coordinate i is the minimum of permutation i over the set.
+type Sketch []uint64
+
+// Agreement returns the fraction of coordinates at which the two
+// sketches are equal — the MinHash estimate of Jaccard similarity.
+// It panics if the sketches have different lengths, which indicates
+// they came from different Hashers and comparing them is a bug.
+func (s Sketch) Agreement(t Sketch) float64 {
+	if len(s) != len(t) {
+		panic(fmt.Sprintf("sketch: comparing sketches of different widths %d and %d", len(s), len(t)))
+	}
+	if len(s) == 0 {
+		return 0
+	}
+	eq := 0
+	for i := range s {
+		if s[i] == t[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(s))
+}
+
+// Clone returns a copy of the sketch.
+func (s Sketch) Clone() Sketch {
+	c := make(Sketch, len(s))
+	copy(c, s)
+	return c
+}
+
+// EmptySentinel is the coordinate value produced when sketching an
+// empty set: no item exists to take a minimum over. It is outside the
+// field [0, 2^61−1) so it can never collide with a real minimum.
+const EmptySentinel = ^uint64(0)
+
+// Hasher holds k independent linear permutations and produces sketches.
+// A Hasher is immutable after construction and safe for concurrent use.
+type Hasher struct {
+	perms []LinearPermutation
+}
+
+// ErrNoPermutations is returned by NewHasher when k < 1.
+var ErrNoPermutations = errors.New("sketch: hasher needs at least one permutation")
+
+// NewHasher creates a Hasher with k permutations drawn deterministically
+// from seed. Equal (k, seed) pairs always yield identical Hashers, so
+// sketches computed on different cluster nodes are comparable.
+func NewHasher(k int, seed int64) (*Hasher, error) {
+	if k < 1 {
+		return nil, ErrNoPermutations
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perms := make([]LinearPermutation, k)
+	for i := range perms {
+		perms[i] = LinearPermutation{
+			A: 1 + uint64(rng.Int63n(MersennePrime61-1)),
+			B: uint64(rng.Int63n(MersennePrime61)),
+		}
+	}
+	return &Hasher{perms: perms}, nil
+}
+
+// K returns the sketch width (number of permutations).
+func (h *Hasher) K() int { return len(h.perms) }
+
+// Sketch computes the k-minima signature of the given item set.
+// The set need not be sorted or deduplicated; duplicates cannot change
+// a minimum. An empty set yields a sketch of EmptySentinel coordinates.
+func (h *Hasher) Sketch(set []Item) Sketch {
+	out := make(Sketch, len(h.perms))
+	h.SketchInto(set, out)
+	return out
+}
+
+// SketchInto computes the signature into dst, which must have length
+// K(). It exists so bulk sketching can avoid per-set allocations.
+func (h *Hasher) SketchInto(set []Item, dst Sketch) {
+	if len(dst) != len(h.perms) {
+		panic(fmt.Sprintf("sketch: SketchInto dst width %d, want %d", len(dst), len(h.perms)))
+	}
+	for i := range dst {
+		dst[i] = EmptySentinel
+	}
+	for _, x := range set {
+		xr := reduce(x)
+		for i, p := range h.perms {
+			v := addMod(mulMod(p.A, xr), p.B)
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// ExactJaccard computes |a∩b| / |a∪b| exactly. Inputs need not be
+// sorted; duplicates are ignored. Two empty sets have similarity 0.
+func ExactJaccard(a, b []Item) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	seen := make(map[Item]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	union := len(seen)
+	inter := 0
+	counted := make(map[Item]bool, len(b))
+	for _, x := range b {
+		if counted[x] {
+			continue
+		}
+		counted[x] = true
+		if seen[x] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// HashString maps a string item (a word, a serialized pivot) into the
+// sketch universe with FNV-1a.
+func HashString(s string) Item {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HashBytes maps a byte-slice item into the sketch universe with FNV-1a.
+func HashBytes(b []byte) Item {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}
+
+// Hash2 maps an ordered pair of 64-bit values (e.g. a graph edge or a
+// two-field pivot) into the sketch universe. It mixes with the FNV-1a
+// prime so that (a,b) and (b,a) map to different items.
+func Hash2(a, b uint64) Item {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= (a >> (8 * i)) & 0xff
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (b >> (8 * i)) & 0xff
+		h *= prime
+	}
+	return h
+}
+
+// Hash3 maps an ordered triple (e.g. an LCA pivot (a,p,q)) into the
+// sketch universe.
+func Hash3(a, b, c uint64) Item {
+	return Hash2(Hash2(a, b), c)
+}

@@ -1,0 +1,64 @@
+package strata
+
+import (
+	"errors"
+	"fmt"
+
+	"pareto/internal/sketch"
+)
+
+// ChooseK selects a stratum count by the elbow criterion: it clusters
+// at geometrically increasing K and stops when doubling K no longer
+// buys a meaningful reduction of the mismatch cost. The paper fixes K
+// manually ("usually the number of strata are much higher than the
+// number of partitions", §III-E); this helper automates that choice
+// for users who do not know their data's latent group structure.
+//
+// minK is typically the partition count (every partition needs strata
+// to draw from); maxK caps the search. The relative-improvement
+// threshold is fixed at 10%.
+func ChooseK(sketches []sketch.Sketch, minK, maxK int, cfg Config) (int, error) {
+	if len(sketches) == 0 {
+		return 0, errors.New("strata: no sketches")
+	}
+	if minK < 1 || maxK < minK {
+		return 0, fmt.Errorf("strata: invalid K range [%d, %d]", minK, maxK)
+	}
+	if maxK > len(sketches) {
+		maxK = len(sketches)
+	}
+	if minK >= maxK {
+		return maxK, nil
+	}
+	const improvementFloor = 0.10
+	costAt := func(k int) (int64, error) {
+		c := cfg
+		c.K = k
+		res, err := Cluster(sketches, c)
+		if err != nil {
+			return 0, err
+		}
+		return res.Cost, nil
+	}
+	bestK := minK
+	prev, err := costAt(minK)
+	if err != nil {
+		return 0, err
+	}
+	for k := minK * 2; k <= maxK; k *= 2 {
+		cur, err := costAt(k)
+		if err != nil {
+			return 0, err
+		}
+		if prev <= 0 {
+			break // cost already zero: more strata cannot help
+		}
+		improvement := float64(prev-cur) / float64(prev)
+		if improvement < improvementFloor {
+			break
+		}
+		bestK = k
+		prev = cur
+	}
+	return bestK, nil
+}

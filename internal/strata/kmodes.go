@@ -1,0 +1,311 @@
+// Package strata implements the data stratifier (paper §III-C): it
+// clusters record sketches with the compositeKModes algorithm of Wang
+// et al. (ICDE 2013) so that each cluster — a *stratum* — groups
+// records with similar content.
+//
+// Standard KModes keeps one mode (most frequent value) per attribute
+// of each cluster center. Sketch coordinates are drawn from a huge
+// universe, so a record matches a single mode with vanishing
+// probability and most records end up equidistant from every center
+// (the "zero-match" problem). compositeKModes instead keeps the L
+// highest-frequency values per attribute; a record coordinate matches
+// if it equals any of the L values. With L > 1 the zero-match
+// probability drops geometrically while the KModes convergence
+// argument (assignment and update both monotonically decrease the
+// mismatch objective) is preserved.
+package strata
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pareto/internal/sketch"
+)
+
+// Config controls compositeKModes clustering.
+type Config struct {
+	// K is the number of strata (clusters). Required ≥ 1.
+	K int
+	// L is the number of highest-frequency values retained per center
+	// attribute. Required ≥ 1; the paper uses L > 1 to avoid
+	// zero-match assignment failures.
+	L int
+	// MaxIter bounds the assign/update rounds. 0 means DefaultMaxIter.
+	MaxIter int
+	// Seed drives center initialization; equal seeds give equal runs.
+	Seed int64
+	// Workers bounds parallelism in the assignment step.
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultMaxIter is used when Config.MaxIter is zero.
+const DefaultMaxIter = 50
+
+// Center is one cluster center: per sketch attribute, up to L candidate
+// values ordered by descending member frequency.
+type Center struct {
+	Values [][]uint64
+}
+
+// matches reports whether coordinate value v matches attribute a.
+func (c *Center) matches(a int, v uint64) bool {
+	for _, w := range c.Values[a] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is a completed clustering.
+type Result struct {
+	// Assign maps record index → stratum index in [0, K).
+	Assign []int
+	// Members lists record indices per stratum, each ascending.
+	Members [][]int
+	// Centers holds the final composite centers.
+	Centers []Center
+	// Iterations is the number of assign/update rounds executed.
+	Iterations int
+	// Converged reports whether assignments reached a fixed point
+	// before MaxIter.
+	Converged bool
+	// Cost is the final objective: total attribute mismatches between
+	// each record and its center.
+	Cost int64
+}
+
+// K returns the number of strata.
+func (r *Result) K() int { return len(r.Members) }
+
+// Sizes returns the member count of each stratum.
+func (r *Result) Sizes() []int {
+	s := make([]int, len(r.Members))
+	for i, m := range r.Members {
+		s[i] = len(m)
+	}
+	return s
+}
+
+// Cluster runs compositeKModes over the sketches. All sketches must
+// have equal width. K is capped at the number of records.
+func Cluster(sketches []sketch.Sketch, cfg Config) (*Result, error) {
+	n := len(sketches)
+	if n == 0 {
+		return nil, errors.New("strata: no sketches to cluster")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("strata: K = %d, need ≥ 1", cfg.K)
+	}
+	if cfg.L < 1 {
+		return nil, fmt.Errorf("strata: L = %d, need ≥ 1", cfg.L)
+	}
+	width := len(sketches[0])
+	if width == 0 {
+		return nil, errors.New("strata: zero-width sketches")
+	}
+	for i, s := range sketches {
+		if len(s) != width {
+			return nil, fmt.Errorf("strata: sketch %d has width %d, want %d", i, len(s), width)
+		}
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := initCenters(sketches, k, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed, cost := assignAll(sketches, centers, assign, workers)
+		res.Cost = cost
+		if !changed {
+			res.Converged = true
+			break
+		}
+		centers = updateCenters(sketches, assign, k, width, cfg.L)
+		reseedEmpty(sketches, centers, assign, rng)
+	}
+
+	res.Assign = assign
+	res.Centers = centers
+	res.Members = make([][]int, k)
+	for i, a := range assign {
+		res.Members[a] = append(res.Members[a], i)
+	}
+	return res, nil
+}
+
+// initCenters seeds k centers from distinct random records.
+func initCenters(sketches []sketch.Sketch, k int, rng *rand.Rand) []Center {
+	perm := rng.Perm(len(sketches))
+	centers := make([]Center, k)
+	for c := 0; c < k; c++ {
+		s := sketches[perm[c]]
+		vals := make([][]uint64, len(s))
+		for a, v := range s {
+			vals[a] = []uint64{v}
+		}
+		centers[c] = Center{Values: vals}
+	}
+	return centers
+}
+
+// assignAll assigns every record to its nearest center in parallel,
+// reporting whether any assignment changed and the total mismatch cost.
+func assignAll(sketches []sketch.Sketch, centers []Center, assign []int, workers int) (bool, int64) {
+	n := len(sketches)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	changedCh := make([]bool, workers)
+	costCh := make([]int64, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var localChanged bool
+			var localCost int64
+			for i := lo; i < hi; i++ {
+				best, bestDist := 0, int(^uint(0)>>1)
+				for c := range centers {
+					d := distance(sketches[i], &centers[c])
+					if d < bestDist || (d == bestDist && c < best) {
+						best, bestDist = c, d
+					}
+				}
+				if assign[i] != best {
+					assign[i] = best
+					localChanged = true
+				}
+				localCost += int64(bestDist)
+			}
+			changedCh[w] = localChanged
+			costCh[w] = localCost
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	changed := false
+	var cost int64
+	for w := 0; w < workers; w++ {
+		changed = changed || changedCh[w]
+		cost += costCh[w]
+	}
+	return changed, cost
+}
+
+// distance counts attributes of s that match none of the center's
+// candidate values — the composite mismatch metric.
+func distance(s sketch.Sketch, c *Center) int {
+	d := 0
+	for a, v := range s {
+		if !c.matches(a, v) {
+			d++
+		}
+	}
+	return d
+}
+
+// updateCenters recomputes each center as the per-attribute top-L
+// values among its members. Ties break toward the smaller value so the
+// update is deterministic.
+func updateCenters(sketches []sketch.Sketch, assign []int, k, width, l int) []Center {
+	counts := make([]map[uint64]int, k*width)
+	for i := range counts {
+		counts[i] = make(map[uint64]int)
+	}
+	for i, s := range sketches {
+		base := assign[i] * width
+		for a, v := range s {
+			counts[base+a][v]++
+		}
+	}
+	centers := make([]Center, k)
+	for c := 0; c < k; c++ {
+		vals := make([][]uint64, width)
+		for a := 0; a < width; a++ {
+			vals[a] = topL(counts[c*width+a], l)
+		}
+		centers[c] = Center{Values: vals}
+	}
+	return centers
+}
+
+// topL returns up to l keys of freq with the highest counts,
+// deterministically (count desc, value asc).
+func topL(freq map[uint64]int, l int) []uint64 {
+	type kv struct {
+		v uint64
+		n int
+	}
+	all := make([]kv, 0, len(freq))
+	for v, n := range freq {
+		all = append(all, kv{v, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].v < all[j].v
+	})
+	if len(all) > l {
+		all = all[:l]
+	}
+	out := make([]uint64, len(all))
+	for i, e := range all {
+		out[i] = e.v
+	}
+	return out
+}
+
+// reseedEmpty replaces the center of any empty cluster with a random
+// record's sketch, so K never silently collapses.
+func reseedEmpty(sketches []sketch.Sketch, centers []Center, assign []int, rng *rand.Rand) {
+	k := len(centers)
+	size := make([]int, k)
+	for _, a := range assign {
+		if a >= 0 {
+			size[a]++
+		}
+	}
+	for c := 0; c < k; c++ {
+		if size[c] > 0 && len(centers[c].Values[0]) > 0 {
+			continue
+		}
+		i := rng.Intn(len(sketches))
+		vals := make([][]uint64, len(sketches[i]))
+		for a, v := range sketches[i] {
+			vals[a] = []uint64{v}
+		}
+		centers[c] = Center{Values: vals}
+	}
+}

@@ -1,0 +1,226 @@
+package strata
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pareto/internal/sketch"
+)
+
+// plantedSketches builds n sketches of the given width drawn from k
+// well-separated planted clusters: cluster c uses coordinate values in
+// a disjoint band, with noise coordinates resampled uniformly.
+func plantedSketches(n, width, k int, noise float64, seed int64) ([]sketch.Sketch, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	sketches := make([]sketch.Sketch, n)
+	truth := make([]int, n)
+	// Each cluster has a prototype sketch; members copy it and corrupt
+	// a noise fraction of coordinates.
+	protos := make([]sketch.Sketch, k)
+	for c := range protos {
+		p := make(sketch.Sketch, width)
+		for a := range p {
+			p[a] = uint64(c*1_000_000 + rng.Intn(1000))
+		}
+		protos[c] = p
+	}
+	for i := range sketches {
+		c := i % k
+		truth[i] = c
+		s := protos[c].Clone()
+		for a := range s {
+			if rng.Float64() < noise {
+				s[a] = rng.Uint64()
+			}
+		}
+		sketches[i] = s
+	}
+	return sketches, truth
+}
+
+func TestClusterValidation(t *testing.T) {
+	good := []sketch.Sketch{{1, 2}, {3, 4}}
+	cases := []struct {
+		sk  []sketch.Sketch
+		cfg Config
+	}{
+		{nil, Config{K: 2, L: 1}},
+		{good, Config{K: 0, L: 1}},
+		{good, Config{K: 2, L: 0}},
+		{[]sketch.Sketch{{}}, Config{K: 1, L: 1}},
+		{[]sketch.Sketch{{1, 2}, {3}}, Config{K: 1, L: 1}},
+	}
+	for i, c := range cases {
+		if _, err := Cluster(c.sk, c.cfg); err == nil {
+			t.Errorf("case %d: invalid input accepted", i)
+		}
+	}
+}
+
+func TestClusterRecoversPlantedClusters(t *testing.T) {
+	sketches, truth := plantedSketches(300, 16, 3, 0.1, 5)
+	res, err := Cluster(sketches, Config{K: 3, L: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("expected convergence on well-separated clusters")
+	}
+	// Compute cluster purity: each found cluster should be dominated
+	// by one true cluster.
+	for c, members := range res.Members {
+		if len(members) == 0 {
+			continue
+		}
+		counts := map[int]int{}
+		for _, i := range members {
+			counts[truth[i]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		purity := float64(best) / float64(len(members))
+		if purity < 0.9 {
+			t.Errorf("cluster %d purity %.2f < 0.9", c, purity)
+		}
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	sketches, _ := plantedSketches(100, 8, 4, 0.2, 6)
+	r1, err := Cluster(sketches, Config{K: 4, L: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Cluster(sketches, Config{K: 4, L: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Assign, r2.Assign) {
+		t.Error("same seed must give identical clustering")
+	}
+}
+
+func TestClusterParallelMatchesSerial(t *testing.T) {
+	sketches, _ := plantedSketches(200, 8, 4, 0.3, 6)
+	serial, err := Cluster(sketches, Config{K: 4, L: 2, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Cluster(sketches, Config{K: 4, L: 2, Seed: 3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Assign, parallel.Assign) {
+		t.Error("worker count must not change the result")
+	}
+}
+
+func TestClusterKCappedAtN(t *testing.T) {
+	sketches := []sketch.Sketch{{1, 2}, {3, 4}}
+	res, err := Cluster(sketches, Config{K: 10, L: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 2 {
+		t.Errorf("K = %d, want capped 2", res.K())
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= 2 {
+			t.Errorf("assignment %d out of range", a)
+		}
+	}
+}
+
+func TestClusterSingleCluster(t *testing.T) {
+	sketches, _ := plantedSketches(50, 8, 2, 0.2, 6)
+	res, err := Cluster(sketches, Config{K: 1, L: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members[0]) != 50 {
+		t.Errorf("single cluster holds %d members, want all 50", len(res.Members[0]))
+	}
+}
+
+func TestClusterEveryRecordAssigned(t *testing.T) {
+	sketches, _ := plantedSketches(123, 8, 5, 0.4, 8)
+	res, err := Cluster(sketches, Config{K: 5, L: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range res.Members {
+		total += len(m)
+	}
+	if total != 123 {
+		t.Errorf("members total %d, want 123", total)
+	}
+	sizes := res.Sizes()
+	sum := 0
+	for _, s := range sizes {
+		sum += s
+	}
+	if sum != 123 {
+		t.Errorf("Sizes sum %d, want 123", sum)
+	}
+}
+
+func TestCompositeLReducesZeroMatch(t *testing.T) {
+	// With a huge value universe, L=1 centers leave many records with
+	// zero matching attributes; larger L must reduce the final
+	// mismatch cost (the motivation for compositeKModes, §III-C).
+	sketches, _ := plantedSketches(400, 16, 4, 0.5, 10)
+	cost := func(l int) int64 {
+		res, err := Cluster(sketches, Config{K: 4, L: l, Seed: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+	c1, c4 := cost(1), cost(4)
+	if c4 > c1 {
+		t.Errorf("L=4 cost %d exceeds L=1 cost %d; composite centers should match more", c4, c1)
+	}
+}
+
+func TestTopL(t *testing.T) {
+	freq := map[uint64]int{10: 5, 20: 5, 30: 1, 40: 9}
+	got := topL(freq, 2)
+	if !reflect.DeepEqual(got, []uint64{40, 10}) {
+		t.Errorf("topL = %v, want [40 10] (count desc, value asc tiebreak)", got)
+	}
+	if got := topL(freq, 10); len(got) != 4 {
+		t.Errorf("topL over-long = %v", got)
+	}
+	if got := topL(nil, 3); len(got) != 0 {
+		t.Errorf("topL(nil) = %v", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	c := Center{Values: [][]uint64{{1, 2}, {3}, {4}}}
+	if d := distance(sketch.Sketch{2, 3, 4}, &c); d != 0 {
+		t.Errorf("full match distance %d", d)
+	}
+	if d := distance(sketch.Sketch{9, 3, 4}, &c); d != 1 {
+		t.Errorf("one mismatch distance %d", d)
+	}
+	if d := distance(sketch.Sketch{9, 9, 9}, &c); d != 3 {
+		t.Errorf("no match distance %d", d)
+	}
+}
+
+func BenchmarkCluster1000x32K8(b *testing.B) {
+	sketches, _ := plantedSketches(1000, 32, 8, 0.2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(sketches, Config{K: 8, L: 2, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package strata
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StratifiedSample draws a sample of exactly size records (indices)
+// from the strata membership lists, allocating proportionally to
+// stratum sizes (largest-remainder) and sampling without replacement
+// inside each stratum. Cochran's classical result — that a stratified
+// sample tracks the underlying distribution far better than a simple
+// random sample — is why the progressive-sampling profiler uses these
+// samples: they are representative of the framework's final
+// representative partitions (paper §III-E).
+func StratifiedSample(members [][]int, size int, seed int64) ([]int, error) {
+	n := 0
+	for _, m := range members {
+		n += len(m)
+	}
+	if size < 0 || size > n {
+		return nil, fmt.Errorf("strata: sample size %d out of [0, %d]", size, n)
+	}
+	if size == 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Proportional quotas.
+	quota := make([]int, len(members))
+	type rem struct {
+		s int
+		f float64
+	}
+	rems := make([]rem, 0, len(members))
+	assigned := 0
+	for s, m := range members {
+		exact := float64(size) * float64(len(m)) / float64(n)
+		quota[s] = int(exact)
+		if quota[s] > len(m) {
+			quota[s] = len(m)
+		}
+		assigned += quota[s]
+		rems = append(rems, rem{s, exact - float64(quota[s])})
+	}
+	for assigned < size {
+		best := -1
+		for i := range rems {
+			s := rems[i].s
+			if quota[s] >= len(members[s]) {
+				continue
+			}
+			if best < 0 || rems[i].f > rems[best].f {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		quota[rems[best].s]++
+		rems[best].f = -1
+		assigned++
+	}
+	// Sample without replacement within each stratum.
+	out := make([]int, 0, size)
+	for s, m := range members {
+		q := quota[s]
+		if q == 0 {
+			continue
+		}
+		if q == len(m) {
+			out = append(out, m...)
+			continue
+		}
+		perm := rng.Perm(len(m))[:q]
+		for _, i := range perm {
+			out = append(out, m[i])
+		}
+	}
+	return out, nil
+}

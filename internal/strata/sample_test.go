@@ -1,0 +1,123 @@
+package strata
+
+import (
+	"math"
+	"testing"
+
+	"pareto/internal/sketch"
+)
+
+func TestStratifiedSampleProportions(t *testing.T) {
+	// Strata of sizes 600/300/100: a 100-record sample should hold
+	// roughly 60/30/10.
+	members := make([][]int, 3)
+	id := 0
+	for s, n := range []int{600, 300, 100} {
+		for i := 0; i < n; i++ {
+			members[s] = append(members[s], id)
+			id++
+		}
+	}
+	sample, err := StratifiedSample(members, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 100 {
+		t.Fatalf("sample size %d", len(sample))
+	}
+	counts := make([]int, 3)
+	seen := map[int]bool{}
+	for _, r := range sample {
+		if seen[r] {
+			t.Fatal("sampling with replacement detected")
+		}
+		seen[r] = true
+		switch {
+		case r < 600:
+			counts[0]++
+		case r < 900:
+			counts[1]++
+		default:
+			counts[2]++
+		}
+	}
+	want := []int{60, 30, 10}
+	for s := range counts {
+		if math.Abs(float64(counts[s]-want[s])) > 2 {
+			t.Errorf("stratum %d: %d sampled, want ≈%d", s, counts[s], want[s])
+		}
+	}
+}
+
+func TestStratifiedSampleEdgeCases(t *testing.T) {
+	members := [][]int{{0, 1, 2}, {}, {3}}
+	// Zero sample.
+	s, err := StratifiedSample(members, 0, 1)
+	if err != nil || len(s) != 0 {
+		t.Errorf("zero sample: %v, %v", s, err)
+	}
+	// Full sample covers everything exactly once.
+	s, err = StratifiedSample(members, 4, 1)
+	if err != nil || len(s) != 4 {
+		t.Fatalf("full sample: %v, %v", s, err)
+	}
+	seen := map[int]bool{}
+	for _, r := range s {
+		seen[r] = true
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Errorf("record %d missing from full sample", i)
+		}
+	}
+	// Oversized and negative rejected.
+	if _, err := StratifiedSample(members, 5, 1); err == nil {
+		t.Error("oversized sample accepted")
+	}
+	if _, err := StratifiedSample(members, -1, 1); err == nil {
+		t.Error("negative size accepted")
+	}
+	// Singleton stratum with size 1 sample.
+	s, err = StratifiedSample([][]int{{42}}, 1, 9)
+	if err != nil || len(s) != 1 || s[0] != 42 {
+		t.Errorf("singleton sample %v, %v", s, err)
+	}
+}
+
+func TestStratifiedSampleDeterministic(t *testing.T) {
+	members := [][]int{{0, 1, 2, 3, 4, 5, 6, 7}, {8, 9, 10, 11}}
+	a, err := StratifiedSample(members, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StratifiedSample(members, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed gave different samples")
+		}
+	}
+}
+
+func TestReseedEmptyRestoresK(t *testing.T) {
+	// Adversarial data for K-modes: two records, K=2, but both records
+	// identical — one cluster will empty out and must be reseeded
+	// rather than silently collapsing.
+	sketches := []sketch.Sketch{{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}}
+	res, err := Cluster(sketches, Config{K: 2, L: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 2 {
+		t.Errorf("K collapsed to %d", res.K())
+	}
+	total := 0
+	for _, m := range res.Members {
+		total += len(m)
+	}
+	if total != 4 {
+		t.Errorf("members %d", total)
+	}
+}

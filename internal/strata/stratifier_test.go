@@ -1,0 +1,219 @@
+package strata
+
+import (
+	"math/rand"
+	"testing"
+
+	"pareto/internal/pivots"
+	"pareto/internal/sketch"
+)
+
+// clusteredTextCorpus builds a corpus with k planted topics: documents
+// of topic c draw terms from a disjoint vocabulary band.
+func clusteredTextCorpus(t *testing.T, nDocs, k int) (*pivots.TextCorpus, []int) {
+	t.Helper()
+	const bandWidth = 50
+	const docTerms = 20
+	docs := make([]pivots.Doc, nDocs)
+	truth := make([]int, nDocs)
+	for i := range docs {
+		c := i % k
+		truth[i] = c
+		terms := make([]uint32, 0, docTerms)
+		for j := 0; j < docTerms; j++ {
+			// Deterministic but varied term choice inside the band.
+			term := uint32(c*bandWidth + (i*7+j*3)%bandWidth)
+			terms = append(terms, term)
+		}
+		// Sort + dedup to satisfy corpus invariants.
+		docs[i] = pivots.Doc{Terms: dedupSorted(terms)}
+	}
+	corpus, err := pivots.NewTextCorpus(docs, k*bandWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus, truth
+}
+
+func dedupSorted(terms []uint32) []uint32 {
+	seen := map[uint32]bool{}
+	var out []uint32
+	for _, x := range terms {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func TestStratifyEmptyCorpus(t *testing.T) {
+	corpus, err := pivots.NewTextCorpus(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stratify(corpus, StratifierConfig{Cluster: Config{K: 2, L: 2}}); err == nil {
+		t.Error("empty corpus must fail")
+	}
+}
+
+func TestStratifySeparatesTopics(t *testing.T) {
+	corpus, truth := clusteredTextCorpus(t, 240, 3)
+	s, err := Stratify(corpus, StratifierConfig{
+		SketchWidth: 48,
+		Cluster:     Config{K: 3, L: 3, Seed: 7},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, members := range s.Members {
+		if len(members) == 0 {
+			continue
+		}
+		counts := map[int]int{}
+		for _, i := range members {
+			counts[truth[i]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		if purity := float64(best) / float64(len(members)); purity < 0.85 {
+			t.Errorf("stratum %d purity %.2f", c, purity)
+		}
+	}
+	intra, inter := s.MeanIntraSimilarity(1000)
+	if intra <= inter {
+		t.Errorf("intra similarity %.3f not above inter %.3f", intra, inter)
+	}
+}
+
+func TestStratifyWeightTotals(t *testing.T) {
+	corpus, _ := clusteredTextCorpus(t, 60, 2)
+	s, err := Stratify(corpus, StratifierConfig{Cluster: Config{K: 2, L: 2, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, w := range s.WeightTotals {
+		sum += w
+	}
+	want := 0
+	for i := 0; i < corpus.Len(); i++ {
+		want += corpus.Weight(i)
+	}
+	if sum != want {
+		t.Errorf("weight totals sum %d, want %d", sum, want)
+	}
+}
+
+func TestStratifyDefaultWidth(t *testing.T) {
+	corpus, _ := clusteredTextCorpus(t, 30, 2)
+	s, err := Stratify(corpus, StratifierConfig{Cluster: Config{K: 2, L: 2, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Sketches[0]) != DefaultSketchWidth {
+		t.Errorf("sketch width %d, want default %d", len(s.Sketches[0]), DefaultSketchWidth)
+	}
+}
+
+func TestSketchCorpusParallelMatchesSerial(t *testing.T) {
+	corpus, _ := clusteredTextCorpus(t, 100, 4)
+	h, err := sketch.NewHasher(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := SketchCorpus(corpus, h, 1)
+	b := SketchCorpus(corpus, h, 7)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("sketch %d differs between 1 and 7 workers", i)
+			}
+		}
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	s := &Stratification{Result: &Result{Members: [][]int{{0, 1}, {2, 3}}}}
+	if e := s.Entropy(); e < 0.69 || e > 0.70 {
+		t.Errorf("uniform 2-strata entropy %v, want ln 2", e)
+	}
+	s = &Stratification{Result: &Result{Members: [][]int{{0, 1, 2, 3}, {}}}}
+	if e := s.Entropy(); e != 0 {
+		t.Errorf("degenerate entropy %v, want 0", e)
+	}
+	s = &Stratification{Result: &Result{Members: [][]int{{}, {}}}}
+	if e := s.Entropy(); e != 0 {
+		t.Errorf("empty entropy %v, want 0", e)
+	}
+}
+
+func TestChooseKRecoversPlantedCount(t *testing.T) {
+	// 6 well-separated planted clusters: the elbow should land at or
+	// just above 6 (powers of two from 2: 2,4,8 — expect 8, since 4→8
+	// still improves markedly and 8→16 does not).
+	sketches, _ := plantedSketchesForChooseK(600, 16, 6, 0.1)
+	k, err := ChooseK(sketches, 2, 64, Config{L: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 4 || k > 16 {
+		t.Errorf("ChooseK = %d, want near the planted 6", k)
+	}
+}
+
+func TestChooseKValidation(t *testing.T) {
+	if _, err := ChooseK(nil, 2, 8, Config{L: 1}); err == nil {
+		t.Error("no sketches accepted")
+	}
+	sk, _ := plantedSketchesForChooseK(20, 4, 2, 0.1)
+	if _, err := ChooseK(sk, 0, 8, Config{L: 1}); err == nil {
+		t.Error("minK 0 accepted")
+	}
+	if _, err := ChooseK(sk, 8, 4, Config{L: 1}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	// maxK capped at n; minK ≥ maxK short-circuits.
+	k, err := ChooseK(sk, 30, 50, Config{L: 1, Seed: 1})
+	if err != nil || k != 20 {
+		t.Errorf("capped ChooseK = %d, %v (want n=20)", k, err)
+	}
+}
+
+// plantedSketchesForChooseK mirrors the kmodes test helper without
+// sharing state across files.
+func plantedSketchesForChooseK(n, width, k int, noise float64) ([]sketch.Sketch, []int) {
+	rng := rand.New(rand.NewSource(77))
+	protos := make([]sketch.Sketch, k)
+	for c := range protos {
+		p := make(sketch.Sketch, width)
+		for a := range p {
+			p[a] = uint64(c*1_000_000 + rng.Intn(500))
+		}
+		protos[c] = p
+	}
+	sketches := make([]sketch.Sketch, n)
+	truth := make([]int, n)
+	for i := range sketches {
+		c := i % k
+		truth[i] = c
+		s := protos[c].Clone()
+		for a := range s {
+			if rng.Float64() < noise {
+				s[a] = rng.Uint64()
+			}
+		}
+		sketches[i] = s
+	}
+	return sketches, truth
+}

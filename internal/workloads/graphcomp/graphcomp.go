@@ -1,0 +1,335 @@
+package graphcomp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code selects the variable-length code used for residual gaps.
+type Code int
+
+// Residual codes.
+const (
+	// GammaCode is the Elias γ code (good for small gaps).
+	GammaCode Code = iota
+	// ZetaCode is the ζ_k code of Boldi & Vigna, tuned for the
+	// power-law gap distributions of real webgraphs.
+	ZetaCode
+)
+
+// Config controls the compressor.
+type Config struct {
+	// Window is the reference window: how many previously encoded
+	// lists each list may copy from. 0 disables reference compression.
+	Window int
+	// Residuals selects the residual gap code (default GammaCode).
+	Residuals Code
+	// ZetaK is the ζ shrinking parameter (default 3, webgraph's own
+	// default); used only with ZetaCode.
+	ZetaK uint
+}
+
+// DefaultWindow matches webgraph's usual small window.
+const DefaultWindow = 7
+
+// DefaultZetaK is webgraph's default ζ shrinking parameter.
+const DefaultZetaK = 3
+
+// residualWriter returns the configured natural-number writer.
+func (c Config) residualWriter() (func(w *BitWriter, v uint64), error) {
+	switch c.Residuals {
+	case GammaCode:
+		return func(w *BitWriter, v uint64) { w.WriteGamma0(v) }, nil
+	case ZetaCode:
+		k := c.ZetaK
+		if k == 0 {
+			k = DefaultZetaK
+		}
+		return func(w *BitWriter, v uint64) { w.WriteZeta0(k, v) }, nil
+	default:
+		return nil, fmt.Errorf("graphcomp: unknown residual code %d", int(c.Residuals))
+	}
+}
+
+// residualReader returns the configured natural-number reader.
+func (c Config) residualReader() (func(r *BitReader) (uint64, error), error) {
+	switch c.Residuals {
+	case GammaCode:
+		return func(r *BitReader) (uint64, error) { return r.ReadGamma0() }, nil
+	case ZetaCode:
+		k := c.ZetaK
+		if k == 0 {
+			k = DefaultZetaK
+		}
+		return func(r *BitReader) (uint64, error) { return r.ReadZeta0(k) }, nil
+	default:
+		return nil, fmt.Errorf("graphcomp: unknown residual code %d", int(c.Residuals))
+	}
+}
+
+// Encoded is a compressed block of adjacency lists.
+type Encoded struct {
+	// Bits is the compressed stream.
+	Bits []byte
+	// NumLists is the number of encoded lists.
+	NumLists int
+	// BitLen is the exact stream length in bits.
+	BitLen int
+	// Cost is the deterministic work metric of encoding (units of
+	// neighbor-processing steps, including reference-search work).
+	Cost float64
+}
+
+// CompressedBits returns the compressed size in bits.
+func (e *Encoded) CompressedBits() int { return e.BitLen }
+
+// RawBits returns the uncompressed baseline: 32 bits per vertex ID and
+// per edge endpoint, the natural array-of-adjacency representation.
+func RawBits(ids []uint32, lists [][]uint32) int {
+	n := 32 * len(ids)
+	for _, l := range lists {
+		n += 32 * (len(l) + 1) // degree word + endpoints
+	}
+	return n
+}
+
+// Ratio returns raw/compressed.
+func Ratio(raw, compressed int) float64 {
+	if compressed == 0 {
+		return 0
+	}
+	return float64(raw) / float64(compressed)
+}
+
+// Encode compresses the given adjacency lists (with their vertex IDs)
+// in order. Lists must be strictly increasing. The partition's order is
+// the reference order: similar consecutive lists compress well.
+func Encode(ids []uint32, lists [][]uint32, cfg Config) (*Encoded, error) {
+	if len(ids) != len(lists) {
+		return nil, fmt.Errorf("graphcomp: %d ids but %d lists", len(ids), len(lists))
+	}
+	window := cfg.Window
+	if window < 0 {
+		return nil, errors.New("graphcomp: negative window")
+	}
+	writeNat, err := cfg.residualWriter()
+	if err != nil {
+		return nil, err
+	}
+	w := NewBitWriter()
+	var cost float64
+	prevID := int64(0)
+	for i, list := range lists {
+		for k := 1; k < len(list); k++ {
+			if list[k-1] >= list[k] {
+				return nil, fmt.Errorf("graphcomp: list %d not strictly increasing", i)
+			}
+		}
+		// Vertex ID, delta-coded against the previous record.
+		w.WriteGamma0(ZigZag(int64(ids[i]) - prevID))
+		prevID = int64(ids[i])
+		w.WriteGamma0(uint64(len(list)))
+		cost += float64(len(list)) + 1
+		if len(list) == 0 {
+			continue
+		}
+		// Choose the best reference in the window by trial encoding.
+		bestRef := 0
+		var bestBody *BitWriter
+		for r := 0; r <= window && r <= i; r++ {
+			var refList []uint32
+			if r > 0 {
+				refList = lists[i-r]
+				cost += float64(len(refList))
+			}
+			body := encodeBody(int64(ids[i]), list, refList, writeNat)
+			if bestBody == nil || body.Len() < bestBody.Len() {
+				bestBody = body
+				bestRef = r
+			}
+		}
+		w.WriteGamma0(uint64(bestRef))
+		copyBits(w, bestBody)
+	}
+	return &Encoded{Bits: w.Bytes(), NumLists: len(lists), BitLen: w.Len(), Cost: cost}, nil
+}
+
+// encodeBody encodes one list against an optional reference list:
+// copy-block runs over the reference, then γ-coded residual gaps.
+func encodeBody(vid int64, list []uint32, ref []uint32, writeNat func(*BitWriter, uint64)) *BitWriter {
+	w := NewBitWriter()
+	inList := make(map[uint32]bool, len(list))
+	for _, u := range list {
+		inList[u] = true
+	}
+	copied := make(map[uint32]bool)
+	if len(ref) > 0 {
+		// Runs over ref: alternating copy/skip, starting with copy.
+		var runs []uint64
+		cur := uint64(0)
+		copying := true
+		for _, u := range ref {
+			isCopy := inList[u]
+			if isCopy == copying {
+				cur++
+			} else {
+				runs = append(runs, cur)
+				copying = !copying
+				cur = 1
+			}
+			if isCopy {
+				copied[u] = true
+			}
+		}
+		runs = append(runs, cur)
+		w.WriteGamma0(uint64(len(runs)))
+		for _, r := range runs {
+			w.WriteGamma0(r)
+		}
+	}
+	// Residuals: list minus copied, ascending.
+	var resid []uint32
+	for _, u := range list {
+		if !copied[u] {
+			resid = append(resid, u)
+		}
+	}
+	w.WriteGamma0(uint64(len(resid)))
+	prev := vid
+	for k, u := range resid {
+		if k == 0 {
+			writeNat(w, ZigZag(int64(u)-prev))
+		} else {
+			writeNat(w, uint64(int64(u)-prev)-1)
+		}
+		prev = int64(u)
+	}
+	return w
+}
+
+// copyBits appends src's bits to dst.
+func copyBits(dst, src *BitWriter) {
+	n := src.Len()
+	for i := 0; i < n; i++ {
+		b := uint(src.buf[i>>3]>>(7-uint(i&7))) & 1
+		dst.WriteBit(b)
+	}
+}
+
+// Decode reverses Encode, returning vertex IDs and adjacency lists.
+func Decode(enc *Encoded, cfg Config) ([]uint32, [][]uint32, error) {
+	readNat, err := cfg.residualReader()
+	if err != nil {
+		return nil, nil, err
+	}
+	r := NewBitReader(enc.Bits)
+	ids := make([]uint32, 0, enc.NumLists)
+	lists := make([][]uint32, 0, enc.NumLists)
+	prevID := int64(0)
+	for i := 0; i < enc.NumLists; i++ {
+		dz, err := r.ReadGamma0()
+		if err != nil {
+			return nil, nil, fmt.Errorf("graphcomp: list %d id: %w", i, err)
+		}
+		vid := prevID + UnZigZag(dz)
+		prevID = vid
+		if vid < 0 {
+			return nil, nil, fmt.Errorf("graphcomp: list %d negative id", i)
+		}
+		deg, err := r.ReadGamma0()
+		if err != nil {
+			return nil, nil, fmt.Errorf("graphcomp: list %d degree: %w", i, err)
+		}
+		if deg == 0 {
+			ids = append(ids, uint32(vid))
+			lists = append(lists, nil)
+			continue
+		}
+		ref, err := r.ReadGamma0()
+		if err != nil {
+			return nil, nil, fmt.Errorf("graphcomp: list %d ref: %w", i, err)
+		}
+		var copied []uint32
+		if ref > 0 {
+			if int(ref) > i {
+				return nil, nil, fmt.Errorf("graphcomp: list %d references %d back", i, ref)
+			}
+			refList := lists[i-int(ref)]
+			nRuns, err := r.ReadGamma0()
+			if err != nil {
+				return nil, nil, err
+			}
+			pos := 0
+			copying := true
+			for k := uint64(0); k < nRuns; k++ {
+				runLen, err := r.ReadGamma0()
+				if err != nil {
+					return nil, nil, err
+				}
+				if copying {
+					for j := uint64(0); j < runLen; j++ {
+						if pos >= len(refList) {
+							return nil, nil, errors.New("graphcomp: copy run past reference")
+						}
+						copied = append(copied, refList[pos])
+						pos++
+					}
+				} else {
+					pos += int(runLen)
+				}
+				copying = !copying
+			}
+			if pos != len(refList) {
+				return nil, nil, errors.New("graphcomp: runs do not cover reference")
+			}
+		}
+		nResid, err := r.ReadGamma0()
+		if err != nil {
+			return nil, nil, err
+		}
+		resid := make([]uint32, nResid)
+		prev := vid
+		for k := range resid {
+			g, err := readNat(r)
+			if err != nil {
+				return nil, nil, err
+			}
+			var u int64
+			if k == 0 {
+				u = prev + UnZigZag(g)
+			} else {
+				u = prev + int64(g) + 1
+			}
+			if u < 0 {
+				return nil, nil, errors.New("graphcomp: negative neighbor")
+			}
+			resid[k] = uint32(u)
+			prev = u
+		}
+		list := mergeSorted(copied, resid)
+		if uint64(len(list)) != deg {
+			return nil, nil, fmt.Errorf("graphcomp: list %d decoded %d of %d neighbors", i, len(list), deg)
+		}
+		ids = append(ids, uint32(vid))
+		lists = append(lists, list)
+	}
+	return ids, lists, nil
+}
+
+// mergeSorted merges two ascending disjoint lists.
+func mergeSorted(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,26 @@
+package lz77_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"pareto/internal/workloads/lz77"
+)
+
+// Compress and decompress a repetitive byte stream.
+func ExampleCompress() {
+	data := []byte(strings.Repeat("analytics partition ", 500))
+	enc, err := lz77.Compress(data, lz77.Config{})
+	if err != nil {
+		panic(err)
+	}
+	back, err := lz77.Decompress(enc.Data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("roundtrip ok: %v, ratio > 50x: %v\n",
+		bytes.Equal(back, data), enc.Ratio() > 50)
+	// Output:
+	// roundtrip ok: true, ratio > 50x: true
+}
