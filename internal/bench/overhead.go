@@ -21,6 +21,10 @@ type Overhead struct {
 	Profile  time.Duration // progressive sampling through the workload
 	Optimize time.Duration // scalarized LP solve
 	Total    time.Duration
+	// StratifyStats breaks the stratify phase down further (sketch vs
+	// cluster time, iterations, moved-record churn), from the
+	// stratifier's own instrumentation.
+	StratifyStats strata.StratifyStats
 	// JobTimeSec is the simulated single-run makespan of the planned
 	// job, for the amortization comparison.
 	JobTimeSec float64
@@ -29,10 +33,13 @@ type Overhead struct {
 // String renders the breakdown.
 func (o Overhead) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "stratify %10.2f ms\n", float64(o.Stratify.Microseconds())/1000)
-	fmt.Fprintf(&sb, "profile  %10.2f ms\n", float64(o.Profile.Microseconds())/1000)
-	fmt.Fprintf(&sb, "optimize %10.2f ms\n", float64(o.Optimize.Microseconds())/1000)
-	fmt.Fprintf(&sb, "total    %10.2f ms\n", float64(o.Total.Microseconds())/1000)
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	fmt.Fprintf(&sb, "stratify %10.2f ms (sketch %.2f ms, cluster %.2f ms, %d iters, %d moves)\n",
+		ms(o.Stratify), ms(o.StratifyStats.SketchTime), ms(o.StratifyStats.ClusterTime),
+		o.StratifyStats.Iterations, o.StratifyStats.MovedTotal)
+	fmt.Fprintf(&sb, "profile  %10.2f ms\n", ms(o.Profile))
+	fmt.Fprintf(&sb, "optimize %10.2f ms\n", ms(o.Optimize))
+	fmt.Fprintf(&sb, "total    %10.2f ms\n", ms(o.Total))
 	return sb.String()
 }
 
@@ -62,6 +69,7 @@ func MeasureOverhead(w Workload, cl *cluster.Cluster, o Options) (*Overhead, err
 		return nil, err
 	}
 	out.Stratify = time.Since(start)
+	out.StratifyStats = st.Stats
 
 	start = time.Now()
 	sizes, err := sampling.ScheduleWithFloor(corpus.Len(),

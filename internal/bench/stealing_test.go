@@ -119,6 +119,13 @@ func TestMeasureOverhead(t *testing.T) {
 	if ov.Stratify <= 0 || ov.Profile <= 0 || ov.Optimize <= 0 {
 		t.Errorf("phase durations: %+v", ov)
 	}
+	if ov.StratifyStats.Iterations == 0 || ov.StratifyStats.SketchTime <= 0 {
+		t.Errorf("stratify breakdown missing: %+v", ov.StratifyStats)
+	}
+	if ov.StratifyStats.SketchTime+ov.StratifyStats.ClusterTime > ov.Stratify {
+		t.Errorf("stage breakdown %v+%v exceeds phase total %v",
+			ov.StratifyStats.SketchTime, ov.StratifyStats.ClusterTime, ov.Stratify)
+	}
 	if ov.Total != ov.Stratify+ov.Profile+ov.Optimize {
 		t.Error("total does not add up")
 	}

@@ -17,6 +17,12 @@ type PlanSummary struct {
 	Records   int     `json:"records"`
 	Strata    int     `json:"strata"`
 	Converged bool    `json:"strata_converged"`
+	// Stratifier overhead audit (component III): planning must stay
+	// negligible next to the job for the amortization claim to hold.
+	StratifyIterations int     `json:"stratify_iterations,omitempty"`
+	StratifySketchMs   float64 `json:"stratify_sketch_ms,omitempty"`
+	StratifyClusterMs  float64 `json:"stratify_cluster_ms,omitempty"`
+	StratifyMoved      int     `json:"stratify_moved_records,omitempty"`
 	// Sizes is the per-partition record count.
 	Sizes []int `json:"sizes"`
 	// Nodes carries the learned per-node models (empty for the
@@ -55,6 +61,10 @@ func (p *Plan) Summary() (*PlanSummary, error) {
 	if p.Strat != nil {
 		s.Strata = p.Strat.K()
 		s.Converged = p.Strat.Converged
+		s.StratifyIterations = p.Strat.Stats.Iterations
+		s.StratifySketchMs = float64(p.Strat.Stats.SketchTime.Microseconds()) / 1000
+		s.StratifyClusterMs = float64(p.Strat.Stats.ClusterTime.Microseconds()) / 1000
+		s.StratifyMoved = p.Strat.Stats.MovedTotal
 	}
 	for _, m := range p.Models {
 		s.Nodes = append(s.Nodes, NodeSummary{

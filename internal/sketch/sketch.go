@@ -18,6 +18,8 @@ import (
 	"hash/fnv"
 	"math/bits"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // MersennePrime61 is the field modulus 2^61−1 used by the linear
@@ -152,21 +154,73 @@ func (h *Hasher) Sketch(set []Item) Sketch {
 // SketchInto computes the signature into dst, which must have length
 // K(). It exists so bulk sketching can avoid per-set allocations.
 func (h *Hasher) SketchInto(set []Item, dst Sketch) {
-	if len(dst) != len(h.perms) {
-		panic(fmt.Sprintf("sketch: SketchInto dst width %d, want %d", len(dst), len(h.perms)))
+	perms := h.perms
+	if len(dst) != len(perms) {
+		panic(fmt.Sprintf("sketch: SketchInto dst width %d, want %d", len(dst), len(perms)))
 	}
 	for i := range dst {
 		dst[i] = EmptySentinel
 	}
 	for _, x := range set {
 		xr := reduce(x)
-		for i, p := range h.perms {
-			v := addMod(mulMod(p.A, xr), p.B)
+		for i := range perms {
+			v := addMod(mulMod(perms[i].A, xr), perms[i].B)
 			if v < dst[i] {
 				dst[i] = v
 			}
 		}
 	}
+}
+
+// SketchAll computes the sketches of the n item sets set(0) … set(n−1).
+// All n sketches share one flat backing array (a single allocation
+// instead of n small ones), and items are processed in index order per
+// worker so the arena is filled in cache-friendly sequential runs.
+// Coordinate values are identical to calling Sketch on each set.
+//
+// workers ≤ 0 means GOMAXPROCS. set must be safe for concurrent calls
+// with distinct arguments (read-only corpora qualify).
+func (h *Hasher) SketchAll(n int, set func(i int) []Item, workers int) []Sketch {
+	k := len(h.perms)
+	out := make([]Sketch, n)
+	flat := make([]uint64, n*k)
+	for i := range out {
+		// Full slice expressions keep an append on one sketch from
+		// bleeding into its neighbor's coordinates.
+		out[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			h.SketchInto(set(i), out[i])
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				h.SketchInto(set(i), out[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
 }
 
 // ExactJaccard computes |a∩b| / |a∪b| exactly. Inputs need not be

@@ -241,6 +241,60 @@ func TestSketchIntoMatchesSketch(t *testing.T) {
 	}
 }
 
+// TestSketchAllMatchesSketch is the golden-equality test for the bulk
+// arena path: every coordinate of every SketchAll output must equal the
+// per-set Sketch output, for any worker count, including empty sets.
+func TestSketchAllMatchesSketch(t *testing.T) {
+	h, _ := NewHasher(24, 9)
+	rng := rand.New(rand.NewSource(4))
+	sets := make([][]Item, 157)
+	for i := range sets {
+		set := make([]Item, rng.Intn(30))
+		for j := range set {
+			set[j] = rng.Uint64()
+		}
+		sets[i] = set
+	}
+	sets[13] = nil // empty sets exercise the sentinel path
+	for _, workers := range []int{0, 1, 3, 16, 200} {
+		got := h.SketchAll(len(sets), func(i int) []Item { return sets[i] }, workers)
+		if len(got) != len(sets) {
+			t.Fatalf("workers=%d: %d sketches for %d sets", workers, len(got), len(sets))
+		}
+		for i, set := range sets {
+			want := h.Sketch(set)
+			for j := range want {
+				if got[i][j] != want[j] {
+					t.Fatalf("workers=%d: SketchAll[%d][%d] = %d, Sketch = %d",
+						workers, i, j, got[i][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSketchAllEmpty(t *testing.T) {
+	h, _ := NewHasher(8, 1)
+	if got := h.SketchAll(0, func(int) []Item { return nil }, 4); len(got) != 0 {
+		t.Errorf("SketchAll(0) returned %d sketches", len(got))
+	}
+}
+
+// TestSketchAllBackingIsolated verifies the shared-arena sketches do
+// not alias: appending to one sketch must not clobber its neighbor.
+func TestSketchAllBackingIsolated(t *testing.T) {
+	h, _ := NewHasher(4, 2)
+	out := h.SketchAll(2, func(i int) []Item { return []Item{Item(i + 1)} }, 1)
+	next := out[1].Clone()
+	grown := append(out[0], 999)
+	_ = grown
+	for j := range next {
+		if out[1][j] != next[j] {
+			t.Fatal("append on sketch 0 overwrote sketch 1 (missing capacity cap)")
+		}
+	}
+}
+
 func TestSketchIntoWrongWidthPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -13,15 +13,37 @@
 // probability drops geometrically while the KModes convergence
 // argument (assignment and update both monotonically decrease the
 // mismatch objective) is preserved.
+//
+// The assign/update loop is the planner's hot path (every
+// core.BuildPlan stratifies before it can profile or optimize), so the
+// implementation is organized around three invariant-preserving
+// optimizations — all bit-exact with the naive formulation, which the
+// tests keep as a reference implementation:
+//
+//   - Assignment reads centers from a flattened [K×width×L]uint64
+//     matrix (short attribute rows padded by repeating the first
+//     candidate) and abandons a center as soon as its running mismatch
+//     count reaches the best distance so far. For moderate K a
+//     per-attribute value→center-bitmask index replaces the scan
+//     entirely.
+//   - Workers persist across iterations: one goroutine per worker with
+//     per-round channel barriers, reusing per-worker scratch (moved
+//     lists, match counters) instead of respawning goroutines and
+//     reallocating result slices every round.
+//   - Center updates are incremental: per-(stratum, attribute)
+//     frequency counters persist across iterations and only the
+//     records that changed stratum this round are applied as deltas;
+//     top-L is recomputed only for strata whose membership changed.
 package strata
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
+	"time"
 
 	"pareto/internal/sketch"
 )
@@ -62,13 +84,30 @@ func (c *Center) matches(a int, v uint64) bool {
 	return false
 }
 
+// IterStat is the wall-clock and movement profile of one assign/update
+// round, surfaced so planner overhead can be reported alongside the
+// paper's figures.
+type IterStat struct {
+	// Assign is the time spent assigning every record to its nearest
+	// center (all workers, wall clock).
+	Assign time.Duration
+	// Update is the time spent updating centers and reseeding empty
+	// strata. Zero on the final round (converged or MaxIter-exhausted),
+	// which performs no update.
+	Update time.Duration
+	// Moved counts records whose stratum changed this round.
+	Moved int
+}
+
 // Result is a completed clustering.
 type Result struct {
 	// Assign maps record index → stratum index in [0, K).
 	Assign []int
 	// Members lists record indices per stratum, each ascending.
 	Members [][]int
-	// Centers holds the final composite centers.
+	// Centers holds the final composite centers. They are always the
+	// centers the final Assign was computed against, so Assign, Centers
+	// and Cost are mutually consistent even when MaxIter is exhausted.
 	Centers []Center
 	// Iterations is the number of assign/update rounds executed.
 	Iterations int
@@ -78,6 +117,8 @@ type Result struct {
 	// Cost is the final objective: total attribute mismatches between
 	// each record and its center.
 	Cost int64
+	// IterStats profiles each executed round.
+	IterStats []IterStat
 }
 
 // K returns the number of strata.
@@ -134,17 +175,33 @@ func Cluster(sketches []sketch.Sketch, cfg Config) (*Result, error) {
 		assign[i] = -1
 	}
 
+	st := newClusterState(sketches, k, width, cfg.L, workers)
+	defer st.close()
+
 	res := &Result{}
 	for iter := 0; iter < maxIter; iter++ {
 		res.Iterations = iter + 1
-		changed, cost := assignAll(sketches, centers, assign, workers)
+		start := time.Now()
+		changed, cost, moved := st.assignAll(centers, assign)
+		stat := IterStat{Assign: time.Since(start), Moved: moved}
 		res.Cost = cost
 		if !changed {
 			res.Converged = true
+			res.IterStats = append(res.IterStats, stat)
 			break
 		}
-		centers = updateCenters(sketches, assign, k, width, cfg.L)
+		if iter == maxIter-1 {
+			// MaxIter exhausted: skip the trailing update so the
+			// returned Centers are the ones Assign and Cost were
+			// computed against.
+			res.IterStats = append(res.IterStats, stat)
+			break
+		}
+		start = time.Now()
+		st.updateCenters(centers, assign)
 		reseedEmpty(sketches, centers, assign, rng)
+		stat.Update = time.Since(start)
+		res.IterStats = append(res.IterStats, stat)
 	}
 
 	res.Assign = assign
@@ -171,120 +228,429 @@ func initCenters(sketches []sketch.Sketch, k int, rng *rand.Rand) []Center {
 	return centers
 }
 
-// assignAll assigns every record to its nearest center in parallel,
-// reporting whether any assignment changed and the total mismatch cost.
-func assignAll(sketches []sketch.Sketch, centers []Center, assign []int, workers int) (bool, int64) {
-	n := len(sketches)
+// maskPathMaxK bounds the value→center-bitmask assignment path: masks
+// are single uint64 words, so it only exists for K ≤ 64 centers.
+const maskPathMaxK = 64
+
+// maskPathMinK is the K below which the flattened scan with early exit
+// beats the per-attribute hash lookups of the mask path.
+const maskPathMinK = 8
+
+// clusterState carries the hot-path scratch that persists across
+// assign/update rounds of one Cluster call.
+type clusterState struct {
+	sketches []sketch.Sketch
+	k        int
+	width    int
+	l        int
+
+	// flat is the flattened center matrix: attribute row (c, a) lives
+	// at flat[(c*width+a)*l : +l]. Rows shorter than L are padded by
+	// repeating the first candidate value, so the match loop has a
+	// fixed trip count without a per-row length lookup.
+	flat []uint64
+
+	// masks[a] maps an attribute-a value to the bitmask of centers
+	// listing it among their L candidates (mask path only).
+	masks   []map[uint64]uint64
+	useMask bool
+
+	// counts[c*width+a][v] is the number of stratum-c members whose
+	// attribute a equals v. Maintained incrementally across rounds;
+	// entries are deleted when they reach zero so top-L selection sees
+	// exactly the values present among current members.
+	counts []map[uint64]int
+	// dirty marks strata whose membership changed since their center
+	// was last rebuilt.
+	dirty []bool
+	// fresh is true until the first updateCenters call, which builds
+	// the counters from scratch.
+	fresh bool
+	// sel is the reusable top-L selection scratch.
+	sel []valCount
+
+	pool *assignPool
+}
+
+func newClusterState(sketches []sketch.Sketch, k, width, l, workers int) *clusterState {
+	st := &clusterState{
+		sketches: sketches,
+		k:        k,
+		width:    width,
+		l:        l,
+		flat:     make([]uint64, k*width*l),
+		useMask:  k >= maskPathMinK && k <= maskPathMaxK,
+		counts:   make([]map[uint64]int, k*width),
+		dirty:    make([]bool, k),
+		fresh:    true,
+	}
+	if st.useMask {
+		st.masks = make([]map[uint64]uint64, width)
+		for a := range st.masks {
+			st.masks[a] = make(map[uint64]uint64, k*l)
+		}
+	}
+	st.pool = newAssignPool(st, len(sketches), workers)
+	return st
+}
+
+func (st *clusterState) close() { st.pool.close() }
+
+// loadCenters flattens the centers into the matrix (and rebuilds the
+// value→center-bitmask index on the mask path) before an assignment
+// round. Every attribute row of a live center is non-empty by
+// construction: initCenters and reseedEmpty store one value per
+// attribute, and updateCenters rebuilds a stratum only from a non-empty
+// member multiset or leaves it for reseedEmpty.
+func (st *clusterState) loadCenters(centers []Center) {
+	l, width := st.l, st.width
+	for c := range centers {
+		vals := centers[c].Values
+		base := c * width * l
+		for a := 0; a < width; a++ {
+			vs := vals[a]
+			if len(vs) == 0 {
+				panic("strata: assigning against a center attribute with no candidate values")
+			}
+			row := st.flat[base+a*l : base+(a+1)*l]
+			for j := range row {
+				if j < len(vs) {
+					row[j] = vs[j]
+				} else {
+					row[j] = vs[0]
+				}
+			}
+		}
+	}
+	if !st.useMask {
+		return
+	}
+	for a := range st.masks {
+		clear(st.masks[a])
+	}
+	for c := range centers {
+		bit := uint64(1) << uint(c)
+		for a, vs := range centers[c].Values {
+			m := st.masks[a]
+			for _, v := range vs {
+				m[v] |= bit
+			}
+		}
+	}
+}
+
+// assignAll assigns every record to its nearest center using the
+// persistent worker pool, reporting whether any assignment changed, the
+// total mismatch cost, and how many records moved. Ties in distance
+// break toward the lowest center index (centers are scanned in
+// ascending order and only a strictly smaller distance displaces the
+// incumbent).
+func (st *clusterState) assignAll(centers []Center, assign []int) (changed bool, cost int64, moved int) {
+	st.loadCenters(centers)
+	p := st.pool
+	p.assign = assign
+	p.run()
+	for w := 0; w < p.workers; w++ {
+		cost += p.cost[w]
+		moved += len(p.moved[w])
+	}
+	return moved > 0, cost, moved
+}
+
+// nearestScan finds the nearest center by scanning the flattened
+// matrix, abandoning a center as soon as its partial mismatch count d
+// can no longer beat bestDist (d only grows, and a tie keeps the
+// incumbent lower index).
+func (st *clusterState) nearestScan(s sketch.Sketch) (best, bestDist int) {
+	l, width := st.l, st.width
+	flat := st.flat
+	stride := width * l
+	bestDist = width + 1
+	for c := 0; c < st.k; c++ {
+		row := flat[c*stride : (c+1)*stride]
+		d := 0
+		for a := 0; a < width; a++ {
+			v := s[a]
+			match := false
+			for j := a * l; j < (a+1)*l; j++ {
+				if row[j] == v {
+					match = true
+					break
+				}
+			}
+			if !match {
+				d++
+				if d >= bestDist {
+					break
+				}
+			}
+		}
+		if d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best, bestDist
+}
+
+// nearestMask finds the nearest center through the per-attribute
+// value→center-bitmask index: each attribute contributes one hash
+// lookup plus one counter increment per matching center, so the cost is
+// O(width + matches) instead of O(K·width·L). matchCounts is the
+// caller's K-sized scratch. Maximizing matches is minimizing mismatch
+// distance; the strict > keeps the lowest center index on ties, exactly
+// like the scan path.
+func (st *clusterState) nearestMask(s sketch.Sketch, matchCounts []int) (best, bestDist int) {
+	for c := range matchCounts {
+		matchCounts[c] = 0
+	}
+	masks := st.masks
+	for a, v := range s {
+		m := masks[a][v]
+		for m != 0 {
+			matchCounts[bits.TrailingZeros64(m)]++
+			m &= m - 1
+		}
+	}
+	best, bestCount := 0, matchCounts[0]
+	for c := 1; c < len(matchCounts); c++ {
+		if matchCounts[c] > bestCount {
+			best, bestCount = c, matchCounts[c]
+		}
+	}
+	return best, st.width - bestCount
+}
+
+// updateCenters rebuilds the centers of strata whose membership changed
+// this round, from the persistent frequency counters. The first call
+// builds the counters from the full assignment; later calls apply only
+// the per-record deltas collected by the assignment workers. A stratum
+// whose membership did not change keeps its Center unchanged — its
+// counters are identical, and top-L selection is a pure deterministic
+// function of the counters (count desc, value asc), so the rebuild
+// would produce the same values.
+func (st *clusterState) updateCenters(centers []Center, assign []int) {
+	width, l := st.width, st.l
+	if st.fresh {
+		st.fresh = false
+		for i := range st.counts {
+			st.counts[i] = make(map[uint64]int)
+		}
+		for i, s := range st.sketches {
+			base := assign[i] * width
+			for a, v := range s {
+				st.counts[base+a][v]++
+			}
+		}
+		for c := range st.dirty {
+			st.dirty[c] = true
+		}
+	} else {
+		for w := 0; w < st.pool.workers; w++ {
+			for _, m := range st.pool.moved[w] {
+				s := st.sketches[m.idx]
+				now := assign[m.idx]
+				oldBase, newBase := m.old*width, now*width
+				for a, v := range s {
+					oc := st.counts[oldBase+a]
+					if oc[v] == 1 {
+						delete(oc, v)
+					} else {
+						oc[v]--
+					}
+					st.counts[newBase+a][v]++
+				}
+				st.dirty[m.old] = true
+				st.dirty[now] = true
+			}
+		}
+	}
+	for c := 0; c < st.k; c++ {
+		if !st.dirty[c] {
+			continue
+		}
+		st.dirty[c] = false
+		// One arena backs all of this center's candidate rows; the
+		// full slice expressions keep rows from aliasing each other.
+		vals := make([][]uint64, width)
+		arena := make([]uint64, 0, width*l)
+		for a := 0; a < width; a++ {
+			lo := len(arena)
+			arena = appendTopL(arena, st.counts[c*width+a], l, &st.sel)
+			vals[a] = arena[lo:len(arena):len(arena)]
+		}
+		centers[c] = Center{Values: vals}
+	}
+}
+
+// movedRec records one reassignment for the incremental center update.
+type movedRec struct {
+	idx int
+	old int
+}
+
+// assignPool is a persistent worker pool for the assignment step: one
+// goroutine per worker, woken through a per-worker channel each round
+// and joined through a WaitGroup, so iterations reuse goroutines and
+// per-worker scratch instead of reallocating both every round. The
+// coordinator's writes (loadCenters, p.assign) happen before the
+// channel sends and the workers' result writes happen before wg.Done,
+// so rounds are totally ordered without locks.
+type assignPool struct {
+	st      *clusterState
+	workers int
+	ranges  [][2]int
+	start   []chan struct{}
+	wg      sync.WaitGroup
+
+	assign []int
+
+	// Per-worker round results and reusable scratch.
+	cost        []int64
+	moved       [][]movedRec
+	matchCounts [][]int
+}
+
+func newAssignPool(st *clusterState, n, workers int) *assignPool {
 	if workers > n {
 		workers = n
 	}
-	var wg sync.WaitGroup
-	changedCh := make([]bool, workers)
-	costCh := make([]int64, workers)
+	if workers < 1 {
+		workers = 1
+	}
+	p := &assignPool{
+		st:          st,
+		workers:     workers,
+		ranges:      make([][2]int, workers),
+		start:       make([]chan struct{}, workers),
+		cost:        make([]int64, workers),
+		moved:       make([][]movedRec, workers),
+		matchCounts: make([][]int, workers),
+	}
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
+		if lo > hi {
+			lo = hi
+		}
+		p.ranges[w] = [2]int{lo, hi}
+		p.start[w] = make(chan struct{})
+		if st.useMask {
+			p.matchCounts[w] = make([]int, st.k)
+		}
+		go p.serve(w)
+	}
+	return p
+}
+
+// run executes one assignment round across all workers and blocks until
+// every range is processed.
+func (p *assignPool) run() {
+	p.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.start[w] <- struct{}{}
+	}
+	p.wg.Wait()
+}
+
+// close terminates the worker goroutines.
+func (p *assignPool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+// serve is the long-lived loop of worker w.
+func (p *assignPool) serve(w int) {
+	for range p.start[w] {
+		p.round(w)
+		p.wg.Done()
+	}
+}
+
+// round processes worker w's record range for the current round.
+func (p *assignPool) round(w int) {
+	st := p.st
+	lo, hi := p.ranges[w][0], p.ranges[w][1]
+	moved := p.moved[w][:0]
+	var cost int64
+	if st.useMask {
+		counts := p.matchCounts[w]
+		for i := lo; i < hi; i++ {
+			best, bestDist := st.nearestMask(st.sketches[i], counts)
+			if p.assign[i] != best {
+				moved = append(moved, movedRec{idx: i, old: p.assign[i]})
+				p.assign[i] = best
+			}
+			cost += int64(bestDist)
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			best, bestDist := st.nearestScan(st.sketches[i])
+			if p.assign[i] != best {
+				moved = append(moved, movedRec{idx: i, old: p.assign[i]})
+				p.assign[i] = best
+			}
+			cost += int64(bestDist)
+		}
+	}
+	p.moved[w] = moved
+	p.cost[w] = cost
+}
+
+// valCount is one (value, frequency) entry of the top-L selection.
+type valCount struct {
+	v uint64
+	n int
+}
+
+// ranksAbove is the strict total order of top-L selection: count desc,
+// value asc. Values within one frequency map are distinct, so two
+// entries never tie completely and the top-L list is unique regardless
+// of map iteration order.
+func (e valCount) ranksAbove(o valCount) bool {
+	if e.n != o.n {
+		return e.n > o.n
+	}
+	return e.v < o.v
+}
+
+// appendTopL appends the up-to-l highest-ranked values of freq to dst
+// and returns the extended slice. *sel is caller-owned selection
+// scratch, grown once to l and reused, so steady-state selection is
+// allocation-free (unlike a sort, which would order all of freq to
+// keep l values and allocate a comparator closure per call).
+func appendTopL(dst []uint64, freq map[uint64]int, l int, sel *[]valCount) []uint64 {
+	s := (*sel)[:0]
+	for v, n := range freq {
+		e := valCount{v: v, n: n}
+		pos := len(s)
+		for pos > 0 && e.ranksAbove(s[pos-1]) {
+			pos--
+		}
+		if pos >= l {
 			continue
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var localChanged bool
-			var localCost int64
-			for i := lo; i < hi; i++ {
-				best, bestDist := 0, int(^uint(0)>>1)
-				for c := range centers {
-					d := distance(sketches[i], &centers[c])
-					if d < bestDist || (d == bestDist && c < best) {
-						best, bestDist = c, d
-					}
-				}
-				if assign[i] != best {
-					assign[i] = best
-					localChanged = true
-				}
-				localCost += int64(bestDist)
-			}
-			changedCh[w] = localChanged
-			costCh[w] = localCost
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	changed := false
-	var cost int64
-	for w := 0; w < workers; w++ {
-		changed = changed || changedCh[w]
-		cost += costCh[w]
-	}
-	return changed, cost
-}
-
-// distance counts attributes of s that match none of the center's
-// candidate values — the composite mismatch metric.
-func distance(s sketch.Sketch, c *Center) int {
-	d := 0
-	for a, v := range s {
-		if !c.matches(a, v) {
-			d++
+		if len(s) < l {
+			s = append(s, valCount{})
 		}
+		copy(s[pos+1:], s[pos:])
+		s[pos] = e
 	}
-	return d
-}
-
-// updateCenters recomputes each center as the per-attribute top-L
-// values among its members. Ties break toward the smaller value so the
-// update is deterministic.
-func updateCenters(sketches []sketch.Sketch, assign []int, k, width, l int) []Center {
-	counts := make([]map[uint64]int, k*width)
-	for i := range counts {
-		counts[i] = make(map[uint64]int)
+	*sel = s
+	for _, e := range s {
+		dst = append(dst, e.v)
 	}
-	for i, s := range sketches {
-		base := assign[i] * width
-		for a, v := range s {
-			counts[base+a][v]++
-		}
-	}
-	centers := make([]Center, k)
-	for c := 0; c < k; c++ {
-		vals := make([][]uint64, width)
-		for a := 0; a < width; a++ {
-			vals[a] = topL(counts[c*width+a], l)
-		}
-		centers[c] = Center{Values: vals}
-	}
-	return centers
+	return dst
 }
 
 // topL returns up to l keys of freq with the highest counts,
 // deterministically (count desc, value asc).
 func topL(freq map[uint64]int, l int) []uint64 {
-	type kv struct {
-		v uint64
-		n int
-	}
-	all := make([]kv, 0, len(freq))
-	for v, n := range freq {
-		all = append(all, kv{v, n})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].n != all[j].n {
-			return all[i].n > all[j].n
-		}
-		return all[i].v < all[j].v
-	})
-	if len(all) > l {
-		all = all[:l]
-	}
-	out := make([]uint64, len(all))
-	for i, e := range all {
-		out[i] = e.v
-	}
-	return out
+	var sel []valCount
+	return appendTopL(make([]uint64, 0, min(l, len(freq))), freq, l, &sel)
 }
 
 // reseedEmpty replaces the center of any empty cluster with a random

@@ -1,6 +1,7 @@
 package strata
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -202,16 +203,279 @@ func TestTopL(t *testing.T) {
 	}
 }
 
-func TestDistance(t *testing.T) {
+func TestReferenceDistance(t *testing.T) {
 	c := Center{Values: [][]uint64{{1, 2}, {3}, {4}}}
-	if d := distance(sketch.Sketch{2, 3, 4}, &c); d != 0 {
+	if d := referenceDistance(sketch.Sketch{2, 3, 4}, &c); d != 0 {
 		t.Errorf("full match distance %d", d)
 	}
-	if d := distance(sketch.Sketch{9, 3, 4}, &c); d != 1 {
+	if d := referenceDistance(sketch.Sketch{9, 3, 4}, &c); d != 1 {
 		t.Errorf("one mismatch distance %d", d)
 	}
-	if d := distance(sketch.Sketch{9, 9, 9}, &c); d != 3 {
+	if d := referenceDistance(sketch.Sketch{9, 9, 9}, &c); d != 3 {
 		t.Errorf("no match distance %d", d)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the seed repo's naive compositeKModes loop,
+// kept verbatim (serial assignment, full center rebuild per round) as
+// the oracle the optimized hot path must match bit-exactly.
+// ---------------------------------------------------------------------------
+
+// referenceDistance counts attributes of s that match none of the
+// center's candidate values — the naive composite mismatch metric.
+func referenceDistance(s sketch.Sketch, c *Center) int {
+	d := 0
+	for a, v := range s {
+		if !c.matches(a, v) {
+			d++
+		}
+	}
+	return d
+}
+
+// referenceUpdateCenters recomputes each center as the per-attribute
+// top-L values among its members, rebuilding every frequency map from
+// scratch.
+func referenceUpdateCenters(sketches []sketch.Sketch, assign []int, k, width, l int) []Center {
+	counts := make([]map[uint64]int, k*width)
+	for i := range counts {
+		counts[i] = make(map[uint64]int)
+	}
+	for i, s := range sketches {
+		base := assign[i] * width
+		for a, v := range s {
+			counts[base+a][v]++
+		}
+	}
+	centers := make([]Center, k)
+	for c := 0; c < k; c++ {
+		vals := make([][]uint64, width)
+		for a := 0; a < width; a++ {
+			vals[a] = topL(counts[c*width+a], l)
+		}
+		centers[c] = Center{Values: vals}
+	}
+	return centers
+}
+
+// referenceCluster is the naive serial clustering loop. It shares
+// initCenters/reseedEmpty with the production path (they are not hot)
+// and mirrors its exit semantics: on MaxIter exhaustion the trailing
+// update is skipped so Centers stay consistent with Assign/Cost.
+func referenceCluster(sketches []sketch.Sketch, cfg Config) (*Result, error) {
+	n := len(sketches)
+	if n == 0 {
+		return nil, fmt.Errorf("strata: no sketches to cluster")
+	}
+	width := len(sketches[0])
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := initCenters(sketches, k, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		var cost int64
+		for i := range sketches {
+			best, bestDist := 0, int(^uint(0)>>1)
+			for c := range centers {
+				// First-lowest-index wins ties: only a strictly
+				// smaller distance displaces the incumbent.
+				if d := referenceDistance(sketches[i], &centers[c]); d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			cost += int64(bestDist)
+		}
+		res.Cost = cost
+		if !changed {
+			res.Converged = true
+			break
+		}
+		if iter == maxIter-1 {
+			break
+		}
+		centers = referenceUpdateCenters(sketches, assign, k, width, cfg.L)
+		reseedEmpty(sketches, centers, assign, rng)
+	}
+	res.Assign = assign
+	res.Centers = centers
+	res.Members = make([][]int, k)
+	for i, a := range assign {
+		res.Members[a] = append(res.Members[a], i)
+	}
+	return res, nil
+}
+
+// lowUniverseSketches draws sketch coordinates from a tiny value
+// universe, forcing heavy ties in top-L selection and frequent
+// equidistant centers — the adversarial regime for the optimized
+// tie-breaking and padding.
+func lowUniverseSketches(n, width, universe int, seed int64) []sketch.Sketch {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]sketch.Sketch, n)
+	for i := range out {
+		s := make(sketch.Sketch, width)
+		for a := range s {
+			s[a] = uint64(rng.Intn(universe))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestClusterMatchesReference sweeps n/K/L/width/seed combinations
+// (covering the bitmask path K∈[8,64], the scan path K<8 and K>64,
+// L larger than the distinct-value count, and MaxIter exhaustion) and
+// asserts the optimized hot path reproduces the reference bit-exactly:
+// same assignments, same centers, same cost, same iteration count.
+func TestClusterMatchesReference(t *testing.T) {
+	type tc struct {
+		name     string
+		sketches []sketch.Sketch
+		cfg      Config
+	}
+	planted := func(n, width, k int, noise float64, seed int64) []sketch.Sketch {
+		s, _ := plantedSketches(n, width, k, noise, seed)
+		return s
+	}
+	cases := []tc{
+		{"scan-small-K", planted(180, 8, 3, 0.2, 1), Config{K: 3, L: 2, Seed: 11}},
+		{"scan-K2-L1", planted(90, 4, 2, 0.4, 2), Config{K: 2, L: 1, Seed: 5}},
+		{"mask-K8", planted(250, 16, 8, 0.3, 3), Config{K: 8, L: 3, Seed: 7}},
+		{"mask-K32", planted(400, 12, 16, 0.25, 4), Config{K: 32, L: 2, Seed: 13}},
+		{"mask-K64", planted(300, 8, 10, 0.3, 5), Config{K: 64, L: 2, Seed: 17}},
+		{"scan-K-above-64", planted(300, 6, 12, 0.3, 6), Config{K: 70, L: 2, Seed: 19}},
+		{"ties-low-universe", lowUniverseSketches(220, 10, 3, 7), Config{K: 12, L: 4, Seed: 23}},
+		{"L-exceeds-universe", lowUniverseSketches(150, 6, 2, 8), Config{K: 9, L: 8, Seed: 29}},
+		{"maxiter-exhausted", lowUniverseSketches(260, 12, 4, 9), Config{K: 16, L: 2, Seed: 31, MaxIter: 3}},
+		{"maxiter-1", planted(120, 8, 4, 0.5, 10), Config{K: 8, L: 2, Seed: 37, MaxIter: 1}},
+		{"workers-1", planted(200, 8, 5, 0.3, 11), Config{K: 10, L: 3, Seed: 41, Workers: 1}},
+		{"workers-many", planted(200, 8, 5, 0.3, 11), Config{K: 10, L: 3, Seed: 41, Workers: 13}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want, err := referenceCluster(c.sketches, c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Cluster(c.sketches, c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Assign, want.Assign) {
+				t.Fatal("Assign diverges from reference")
+			}
+			if got.Cost != want.Cost {
+				t.Fatalf("Cost = %d, reference %d", got.Cost, want.Cost)
+			}
+			if got.Iterations != want.Iterations || got.Converged != want.Converged {
+				t.Fatalf("loop shape (%d, %v), reference (%d, %v)",
+					got.Iterations, got.Converged, want.Iterations, want.Converged)
+			}
+			if !centersEqual(got.Centers, want.Centers) {
+				t.Fatal("Centers diverge from reference")
+			}
+			if !reflect.DeepEqual(got.Members, want.Members) {
+				t.Fatal("Members diverge from reference")
+			}
+		})
+	}
+}
+
+// centersEqual compares centers treating nil and empty candidate lists
+// as equal (topL(empty) returns an empty slice either way).
+func centersEqual(a, b []Center) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c := range a {
+		if len(a[c].Values) != len(b[c].Values) {
+			return false
+		}
+		for at := range a[c].Values {
+			va, vb := a[c].Values[at], b[c].Values[at]
+			if len(va) != len(vb) {
+				return false
+			}
+			for j := range va {
+				if va[j] != vb[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestClusterMaxIterCentersConsistent is the regression test for the
+// MaxIter-exit inconsistency: the returned Centers must be the centers
+// the final Assign/Cost were computed against, so re-deriving the
+// nearest center of every record from Result.Centers reproduces
+// Result.Assign and summing the distances reproduces Result.Cost.
+func TestClusterMaxIterCentersConsistent(t *testing.T) {
+	sketches := lowUniverseSketches(300, 12, 4, 3)
+	res, err := Cluster(sketches, Config{K: 16, L: 2, Seed: 1, MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("test needs a MaxIter-exhausted run; pick noisier data")
+	}
+	var cost int64
+	for i, s := range sketches {
+		best, bestDist := 0, int(^uint(0)>>1)
+		for c := range res.Centers {
+			if d := referenceDistance(s, &res.Centers[c]); d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		if res.Assign[i] != best {
+			t.Fatalf("record %d assigned to %d but Centers say %d", i, res.Assign[i], best)
+		}
+		cost += int64(bestDist)
+	}
+	if cost != res.Cost {
+		t.Fatalf("re-derived cost %d, Result.Cost %d", cost, res.Cost)
+	}
+}
+
+// TestClusterIterStats checks the per-round profile surfaced for
+// planner-overhead reporting.
+func TestClusterIterStats(t *testing.T) {
+	sketches, _ := plantedSketches(200, 8, 4, 0.2, 6)
+	res, err := Cluster(sketches, Config{K: 4, L: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterStats) != res.Iterations {
+		t.Fatalf("%d IterStats for %d iterations", len(res.IterStats), res.Iterations)
+	}
+	if res.IterStats[0].Moved != 200 {
+		t.Errorf("first round moved %d records, want all 200", res.IterStats[0].Moved)
+	}
+	last := res.IterStats[len(res.IterStats)-1]
+	if res.Converged && last.Moved != 0 {
+		t.Errorf("converged run's final round moved %d records", last.Moved)
+	}
+	if last.Update != 0 {
+		t.Errorf("final round has update time %v, want none (no trailing update)", last.Update)
 	}
 }
 

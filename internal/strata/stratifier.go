@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
+	"time"
 
 	"pareto/internal/pivots"
 	"pareto/internal/sketch"
@@ -29,6 +28,24 @@ type StratifierConfig struct {
 // strata.
 const DefaultSketchWidth = 32
 
+// StratifyStats profiles one Stratify call so planner overhead can be
+// reported alongside the paper's figures (the §III amortization claim
+// only holds while planning stays negligible next to the job).
+type StratifyStats struct {
+	// SketchTime is the wall-clock time of the bulk sketching stage.
+	SketchTime time.Duration
+	// ClusterTime is the wall-clock time of compositeKModes.
+	ClusterTime time.Duration
+	// Iterations is the number of assign/update rounds executed.
+	Iterations int
+	// Converged echoes Result.Converged.
+	Converged bool
+	// Iters profiles each round (assign/update time, moved records).
+	Iters []IterStat
+	// MovedTotal sums moved-record counts over all rounds.
+	MovedTotal int
+}
+
 // Stratification is the output of the stratifier: the clustering plus
 // the sketches it was computed from (kept so representative samples
 // can be validated) and per-stratum weight totals.
@@ -38,6 +55,14 @@ type Stratification struct {
 	Sketches []sketch.Sketch
 	// WeightTotals[s] is the sum of record weights in stratum s.
 	WeightTotals []int
+	// Stats profiles the pipeline stages of the Stratify call that
+	// produced this stratification.
+	Stats StratifyStats
+
+	// simSeed seeds similarity-estimate sampling; Stratify copies it
+	// from StratifierConfig.Seed so quality estimates are reproducible
+	// per configuration rather than coupled to one global constant.
+	simSeed int64
 }
 
 // Stratify runs the full stratification pipeline over the corpus.
@@ -57,49 +82,37 @@ func Stratify(c pivots.Corpus, cfg StratifierConfig) (*Stratification, error) {
 	if err != nil {
 		return nil, fmt.Errorf("strata: %w", err)
 	}
+	var stats StratifyStats
+	start := time.Now()
 	sketches := SketchCorpus(c, hasher, cfg.Cluster.Workers)
+	stats.SketchTime = time.Since(start)
+	start = time.Now()
 	res, err := Cluster(sketches, cfg.Cluster)
 	if err != nil {
 		return nil, err
+	}
+	stats.ClusterTime = time.Since(start)
+	stats.Iterations = res.Iterations
+	stats.Converged = res.Converged
+	stats.Iters = res.IterStats
+	for _, it := range res.IterStats {
+		stats.MovedTotal += it.Moved
 	}
 	wt := make([]int, res.K())
 	for i, a := range res.Assign {
 		wt[a] += c.Weight(i)
 	}
-	return &Stratification{Result: res, Sketches: sketches, WeightTotals: wt}, nil
+	return &Stratification{
+		Result: res, Sketches: sketches, WeightTotals: wt,
+		Stats: stats, simSeed: cfg.Seed,
+	}, nil
 }
 
-// SketchCorpus computes the sketch of every record in parallel.
-// workers ≤ 0 means GOMAXPROCS.
+// SketchCorpus computes the sketch of every record through the bulk
+// sketch path: all sketches share one flat backing allocation and are
+// filled in parallel in corpus order. workers ≤ 0 means GOMAXPROCS.
 func SketchCorpus(c pivots.Corpus, h *sketch.Hasher, workers int) []sketch.Sketch {
-	n := c.Len()
-	out := make([]sketch.Sketch, n)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = h.Sketch(c.ItemSet(i))
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	return h.SketchAll(c.Len(), c.ItemSet, workers)
 }
 
 // Entropy returns the Shannon entropy (nats) of the stratum size
@@ -127,8 +140,17 @@ func (s *Stratification) Entropy() float64 {
 // MeanIntraSimilarity estimates the average sketch agreement between
 // members of the same stratum and members of different strata, using
 // at most sampleBudget pair comparisons for each. It quantifies
-// stratification quality: intra should exceed inter.
+// stratification quality: intra should exceed inter. Pair sampling is
+// seeded from the stratifier configuration (StratifierConfig.Seed), so
+// estimates are reproducible per configuration; use
+// MeanIntraSimilaritySeeded to control the sampling seed directly.
 func (s *Stratification) MeanIntraSimilarity(sampleBudget int) (intra, inter float64) {
+	return s.MeanIntraSimilaritySeeded(sampleBudget, s.simSeed)
+}
+
+// MeanIntraSimilaritySeeded is MeanIntraSimilarity with an explicit
+// pair-sampling seed.
+func (s *Stratification) MeanIntraSimilaritySeeded(sampleBudget int, seed int64) (intra, inter float64) {
 	if sampleBudget <= 0 {
 		sampleBudget = 2000
 	}
@@ -140,7 +162,7 @@ func (s *Stratification) MeanIntraSimilarity(sampleBudget int) (intra, inter flo
 	}
 	// Seeded random pair sampling: unbiased across strata boundaries
 	// and deterministic across runs.
-	rng := rand.New(rand.NewSource(42))
+	rng := rand.New(rand.NewSource(seed))
 	for t := 0; t < 4*sampleBudget && (intraN < sampleBudget || interN < sampleBudget); t++ {
 		i := rng.Intn(n)
 		j := rng.Intn(n)
