@@ -225,10 +225,11 @@ func (c *Cluster) RunDetailed(offset float64, tasks []DetailedTask) (*Result, er
 		}(i, task)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: node %d task: %w", i, err)
-		}
+	// A multi-node job can fail on several nodes at once; report every
+	// failure, not just the first — diagnosing a flapping cluster from
+	// one error at a time is hopeless.
+	if err := joinNodeErrs("task", errs); err != nil {
+		return nil, err
 	}
 	res := &Result{
 		NodeTimes: make([]float64, len(tasks)),
@@ -287,12 +288,22 @@ func (c *Cluster) ProfileAll(sizes []int, runSample func(size int) (float64, err
 		}(i)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: profiling node %d: %w", i, err)
-		}
+	if err := joinNodeErrs("profiling", errs); err != nil {
+		return nil, err
 	}
 	return models, nil
+}
+
+// joinNodeErrs aggregates per-node failures into one error naming
+// every failed node (errors.Join), nil when all succeeded.
+func joinNodeErrs(what string, errs []error) error {
+	var all []error
+	for i, err := range errs {
+		if err != nil {
+			all = append(all, fmt.Errorf("cluster: %s node %d: %w", what, i, err))
+		}
+	}
+	return errors.Join(all...)
 }
 
 // P returns the node count.

@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"pareto/internal/energy"
@@ -213,5 +216,39 @@ func TestResultImbalance(t *testing.T) {
 	}
 	if (&Result{}).Imbalance() != 0 {
 		t.Error("empty result imbalance must be 0")
+	}
+}
+
+// TestMultiNodeErrorsAggregated: when several nodes fail in one run,
+// every failure must surface (errors.Join), not just the first.
+func TestMultiNodeErrorsAggregated(t *testing.T) {
+	c := testCluster(t, 3)
+	boom0 := errors.New("node0 exploded")
+	boom2 := errors.New("node2 exploded")
+	_, err := c.Run(0, []Task{
+		func() (float64, error) { return 0, boom0 },
+		func() (float64, error) { return 1, nil },
+		func() (float64, error) { return 0, boom2 },
+	})
+	if !errors.Is(err, boom0) || !errors.Is(err, boom2) {
+		t.Fatalf("aggregated error lost a failure: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "node 0") || !strings.Contains(msg, "node 2") {
+		t.Errorf("error does not name both nodes: %q", msg)
+	}
+
+	// ProfileAll aggregates the same way. The sample function runs
+	// concurrently across nodes, so the counter must be atomic.
+	var fails atomic.Int64
+	_, err = c.ProfileAll([]int{1, 2}, func(int) (float64, error) {
+		return 0, fmt.Errorf("sample run %d failed", fails.Add(1))
+	}, 0, 100)
+	if err == nil {
+		t.Fatal("ProfileAll swallowed failures")
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok || len(joined.Unwrap()) != 3 {
+		t.Errorf("ProfileAll error not a 3-node join: %v", err)
 	}
 }

@@ -98,6 +98,14 @@ type Config struct {
 	// constants k_i (seconds). Window 0 defaults to one hour.
 	TraceOffset float64
 	Window      float64
+	// DistStratify, when set, is tried first for component III — e.g.
+	// a closure over distrib.Stratify running across real workers. If
+	// it fails (dead store, partitioned network, unrecoverable worker
+	// loss), BuildPlan degrades gracefully to the in-process
+	// stratifier and records the degradation on the Plan and in its
+	// Summary, so an operator can see the run did not exercise the
+	// distributed path.
+	DistStratify func(c pivots.Corpus, cfg strata.StratifierConfig) (*strata.Stratification, error)
 }
 
 // ProfileFunc runs the actual analytics algorithm on a representative
@@ -126,6 +134,11 @@ type Plan struct {
 	Assign *partitioner.Assignment
 	// Scheme echoes the placement scheme used.
 	Scheme partitioner.Scheme
+	// DegradedStratify is true when Config.DistStratify failed and the
+	// pipeline fell back to the in-process stratifier; DegradedReason
+	// carries the failure.
+	DegradedStratify bool
+	DegradedReason   string
 }
 
 // BuildPlan runs the full pipeline for the corpus on the cluster.
@@ -152,13 +165,30 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 		cfg.Stratifier.Cluster.L = 3
 	}
 
-	// Component III: stratify.
-	st, err := strata.Stratify(corpus, cfg.Stratifier)
-	if err != nil {
-		return nil, fmt.Errorf("core: stratifying: %w", err)
+	// Component III: stratify — distributed first when configured,
+	// degrading to in-process if the distributed path fails terminally.
+	var st *strata.Stratification
+	var err error
+	degradedReason := ""
+	if cfg.DistStratify != nil {
+		st, err = cfg.DistStratify(corpus, cfg.Stratifier)
+		if err != nil {
+			degradedReason = err.Error()
+			st = nil
+		}
+	}
+	if st == nil {
+		st, err = strata.Stratify(corpus, cfg.Stratifier)
+		if err != nil {
+			return nil, fmt.Errorf("core: stratifying: %w", err)
+		}
 	}
 
 	plan := &Plan{Strategy: cfg.Strategy, Strat: st, Scheme: cfg.Scheme}
+	if degradedReason != "" {
+		plan.DegradedStratify = true
+		plan.DegradedReason = degradedReason
+	}
 	switch cfg.Strategy {
 	case Stratified:
 		plan.Alpha = 1

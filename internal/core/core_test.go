@@ -305,3 +305,62 @@ func TestPlanSummaryRoundtrip(t *testing.T) {
 		t.Error("bad JSON accepted")
 	}
 }
+
+// TestDistStratifyDegradation: a failing distributed stratifier must
+// not kill the plan — the pipeline falls back to the in-process
+// stratifier and records the degradation for the operator.
+func TestDistStratifyDegradation(t *testing.T) {
+	corpus, cl := testSetup(t)
+	cfg := Config{
+		Strategy: Stratified,
+		Scheme:   partitioner.Representative,
+		Stratifier: strata.StratifierConfig{
+			Cluster: strata.Config{K: 8, L: 3, Seed: 1},
+		},
+		DistStratify: func(pivots.Corpus, strata.StratifierConfig) (*strata.Stratification, error) {
+			return nil, errors.New("store unreachable: all workers dead")
+		},
+	}
+	plan, err := BuildPlan(corpus, cl, nil, cfg)
+	if err != nil {
+		t.Fatalf("BuildPlan with failing DistStratify: %v", err)
+	}
+	if !plan.DegradedStratify {
+		t.Error("degradation not recorded on plan")
+	}
+	if plan.DegradedReason == "" {
+		t.Error("degradation reason missing")
+	}
+	sum, err := plan.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.DegradedStratify || sum.DegradedReason == "" {
+		t.Errorf("summary does not carry degradation: %+v", sum)
+	}
+	// The fallback result is the plain in-process stratification.
+	want, err := strata.Stratify(corpus, cfg.Stratifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strat.K() != want.K() {
+		t.Errorf("fallback stratification differs: K=%d want %d", plan.Strat.K(), want.K())
+	}
+
+	// A succeeding DistStratify is used as-is, with no degradation.
+	calls := 0
+	cfg.DistStratify = func(c pivots.Corpus, sc strata.StratifierConfig) (*strata.Stratification, error) {
+		calls++
+		return strata.Stratify(c, sc)
+	}
+	plan, err = BuildPlan(corpus, cl, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("DistStratify called %d times, want 1", calls)
+	}
+	if plan.DegradedStratify || plan.DegradedReason != "" {
+		t.Error("healthy distributed path marked degraded")
+	}
+}

@@ -17,6 +17,11 @@ type PlanSummary struct {
 	Records   int     `json:"records"`
 	Strata    int     `json:"strata"`
 	Converged bool    `json:"strata_converged"`
+	// DegradedStratify records that the distributed stratification
+	// path failed and the plan fell back to the in-process stratifier
+	// (the run is still correct, but did not exercise the cluster).
+	DegradedStratify bool   `json:"degraded_stratify,omitempty"`
+	DegradedReason   string `json:"degraded_reason,omitempty"`
 	// Stratifier overhead audit (component III): planning must stay
 	// negligible next to the job for the amortization claim to hold.
 	StratifyIterations int     `json:"stratify_iterations,omitempty"`
@@ -57,6 +62,9 @@ func (p *Plan) Summary() (*PlanSummary, error) {
 		Scheme:   p.Scheme.String(),
 		Records:  records,
 		Sizes:    append([]int(nil), p.Sizes...),
+
+		DegradedStratify: p.DegradedStratify,
+		DegradedReason:   p.DegradedReason,
 	}
 	if p.Strat != nil {
 		s.Strata = p.Strat.K()

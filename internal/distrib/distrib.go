@@ -16,14 +16,38 @@
 //
 // The result is bit-identical to the in-process strata.Stratify (same
 // seeds, same order), which the tests assert.
+//
+// # Fault tolerance
+//
+// Real heterogeneous clusters flap, so the protocol survives worker
+// death and connection faults:
+//
+//   - Each worker writes a per-shard completion marker after shipping
+//     its sketches, and re-ships the whole shard (DEL + re-push, which
+//     is idempotent as a unit) when a pipeline fails mid-flight.
+//   - The coordinator bounds its wait at the sketch barrier
+//     (Options.SketchWait). Past the bound it aborts the barrier —
+//     releasing live workers immediately instead of letting them burn
+//     their timeouts — reads the completion markers, and re-sketches
+//     the missing shards locally. Sketching is a pure function of
+//     (corpus, hasher), so recovery is bit-identical to what the dead
+//     worker would have produced, and a run with up to f dead workers
+//     still returns the exact in-process stratification.
+//   - Workers treat the sketch barrier as advisory: released by abort,
+//     timeout, or even a failed fetch-and-increment, they fall through
+//     to polling for the published assignment, which is the
+//     authoritative phase-two signal. A run-level abort key stops
+//     pollers promptly when the coordinator fails terminally.
 package distrib
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
+	"time"
 
 	"pareto/internal/kvstore"
 	"pareto/internal/pivots"
@@ -43,6 +67,27 @@ type Options struct {
 	PipelineWidth int
 	// KeyPrefix namespaces this run's keys on the store (0 = "strat").
 	KeyPrefix string
+
+	// SketchWait bounds the coordinator's wait for workers at the
+	// sketch barrier; past it the coordinator aborts the barrier and
+	// recovers missing shards locally (0 = 30s). Workers wait up to
+	// 2×SketchWait so the coordinator's recovery fires first.
+	SketchWait time.Duration
+	// AssignWait bounds each worker's poll for the published
+	// assignment (0 = 30s).
+	AssignWait time.Duration
+	// PollInterval is the initial store poll interval for barrier and
+	// assignment waits; polls back off exponentially (0 = 1ms).
+	PollInterval time.Duration
+	// ShipRetries is how many extra times a worker re-ships its whole
+	// shard after a failed pipeline — per-record RPUSHes are not
+	// individually retryable (kvstore.ErrNotRetryable), but DEL +
+	// re-push of the shard is idempotent as a unit (0 = 2, negative =
+	// none).
+	ShipRetries int
+	// DisableRecovery makes any worker failure terminal for the whole
+	// run (the pre-fault-tolerance behavior).
+	DisableRecovery bool
 }
 
 func (o *Options) normalize() {
@@ -55,16 +100,72 @@ func (o *Options) normalize() {
 	if o.KeyPrefix == "" {
 		o.KeyPrefix = "strat"
 	}
+	if o.SketchWait <= 0 {
+		o.SketchWait = 30 * time.Second
+	}
+	if o.AssignWait <= 0 {
+		o.AssignWait = 30 * time.Second
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = time.Millisecond
+	}
+	if o.ShipRetries == 0 {
+		o.ShipRetries = 2
+	} else if o.ShipRetries < 0 {
+		o.ShipRetries = 0
+	}
+}
+
+// Run keys, all under o.KeyPrefix.
+func (o *Options) sketchKey(i int) string { return o.KeyPrefix + ":sketches:" + strconv.Itoa(i) }
+func (o *Options) doneKey(i int) string   { return o.KeyPrefix + ":done:" + strconv.Itoa(i) }
+func (o *Options) assignKey() string      { return o.KeyPrefix + ":assign" }
+func (o *Options) abortKey() string       { return o.KeyPrefix + ":abort" }
+func (o *Options) barrierName() string    { return o.KeyPrefix + ":sketched" }
+
+// Report describes how a distributed run actually went — which fault
+// paths fired. A non-nil Report accompanies both success and failure.
+type Report struct {
+	// Aborted reports that the coordinator aborted the sketch barrier
+	// to engage recovery.
+	Aborted bool
+	// RecoveredShards lists shards the coordinator re-sketched locally
+	// because their completion marker was missing at the bounded wait.
+	RecoveredShards []int
+	// RecoveredRecords counts records recovered by the defensive
+	// per-record sweep (shards whose worker arrived at the barrier but
+	// shipped incompletely).
+	RecoveredRecords int
+	// WorkerErrs[i] is worker i's terminal error; nil for a clean
+	// worker. Non-nil entries are tolerated whenever the coordinator
+	// produced the full assignment (unless Options.DisableRecovery).
+	WorkerErrs []error
+}
+
+// Failures counts workers that ended with an error.
+func (r *Report) Failures() int {
+	n := 0
+	for _, err := range r.WorkerErrs {
+		if err != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // encodeSketchRecord serializes (record index, sketch) for the wire.
-func encodeSketchRecord(idx int, s sketch.Sketch) []byte {
+// The index travels as uint32; larger corpora must be rejected rather
+// than silently wrapped.
+func encodeSketchRecord(idx int, s sketch.Sketch) ([]byte, error) {
+	if idx < 0 || int64(idx) > math.MaxUint32 {
+		return nil, fmt.Errorf("distrib: record index %d outside uint32 wire range", idx)
+	}
 	buf := make([]byte, 4+8*len(s))
 	binary.LittleEndian.PutUint32(buf, uint32(idx))
 	for i, v := range s {
 		binary.LittleEndian.PutUint64(buf[4+8*i:], v)
 	}
-	return buf
+	return buf, nil
 }
 
 // decodeSketchRecord reverses encodeSketchRecord.
@@ -80,13 +181,17 @@ func decodeSketchRecord(buf []byte, width int) (int, sketch.Sketch, error) {
 	return idx, s, nil
 }
 
-// encodeAssignment serializes the record→stratum table.
-func encodeAssignment(assign []int) []byte {
+// encodeAssignment serializes the record→stratum table. Strata travel
+// as uint32; negative or oversized values are corruption, not data.
+func encodeAssignment(assign []int) ([]byte, error) {
 	buf := make([]byte, 4*len(assign))
 	for i, a := range assign {
+		if a < 0 || int64(a) > math.MaxUint32 {
+			return nil, fmt.Errorf("distrib: stratum %d for record %d outside uint32 wire range", a, i)
+		}
 		binary.LittleEndian.PutUint32(buf[4*i:], uint32(a))
 	}
-	return buf
+	return buf, nil
 }
 
 // decodeAssignment reverses encodeAssignment.
@@ -105,123 +210,89 @@ func decodeAssignment(buf []byte) []int {
 // coordinator's own connection. Worker i sketches the contiguous shard
 // i of the corpus; shards are computed internally.
 func Stratify(master *kvstore.Client, workers []*kvstore.Client, corpus pivots.Corpus, o Options) (*strata.Stratification, error) {
+	st, _, err := StratifyDetailed(master, workers, corpus, o)
+	return st, err
+}
+
+// StratifyDetailed is Stratify plus a Report of which fault-recovery
+// paths fired (shard recoveries, worker failures, barrier aborts).
+func StratifyDetailed(master *kvstore.Client, workers []*kvstore.Client, corpus pivots.Corpus, o Options) (*strata.Stratification, *Report, error) {
 	if master == nil || len(workers) == 0 {
-		return nil, errors.New("distrib: need a master client and at least one worker")
+		return nil, nil, errors.New("distrib: need a master client and at least one worker")
 	}
 	if corpus == nil || corpus.Len() == 0 {
-		return nil, errors.New("distrib: empty corpus")
+		return nil, nil, errors.New("distrib: empty corpus")
 	}
 	o.normalize()
 	// Fail fast on clustering misconfiguration: the protocol must not
 	// start if the coordinator is guaranteed to abort mid-phase.
 	if o.Cluster.K < 1 || o.Cluster.L < 1 {
-		return nil, fmt.Errorf("distrib: invalid cluster config K=%d L=%d", o.Cluster.K, o.Cluster.L)
+		return nil, nil, fmt.Errorf("distrib: invalid cluster config K=%d L=%d", o.Cluster.K, o.Cluster.L)
 	}
 	n := corpus.Len()
+	if uint64(n) > math.MaxUint32 {
+		return nil, nil, fmt.Errorf("distrib: corpus of %d records exceeds the uint32 wire format", n)
+	}
 	w := len(workers)
 	hasher, err := sketch.NewHasher(o.SketchWidth, o.Seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	parties := w + 1 // workers + coordinator
+	report := &Report{WorkerErrs: make([]error, w)}
 
-	sketchKey := func(i int) string { return o.KeyPrefix + ":sketches:" + strconv.Itoa(i) }
-	assignKey := o.KeyPrefix + ":assign"
+	// Clear this run's control keys before any worker can poll them, so
+	// a stale assignment or abort from an earlier run under the same
+	// prefix cannot leak in.
+	stale := []string{o.assignKey(), o.abortKey()}
+	for i := 0; i < w; i++ {
+		stale = append(stale, o.doneKey(i))
+	}
+	if _, err := master.Del(stale...); err != nil {
+		return nil, nil, fmt.Errorf("distrib: clearing run keys: %w", err)
+	}
 
 	var wg sync.WaitGroup
-	errs := make([]error, w)
 	shardAssigns := make([][]int, w)
 	for i := range workers {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = runWorker(workers[i], corpus, hasher, i, w, parties, sketchKey(i), assignKey, o, &shardAssigns[i])
+			report.WorkerErrs[i] = runWorker(workers[i], corpus, hasher, i, w, parties, o, &shardAssigns[i])
 		}(i)
 	}
 
-	// Coordinator: wait for all sketches, cluster, publish. If the
-	// coordinator fails mid-protocol it still arrives at its remaining
-	// barriers so workers are released rather than timing out.
-	coordErr := func() (err error) {
-		b, berr := kvstore.NewBarrier(master, o.KeyPrefix+":sketched", parties)
-		if berr != nil {
-			return berr
-		}
-		pbEarly, berr := kvstore.NewBarrier(master, o.KeyPrefix+":published", parties)
-		if berr != nil {
-			return berr
-		}
-		arrived := false
-		defer func() {
-			if err != nil && !arrived {
-				_ = pbEarly.Arrive()
-			}
-		}()
-		if err := b.Await(); err != nil {
-			return fmt.Errorf("distrib: coordinator sketch barrier: %w", err)
-		}
-		sketches := make([]sketch.Sketch, n)
-		for i := 0; i < w; i++ {
-			records, err := master.LRange(sketchKey(i), 0, -1)
-			if err != nil {
-				return fmt.Errorf("distrib: gathering worker %d sketches: %w", i, err)
-			}
-			for _, rec := range records {
-				idx, s, err := decodeSketchRecord(rec, o.SketchWidth)
-				if err != nil {
-					return err
-				}
-				if idx < 0 || idx >= n {
-					return fmt.Errorf("distrib: sketch for out-of-range record %d", idx)
-				}
-				sketches[idx] = s
-			}
-		}
-		for i, s := range sketches {
-			if s == nil {
-				return fmt.Errorf("distrib: record %d never sketched", i)
-			}
-		}
-		res, err := strata.Cluster(sketches, o.Cluster)
-		if err != nil {
-			return err
-		}
-		if err := master.Set(assignKey, encodeAssignment(res.Assign)); err != nil {
-			return fmt.Errorf("distrib: publishing assignment: %w", err)
-		}
-		arrived = true
-		if err := pbEarly.Await(); err != nil {
-			return fmt.Errorf("distrib: coordinator publish barrier: %w", err)
-		}
-		return nil
-	}()
+	coordErr := runCoordinator(master, corpus, hasher, n, w, parties, o, report)
 	wg.Wait()
 	if coordErr != nil {
-		return nil, coordErr
+		return nil, report, coordErr
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("distrib: worker %d: %w", i, err)
+	if o.DisableRecovery {
+		for i, err := range report.WorkerErrs {
+			if err != nil {
+				return nil, report, fmt.Errorf("distrib: worker %d: %w", i, err)
+			}
 		}
 	}
 
 	// Reassemble the full stratification from the published assignment
 	// (the coordinator could keep it in memory; reading it back through
 	// the store exercises the same path the workers used).
-	raw, err := master.Get(assignKey)
+	raw, err := master.Get(o.assignKey())
 	if err != nil {
-		return nil, err
+		return nil, report, err
 	}
 	assign := decodeAssignment(raw)
 	if len(assign) != n {
-		return nil, fmt.Errorf("distrib: assignment covers %d of %d records", len(assign), n)
+		return nil, report, fmt.Errorf("distrib: assignment covers %d of %d records", len(assign), n)
 	}
-	// Every worker saw the same published assignment for its shard.
+	// Every worker that completed saw the same published assignment for
+	// its shard (dead workers have no shard view to compare).
 	for i := range workers {
 		lo := i * n / w
 		for off, a := range shardAssigns[i] {
 			if assign[lo+off] != a {
-				return nil, fmt.Errorf("distrib: worker %d shard assignment diverges at record %d", i, lo+off)
+				return nil, report, fmt.Errorf("distrib: worker %d shard assignment diverges at record %d", i, lo+off)
 			}
 		}
 	}
@@ -232,7 +303,7 @@ func Stratify(master *kvstore.Client, workers []*kvstore.Client, corpus pivots.C
 	members := make([][]int, k)
 	for i, a := range assign {
 		if a < 0 || a >= k {
-			return nil, fmt.Errorf("distrib: record %d assigned to stratum %d of %d", i, a, k)
+			return nil, report, fmt.Errorf("distrib: record %d assigned to stratum %d of %d", i, a, k)
 		}
 		members[a] = append(members[a], i)
 	}
@@ -250,25 +321,173 @@ func Stratify(master *kvstore.Client, workers []*kvstore.Client, corpus pivots.C
 		},
 		Sketches:     sketches,
 		WeightTotals: wt,
-	}, nil
+	}, report, nil
 }
 
-// runWorker executes one worker's phases: sketch shard → ship →
-// barrier → fetch assignment → barrier.
-func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i, w, parties int, sketchKey, assignKey string, o Options, shardAssign *[]int) error {
+// runCoordinator waits (boundedly) for the workers' sketches, recovers
+// missing shards locally, clusters, and publishes the assignment. On a
+// terminal error it aborts both the barrier and the run so every
+// blocked or polling worker is released promptly.
+func runCoordinator(master *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, n, w, parties int, o Options, report *Report) (err error) {
+	b, berr := kvstore.NewBarrier(master, o.barrierName(), parties)
+	if berr != nil {
+		return berr
+	}
+	b.Timeout = o.SketchWait
+	b.PollInterval = o.PollInterval
+	defer func() {
+		if err != nil {
+			_ = master.Set(o.abortKey(), []byte("coordinator: "+err.Error()))
+			_ = b.Abort("coordinator failed: " + err.Error())
+		}
+	}()
+	var missing []int
+	if berr := b.Await(); berr != nil {
+		if o.DisableRecovery {
+			return fmt.Errorf("distrib: coordinator sketch barrier: %w", berr)
+		}
+		// Bounded wait expired (or the barrier itself misbehaved):
+		// release live workers now and take over the missing shards.
+		report.Aborted = true
+		if aerr := b.Abort("coordinator recovering missing shards"); aerr != nil {
+			return fmt.Errorf("distrib: aborting sketch barrier: %w (after %v)", aerr, berr)
+		}
+		for i := 0; i < w; i++ {
+			if _, gerr := master.Get(o.doneKey(i)); gerr != nil {
+				if errors.Is(gerr, kvstore.ErrNil) {
+					missing = append(missing, i)
+					continue
+				}
+				return fmt.Errorf("distrib: reading completion marker %d: %w", i, gerr)
+			}
+		}
+	}
+	recovering := make(map[int]bool, len(missing))
+	for _, i := range missing {
+		recovering[i] = true
+	}
+	sketches := make([]sketch.Sketch, n)
+	for i := 0; i < w; i++ {
+		if recovering[i] {
+			continue
+		}
+		records, err := master.LRange(o.sketchKey(i), 0, -1)
+		if err != nil {
+			return fmt.Errorf("distrib: gathering worker %d sketches: %w", i, err)
+		}
+		for _, rec := range records {
+			idx, s, err := decodeSketchRecord(rec, o.SketchWidth)
+			if err != nil {
+				return err
+			}
+			if idx < 0 || idx >= n {
+				return fmt.Errorf("distrib: sketch for out-of-range record %d", idx)
+			}
+			sketches[idx] = s
+		}
+	}
+	// Re-sketch missing shards locally: sketching is a pure function of
+	// (corpus, hasher), so the recovered values are bit-identical to
+	// what the dead workers would have shipped.
+	for _, i := range missing {
+		lo, hi := i*n/w, (i+1)*n/w
+		for r := lo; r < hi; r++ {
+			sketches[r] = hasher.Sketch(corpus.ItemSet(r))
+		}
+	}
+	report.RecoveredShards = missing
+	// Defensive sweep: a worker that arrived at the barrier after a
+	// failed ship leaves holes no marker accounts for.
+	for r, s := range sketches {
+		if s != nil {
+			continue
+		}
+		if o.DisableRecovery {
+			return fmt.Errorf("distrib: record %d never sketched", r)
+		}
+		sketches[r] = hasher.Sketch(corpus.ItemSet(r))
+		report.RecoveredRecords++
+	}
+	res, err := strata.Cluster(sketches, o.Cluster)
+	if err != nil {
+		return err
+	}
+	enc, err := encodeAssignment(res.Assign)
+	if err != nil {
+		return err
+	}
+	if err := master.Set(o.assignKey(), enc); err != nil {
+		return fmt.Errorf("distrib: publishing assignment: %w", err)
+	}
+	return nil
+}
+
+// runWorker executes one worker's phases: sketch shard → ship (with
+// whole-shard retry) → completion marker → barrier (advisory) → poll
+// assignment.
+func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i, w, parties int, o Options, shardAssign *[]int) error {
 	n := corpus.Len()
 	lo := i * n / w
 	hi := (i + 1) * n / w
-	if _, err := c.Del(sketchKey); err != nil {
+
+	var shipErr error
+	for attempt := 0; attempt <= o.ShipRetries; attempt++ {
+		if shipErr = shipShard(c, corpus, hasher, lo, hi, o.sketchKey(i), o.PipelineWidth); shipErr == nil {
+			break
+		}
+	}
+	if shipErr == nil {
+		// Completion marker: the coordinator's ground truth for which
+		// shards need recovery. A failed SET is tolerable — worst case
+		// the coordinator re-sketches a shard it already has.
+		_ = c.Set(o.doneKey(i), []byte(strconv.Itoa(hi-lo)))
+	}
+
+	// The sketch barrier is advisory for workers: aborts (coordinator
+	// recovering), timeouts, and even a failed fetch-and-increment all
+	// fall through to the authoritative signal — the published
+	// assignment appearing under the run's key.
+	if b, err := kvstore.NewBarrier(c, o.barrierName(), parties); err == nil {
+		b.Timeout = 2 * o.SketchWait
+		b.PollInterval = o.PollInterval
+		_ = b.Await()
+	}
+
+	raw, pollErr := pollAssignment(c, o)
+	if pollErr != nil {
+		if shipErr != nil {
+			return errors.Join(shipErr, pollErr)
+		}
+		return pollErr
+	}
+	assign := decodeAssignment(raw)
+	if len(assign) != n {
+		return fmt.Errorf("assignment covers %d of %d records", len(assign), n)
+	}
+	*shardAssign = assign[lo:hi]
+	if shipErr != nil {
+		return fmt.Errorf("shard ship failed (coordinator recovery required): %w", shipErr)
+	}
+	return nil
+}
+
+// shipShard pushes one shard's sketches as a fresh list: DEL + pipeline
+// of RPUSHes + length check. Each attempt starts from scratch, which is
+// what makes the non-idempotent RPUSHes safely retryable as a unit.
+func shipShard(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, lo, hi int, key string, width int) error {
+	if _, err := c.Del(key); err != nil {
 		return err
 	}
-	p, err := c.NewPipeline(o.PipelineWidth)
+	p, err := c.NewPipeline(width)
 	if err != nil {
 		return err
 	}
 	for r := lo; r < hi; r++ {
-		s := hasher.Sketch(corpus.ItemSet(r))
-		if err := p.Send("RPUSH", []byte(sketchKey), encodeSketchRecord(r, s)); err != nil {
+		enc, err := encodeSketchRecord(r, hasher.Sketch(corpus.ItemSet(r)))
+		if err != nil {
+			return err
+		}
+		if err := p.Send("RPUSH", []byte(key), enc); err != nil {
 			return err
 		}
 	}
@@ -281,28 +500,45 @@ func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i
 			return err
 		}
 	}
-	b, err := kvstore.NewBarrier(c, o.KeyPrefix+":sketched", parties)
+	cnt, err := c.LLen(key)
 	if err != nil {
 		return err
 	}
-	if err := b.Await(); err != nil {
-		return err
+	if cnt != int64(hi-lo) {
+		return fmt.Errorf("distrib: shard list holds %d of %d records", cnt, hi-lo)
 	}
-	pb, err := kvstore.NewBarrier(c, o.KeyPrefix+":published", parties)
-	if err != nil {
-		return err
-	}
-	if err := pb.Await(); err != nil {
-		return err
-	}
-	raw, err := c.Get(assignKey)
-	if err != nil {
-		return err
-	}
-	assign := decodeAssignment(raw)
-	if len(assign) != n {
-		return fmt.Errorf("assignment covers %d of %d records", len(assign), n)
-	}
-	*shardAssign = assign[lo:hi]
 	return nil
+}
+
+// pollAssignment waits for the coordinator's published assignment with
+// exponential backoff, bounded by Options.AssignWait, bailing out
+// promptly if the run's abort key appears.
+func pollAssignment(c *kvstore.Client, o Options) ([]byte, error) {
+	deadline := time.Now().Add(o.AssignWait)
+	poll := o.PollInterval
+	maxPoll := 64 * o.PollInterval
+	var lastErr error
+	for {
+		raw, err := c.Get(o.assignKey())
+		if err == nil {
+			return raw, nil
+		}
+		if !errors.Is(err, kvstore.ErrNil) {
+			lastErr = err // transient store trouble: keep polling
+		}
+		if reason, aerr := c.Get(o.abortKey()); aerr == nil {
+			return nil, fmt.Errorf("distrib: run aborted: %s", reason)
+		}
+		if time.Now().After(deadline) {
+			if lastErr != nil {
+				return nil, fmt.Errorf("distrib: assignment wait timed out after %v: %w", o.AssignWait, lastErr)
+			}
+			return nil, fmt.Errorf("distrib: assignment wait timed out after %v", o.AssignWait)
+		}
+		time.Sleep(poll)
+		poll *= 2
+		if poll > maxPoll {
+			poll = maxPoll
+		}
+	}
 }

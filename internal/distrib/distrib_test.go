@@ -136,7 +136,11 @@ func TestDistributedMoreWorkersThanRecords(t *testing.T) {
 
 func TestSketchRecordRoundtrip(t *testing.T) {
 	s := sketch.Sketch{1, 2, 1 << 60}
-	idx, back, err := decodeSketchRecord(encodeSketchRecord(42, s), 3)
+	enc, err := encodeSketchRecord(42, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, back, err := decodeSketchRecord(enc, 3)
 	if err != nil || idx != 42 {
 		t.Fatalf("idx %d err %v", idx, err)
 	}
@@ -150,10 +154,37 @@ func TestSketchRecordRoundtrip(t *testing.T) {
 	}
 }
 
+func TestSketchRecordRejectsWireOverflow(t *testing.T) {
+	s := sketch.Sketch{1}
+	if _, err := encodeSketchRecord(-1, s); err == nil {
+		t.Error("negative index accepted")
+	}
+	if big := int(int64(1) << 32); big > 0 { // skip on 32-bit int
+		if _, err := encodeSketchRecord(big, s); err == nil {
+			t.Error("index past uint32 accepted")
+		}
+	}
+}
+
 func TestAssignmentRoundtrip(t *testing.T) {
 	in := []int{0, 5, 2, 7, 1}
-	out := decodeAssignment(encodeAssignment(in))
+	enc, err := encodeAssignment(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decodeAssignment(enc)
 	if !reflect.DeepEqual(in, out) {
 		t.Fatalf("roundtrip %v", out)
+	}
+}
+
+func TestAssignmentRejectsWireOverflow(t *testing.T) {
+	if _, err := encodeAssignment([]int{0, -3}); err == nil {
+		t.Error("negative stratum accepted")
+	}
+	if big := int(int64(1) << 32); big > 0 { // skip on 32-bit int
+		if _, err := encodeAssignment([]int{big}); err == nil {
+			t.Error("stratum past uint32 accepted")
+		}
 	}
 }

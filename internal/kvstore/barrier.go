@@ -15,14 +15,25 @@ import (
 // until all parties have arrived. Reusing the Barrier value advances
 // the generation automatically, so one Barrier synchronizes any number
 // of consecutive phases.
+//
+// A barrier can be aborted: any party writing the abort key
+// (__barrier:<name>:abort) releases every waiter promptly with
+// ErrBarrierAborted instead of letting them burn through their full
+// timeout — the escape hatch a coordinator uses when it detects dead
+// workers and takes over their shards.
 type Barrier struct {
 	client  *Client
 	name    string
 	parties int
 	gen     int
 
-	// PollInterval is the wait between checks; defaults to 1ms.
+	// PollInterval is the initial wait between checks; defaults to
+	// 1ms. Polls back off exponentially (doubling per round) up to
+	// MaxPollInterval so a long wait does not hammer the store.
 	PollInterval time.Duration
+	// MaxPollInterval caps the poll backoff; defaults to
+	// max(PollInterval, 50ms).
+	MaxPollInterval time.Duration
 	// Timeout bounds one Await; defaults to 30s.
 	Timeout time.Duration
 }
@@ -49,6 +60,43 @@ func NewBarrier(client *Client, name string, parties int) (*Barrier, error) {
 // ErrBarrierTimeout reports that not all parties arrived in time.
 var ErrBarrierTimeout = errors.New("kvstore: barrier timeout")
 
+// ErrBarrierAborted reports that a party aborted the barrier,
+// releasing all waiters.
+var ErrBarrierAborted = errors.New("kvstore: barrier aborted")
+
+func (b *Barrier) abortKey() string {
+	return "__barrier:" + b.name + ":abort"
+}
+
+// Abort marks the barrier aborted with a reason: every current and
+// future Await on this name returns ErrBarrierAborted promptly. The
+// abort is sticky for the barrier's whole lifetime (all generations) —
+// an aborted protocol round must not be resumed through the same name.
+func (b *Barrier) Abort(reason string) error {
+	if reason == "" {
+		reason = "aborted"
+	}
+	if err := b.client.Set(b.abortKey(), []byte(reason)); err != nil {
+		return fmt.Errorf("kvstore: barrier abort: %w", err)
+	}
+	return nil
+}
+
+// aborted checks the abort key; reason is empty when not aborted.
+func (b *Barrier) aborted() (string, error) {
+	raw, err := b.client.Get(b.abortKey())
+	if errors.Is(err, ErrNil) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	if len(raw) == 0 {
+		return "aborted", nil
+	}
+	return string(raw), nil
+}
+
 // Arrive registers this party at the current generation WITHOUT
 // waiting for the others, and advances to the next generation. A party
 // that must abandon the protocol after an error calls Arrive on its
@@ -64,7 +112,8 @@ func (b *Barrier) Arrive() error {
 }
 
 // Await registers this party's arrival at the current generation and
-// blocks until all parties arrive (or the timeout passes).
+// blocks until all parties arrive, the barrier is aborted, or the
+// timeout passes.
 func (b *Barrier) Await() error {
 	key := fmt.Sprintf("__barrier:%s:%d", b.name, b.gen)
 	b.gen++
@@ -78,6 +127,13 @@ func (b *Barrier) Await() error {
 	poll := b.PollInterval
 	if poll <= 0 {
 		poll = time.Millisecond
+	}
+	maxPoll := b.MaxPollInterval
+	if maxPoll <= 0 {
+		maxPoll = 50 * time.Millisecond
+		if poll > maxPoll {
+			maxPoll = poll
+		}
 	}
 	timeout := b.Timeout
 	if timeout <= 0 {
@@ -102,9 +158,18 @@ func (b *Barrier) Await() error {
 				return nil
 			}
 		}
+		if reason, aerr := b.aborted(); aerr != nil {
+			return fmt.Errorf("kvstore: barrier abort poll: %w", aerr)
+		} else if reason != "" {
+			return fmt.Errorf("%w: %s generation %d: %s", ErrBarrierAborted, b.name, b.gen-1, reason)
+		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("%w: %s generation %d", ErrBarrierTimeout, b.name, b.gen-1)
 		}
 		time.Sleep(poll)
+		poll *= 2
+		if poll > maxPoll {
+			poll = maxPoll
+		}
 	}
 }

@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -15,55 +17,249 @@ import (
 // requests up to a preset pipeline width before sending, which
 // "substantially improves response times"). A Client is safe for
 // concurrent use; commands are serialized over the single connection.
+//
+// A Client built with DialOptions is additionally hardened against a
+// misbehaving network: every I/O carries a per-operation deadline
+// (Options.OpTimeout), a dead connection is re-dialed with capped
+// exponential backoff plus jitter, and idempotent commands are retried
+// transparently. Non-idempotent commands (INCR, RPUSH, …) are never
+// retried — a failure after the request may have been written is
+// ambiguous — and surface ErrNotRetryable so the caller decides.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
 
+	addr        string
+	dialTimeout time.Duration
+	opts        Options
+	rng         *rand.Rand
+
 	// pending counts commands written but not yet read (pipelining).
 	pending int
+	// buffered holds pipelined replies drained early by Do; Flush
+	// returns them ahead of freshly read ones so no reply is lost.
+	buffered []Reply
+	// broken marks the connection dead; the next immediate command
+	// re-dials before writing.
+	broken bool
 }
 
-// Dial connects to a store at addr with the given timeout.
+// Options tunes a Client's fault-tolerance behavior. The zero value
+// reproduces the original client: no deadlines, no reconnects, no
+// retries.
+type Options struct {
+	// OpTimeout is the deadline applied to each network operation
+	// (one write flush, one reply read). A command's wall-clock bound
+	// is therefore 2×OpTimeout: one write + one read. 0 = no deadline.
+	OpTimeout time.Duration
+	// MaxRetries is how many times an idempotent command is retried
+	// (re-dialing first) after an I/O failure. 0 = no retries.
+	MaxRetries int
+	// RetryBackoff is the initial backoff before the first retry; it
+	// doubles per attempt (0 = 5ms).
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = 500ms).
+	MaxBackoff time.Duration
+	// Seed drives the backoff jitter (0 = 1); fixed per the repo's
+	// determinism convention.
+	Seed int64
+	// Dialer overrides how (re)connections are established — the
+	// fault-injection hook. nil = net.DialTimeout("tcp", …).
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (o *Options) normalize() {
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 5 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 500 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// ErrNotRetryable marks a non-idempotent command that failed after it
+// may have reached the server: the client cannot safely re-send it, so
+// the caller must decide (re-derive state, abort, or retry a larger
+// idempotent unit, e.g. DEL + re-push a whole list).
+var ErrNotRetryable = errors.New("kvstore: command not retryable")
+
+// idempotent lists the commands safe to blindly re-send: re-executing
+// them converges to the same store state and reply semantics.
+var idempotent = map[string]bool{
+	"GET": true, "SET": true, "DEL": true, "EXISTS": true,
+	"LLEN": true, "LRANGE": true, "LINDEX": true, "STRLEN": true,
+	"PING": true, "ECHO": true, "DBSIZE": true,
+}
+
+// Dial connects to a store at addr with the given timeout, with no
+// fault tolerance (zero Options).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialOptions(addr, timeout, Options{})
+}
+
+// DialOptions connects to a store at addr with per-operation deadlines
+// and retry behavior from opts.
+func DialOptions(addr string, timeout time.Duration, opts Options) (*Client, error) {
+	opts.normalize()
+	c := &Client{
+		addr:        addr,
+		dialTimeout: timeout,
+		opts:        opts,
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+	}
+	conn, err := c.dial()
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
 	}
-	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 64<<10),
-		w:    bufio.NewWriterSize(conn, 64<<10),
-	}, nil
+	c.attach(conn)
+	return c, nil
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	if c.opts.Dialer != nil {
+		return c.opts.Dialer(c.addr, c.dialTimeout)
+	}
+	return net.DialTimeout("tcp", c.addr, c.dialTimeout)
+}
+
+// attach installs conn as the client's live connection.
+func (c *Client) attach(conn net.Conn) {
+	c.conn = conn
+	if c.r == nil {
+		c.r = bufio.NewReaderSize(conn, 64<<10)
+		c.w = bufio.NewWriterSize(conn, 64<<10)
+	} else {
+		c.r.Reset(conn)
+		c.w.Reset(conn)
+	}
+	c.broken = false
+}
+
+// markBroken declares the connection dead: pending pipelined replies
+// are unrecoverable, so pipeline state is discarded and the next
+// immediate command re-dials.
+func (c *Client) markBroken() {
+	c.broken = true
+	c.pending = 0
+	c.buffered = nil
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// reconnect re-dials and swaps in the fresh connection. The caller
+// holds c.mu.
+func (c *Client) reconnect() error {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return fmt.Errorf("kvstore: reconnect %s: %w", c.addr, err)
+	}
+	c.attach(conn)
+	return nil
+}
+
+// armDeadline sets the per-operation deadline on the live connection.
+func (c *Client) armDeadline() {
+	if c.opts.OpTimeout > 0 && c.conn != nil {
+		c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+	}
+}
+
+// backoff sleeps before retry attempt (1-based), exponential with
+// jitter in [d/2, d].
+func (c *Client) backoff(attempt int) {
+	d := c.opts.RetryBackoff << (attempt - 1)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	time.Sleep(d)
 }
 
 // Close closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
 	return c.conn.Close()
 }
 
-// Do sends one command and waits for its reply (flushing any pipelined
-// commands first so ordering is preserved).
-func (c *Client) Do(cmd string, args ...[]byte) (Reply, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// exchange writes one command, drains any pipelined replies into the
+// pipeline buffer, and reads the command's own reply. The caller holds
+// c.mu. On error the connection is marked broken.
+func (c *Client) exchange(cmd string, args [][]byte) (Reply, error) {
+	if c.broken {
+		if err := c.reconnect(); err != nil {
+			return Reply{}, err
+		}
+	}
+	c.armDeadline()
 	if err := WriteCommand(c.w, cmd, args...); err != nil {
+		c.markBroken()
 		return Reply{}, err
 	}
 	if err := c.w.Flush(); err != nil {
+		c.markBroken()
 		return Reply{}, err
 	}
-	// Drain earlier pipelined replies; the last one is ours.
+	// Drain earlier pipelined replies; they belong to the active
+	// pipeline, so keep them for its Flush instead of discarding.
 	for c.pending > 0 {
-		if _, err := ReadReply(c.r); err != nil {
+		c.armDeadline()
+		rep, err := ReadReply(c.r)
+		if err != nil {
+			c.markBroken()
 			return Reply{}, err
 		}
+		c.buffered = append(c.buffered, rep)
 		c.pending--
 	}
-	return ReadReply(c.r)
+	c.armDeadline()
+	rep, err := ReadReply(c.r)
+	if err != nil {
+		c.markBroken()
+		return Reply{}, err
+	}
+	return rep, nil
+}
+
+// Do sends one command and waits for its reply (flushing any pipelined
+// commands first so ordering is preserved; their replies are buffered
+// for the pipeline's Flush, not discarded). Idempotent commands are
+// retried per Options when the connection fails — unless pipelined
+// commands are in flight, whose replies a re-sent command could never
+// recover.
+func (c *Client) Do(cmd string, args ...[]byte) (Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending > 0 {
+		return c.exchange(cmd, args)
+	}
+	rep, err := c.exchange(cmd, args)
+	if err == nil || c.opts.MaxRetries <= 0 {
+		return rep, err
+	}
+	if !idempotent[strings.ToUpper(cmd)] {
+		return Reply{}, fmt.Errorf("kvstore: %s failed (%v): %w", cmd, err, ErrNotRetryable)
+	}
+	for attempt := 1; attempt <= c.opts.MaxRetries; attempt++ {
+		c.backoff(attempt)
+		rep, err = c.exchange(cmd, args)
+		if err == nil {
+			return rep, nil
+		}
+	}
+	return Reply{}, fmt.Errorf("kvstore: %s failed after %d retries: %w", cmd, c.opts.MaxRetries, err)
 }
 
 // Send enqueues a command without reading its reply; Flush collects
@@ -71,7 +267,13 @@ func (c *Client) Do(cmd string, args ...[]byte) (Reply, error) {
 func (c *Client) Send(cmd string, args ...[]byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		if err := c.reconnect(); err != nil {
+			return err
+		}
+	}
 	if err := WriteCommand(c.w, cmd, args...); err != nil {
+		c.markBroken()
 		return err
 	}
 	c.pending++
@@ -79,17 +281,26 @@ func (c *Client) Send(cmd string, args ...[]byte) error {
 }
 
 // Flush pushes buffered commands to the server and reads every
-// outstanding reply, in command order.
+// outstanding reply, in command order (including replies a concurrent
+// Do already drained). Pipelined commands are not retried: on a
+// connection failure the pipeline's replies are lost, the error is
+// returned, and the caller re-issues the batch (idempotent as a unit,
+// e.g. DEL + re-push).
 func (c *Client) Flush() ([]Reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.armDeadline()
 	if err := c.w.Flush(); err != nil {
+		c.markBroken()
 		return nil, err
 	}
-	out := make([]Reply, 0, c.pending)
+	out := c.buffered
+	c.buffered = nil
 	for c.pending > 0 {
+		c.armDeadline()
 		rep, err := ReadReply(c.r)
 		if err != nil {
+			c.markBroken()
 			return out, err
 		}
 		out = append(out, rep)

@@ -24,6 +24,7 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	snapshotPath string
+	wrapConn     func(net.Conn) net.Conn
 }
 
 // NewServer wraps an engine; a nil engine gets a fresh one.
@@ -50,6 +51,16 @@ func (s *Server) EnableSnapshot(path string) error {
 		return nil
 	}
 	return err
+}
+
+// SetConnWrapper installs a wrapper applied to every subsequently
+// accepted connection — the hook for fault injection (e.g. a
+// faultnet.Plan.Wrapper()) or instrumentation. Must be called before
+// Listen.
+func (s *Server) SetConnWrapper(wrap func(net.Conn) net.Conn) {
+	s.mu.Lock()
+	s.wrapConn = wrap
+	s.mu.Unlock()
 }
 
 // handleServerCommand intercepts commands that need server context
@@ -102,6 +113,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if s.wrapConn != nil {
+			conn = s.wrapConn(conn)
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
