@@ -63,8 +63,15 @@ type Options struct {
 	Cluster strata.Config
 	// Seed drives the shared hash family; all workers must agree.
 	Seed int64
-	// PipelineWidth batches sketch shipping (0 = 128).
+	// PipelineWidth batches sketch shipping: how many RPUSH commands
+	// may be in flight before the pipeline flushes (0 = 128). Since
+	// records travel many-per-command (MaxShipBytes), the width bounds
+	// commands, not records, exactly as before the batching overhaul.
 	PipelineWidth int
+	// MaxShipBytes caps the record payload packed into one variadic
+	// RPUSH command, so a single command can never blow up the server's
+	// read arena (0 = 1 MiB).
+	MaxShipBytes int
 	// KeyPrefix namespaces this run's keys on the store (0 = "strat").
 	KeyPrefix string
 
@@ -80,10 +87,9 @@ type Options struct {
 	// assignment waits; polls back off exponentially (0 = 1ms).
 	PollInterval time.Duration
 	// ShipRetries is how many extra times a worker re-ships its whole
-	// shard after a failed pipeline — per-record RPUSHes are not
-	// individually retryable (kvstore.ErrNotRetryable), but DEL +
-	// re-push of the shard is idempotent as a unit (0 = 2, negative =
-	// none).
+	// shard after a failed pipeline — RPUSHes are not individually
+	// retryable (kvstore.ErrNotRetryable), but DEL + re-push of the
+	// shard is idempotent as a unit (0 = 2, negative = none).
 	ShipRetries int
 	// DisableRecovery makes any worker failure terminal for the whole
 	// run (the pre-fault-tolerance behavior).
@@ -96,6 +102,9 @@ func (o *Options) normalize() {
 	}
 	if o.PipelineWidth <= 0 {
 		o.PipelineWidth = 128
+	}
+	if o.MaxShipBytes <= 0 {
+		o.MaxShipBytes = 1 << 20
 	}
 	if o.KeyPrefix == "" {
 		o.KeyPrefix = "strat"
@@ -153,19 +162,31 @@ func (r *Report) Failures() int {
 	return n
 }
 
-// encodeSketchRecord serializes (record index, sketch) for the wire.
-// The index travels as uint32; larger corpora must be rejected rather
-// than silently wrapped.
-func encodeSketchRecord(idx int, s sketch.Sketch) ([]byte, error) {
+// appendSketchRecord serializes (record index, sketch) for the wire,
+// appending onto buf — batch encoding packs a whole chunk of records
+// into one flat arena. The index travels as uint32; larger corpora
+// must be rejected rather than silently wrapped.
+func appendSketchRecord(buf []byte, idx int, s sketch.Sketch) ([]byte, error) {
 	if idx < 0 || int64(idx) > math.MaxUint32 {
-		return nil, fmt.Errorf("distrib: record index %d outside uint32 wire range", idx)
+		return buf, fmt.Errorf("distrib: record index %d outside uint32 wire range", idx)
 	}
-	buf := make([]byte, 4+8*len(s))
-	binary.LittleEndian.PutUint32(buf, uint32(idx))
+	need := 4 + 8*len(s)
+	start := len(buf)
+	if cap(buf)-start >= need {
+		buf = buf[:start+need]
+	} else {
+		buf = append(buf, make([]byte, need)...)
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(idx))
 	for i, v := range s {
-		binary.LittleEndian.PutUint64(buf[4+8*i:], v)
+		binary.LittleEndian.PutUint64(buf[start+4+8*i:], v)
 	}
 	return buf, nil
+}
+
+// encodeSketchRecord is appendSketchRecord into fresh memory.
+func encodeSketchRecord(idx int, s sketch.Sketch) ([]byte, error) {
+	return appendSketchRecord(nil, idx, s)
 }
 
 // decodeSketchRecord reverses encodeSketchRecord.
@@ -367,23 +388,29 @@ func runCoordinator(master *kvstore.Client, corpus pivots.Corpus, hasher *sketch
 		recovering[i] = true
 	}
 	sketches := make([]sketch.Sketch, n)
+	// Gather in bounded LRANGE windows: each batch is decoded into its
+	// slot and the raw wire bytes are dropped before the next window,
+	// so the coordinator never materializes a whole shard's encoding.
+	const gatherWindow = 4096
 	for i := 0; i < w; i++ {
 		if recovering[i] {
 			continue
 		}
-		records, err := master.LRange(o.sketchKey(i), 0, -1)
+		err := master.LRangeChunked(o.sketchKey(i), gatherWindow, func(batch [][]byte) error {
+			for _, rec := range batch {
+				idx, s, err := decodeSketchRecord(rec, o.SketchWidth)
+				if err != nil {
+					return err
+				}
+				if idx < 0 || idx >= n {
+					return fmt.Errorf("distrib: sketch for out-of-range record %d", idx)
+				}
+				sketches[idx] = s
+			}
+			return nil
+		})
 		if err != nil {
 			return fmt.Errorf("distrib: gathering worker %d sketches: %w", i, err)
-		}
-		for _, rec := range records {
-			idx, s, err := decodeSketchRecord(rec, o.SketchWidth)
-			if err != nil {
-				return err
-			}
-			if idx < 0 || idx >= n {
-				return fmt.Errorf("distrib: sketch for out-of-range record %d", idx)
-			}
-			sketches[idx] = s
 		}
 	}
 	// Re-sketch missing shards locally: sketching is a pure function of
@@ -432,7 +459,7 @@ func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i
 
 	var shipErr error
 	for attempt := 0; attempt <= o.ShipRetries; attempt++ {
-		if shipErr = shipShard(c, corpus, hasher, lo, hi, o.sketchKey(i), o.PipelineWidth); shipErr == nil {
+		if shipErr = shipShard(c, corpus, hasher, lo, hi, o.sketchKey(i), o.PipelineWidth, o.MaxShipBytes); shipErr == nil {
 			break
 		}
 	}
@@ -471,10 +498,16 @@ func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i
 	return nil
 }
 
-// shipShard pushes one shard's sketches as a fresh list: DEL + pipeline
-// of RPUSHes + length check. Each attempt starts from scratch, which is
-// what makes the non-idempotent RPUSHes safely retryable as a unit.
-func shipShard(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, lo, hi int, key string, width int) error {
+// shipShard pushes one shard's sketches as a fresh list: DEL + a
+// pipeline of chunked variadic RPUSHes + length check. Records are
+// packed into one flat arena per command and shipped many-per-RPUSH —
+// bounded by maxShip payload bytes per command — so a shard costs
+// O(records/chunk) commands, replies, and engine dispatches instead of
+// O(records). The list contents are element-for-element identical to
+// the per-record path (variadic RPUSH appends values in order), and
+// each attempt starts from scratch, which is what makes the
+// non-idempotent RPUSHes safely retryable as a unit.
+func shipShard(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, lo, hi int, key string, width, maxShip int) error {
 	if _, err := c.Del(key); err != nil {
 		return err
 	}
@@ -482,14 +515,39 @@ func shipShard(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, l
 	if err != nil {
 		return err
 	}
-	for r := lo; r < hi; r++ {
-		enc, err := encodeSketchRecord(r, hasher.Sketch(corpus.ItemSet(r)))
-		if err != nil {
+	recSize := 4 + 8*hasher.K()
+	perCmd := maxShip / recSize
+	if perCmd < 1 {
+		perCmd = 1
+	}
+	total := hi - lo
+	p.Expect((total + perCmd - 1) / perCmd)
+	// One arena and one scratch sketch for the whole ship: Send frames
+	// the arguments into the client's write buffer before returning, so
+	// both are safely recycled per batch.
+	keyArg := []byte(key)
+	arena := make([]byte, 0, perCmd*recSize)
+	args := make([][]byte, 0, perCmd+1)
+	scratch := make(sketch.Sketch, hasher.K())
+	for r := lo; r < hi; {
+		n := perCmd
+		if hi-r < n {
+			n = hi - r
+		}
+		arena = arena[:0]
+		args = append(args[:0], keyArg)
+		for j := 0; j < n; j++ {
+			hasher.SketchInto(corpus.ItemSet(r+j), scratch)
+			start := len(arena)
+			if arena, err = appendSketchRecord(arena, r+j, scratch); err != nil {
+				return err
+			}
+			args = append(args, arena[start:len(arena):len(arena)])
+		}
+		if err := p.Send("RPUSH", args...); err != nil {
 			return err
 		}
-		if err := p.Send("RPUSH", []byte(key), enc); err != nil {
-			return err
-		}
+		r += n
 	}
 	reps, err := p.Finish()
 	if err != nil {
@@ -504,8 +562,8 @@ func shipShard(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, l
 	if err != nil {
 		return err
 	}
-	if cnt != int64(hi-lo) {
-		return fmt.Errorf("distrib: shard list holds %d of %d records", cnt, hi-lo)
+	if cnt != int64(total) {
+		return fmt.Errorf("distrib: shard list holds %d of %d records", cnt, total)
 	}
 	return nil
 }

@@ -91,7 +91,8 @@ var ErrNotRetryable = errors.New("kvstore: command not retryable")
 // idempotent lists the commands safe to blindly re-send: re-executing
 // them converges to the same store state and reply semantics.
 var idempotent = map[string]bool{
-	"GET": true, "SET": true, "DEL": true, "EXISTS": true,
+	"GET": true, "SET": true, "MGET": true, "MSET": true,
+	"DEL": true, "EXISTS": true,
 	"LLEN": true, "LRANGE": true, "LINDEX": true, "STRLEN": true,
 	"PING": true, "ECHO": true, "DBSIZE": true,
 }
@@ -285,28 +286,44 @@ func (c *Client) Send(cmd string, args ...[]byte) error {
 // Do already drained). Pipelined commands are not retried: on a
 // connection failure the pipeline's replies are lost, the error is
 // returned, and the caller re-issues the batch (idempotent as a unit,
-// e.g. DEL + re-push).
+// e.g. DEL + re-push). The returned replies are freshly allocated and
+// owned by the caller.
 func (c *Client) Flush() ([]Reply, error) {
+	return c.FlushInto(nil)
+}
+
+// FlushInto is Flush appending into dst, reusing its capacity — both
+// the slice and, when slots are recycled from a previous batch, each
+// Reply's Bulk/Array buffers.
+//
+// Ownership: replies appended by FlushInto (and any bulk payloads
+// reachable through recycled slots) are valid until dst is passed to
+// another FlushInto/FinishInto call; copy anything retained longer.
+func (c *Client) FlushInto(dst []Reply) ([]Reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.armDeadline()
 	if err := c.w.Flush(); err != nil {
 		c.markBroken()
-		return nil, err
+		return dst, err
 	}
-	out := c.buffered
+	dst = append(dst, c.buffered...)
 	c.buffered = nil
 	for c.pending > 0 {
 		c.armDeadline()
-		rep, err := ReadReply(c.r)
-		if err != nil {
-			c.markBroken()
-			return out, err
+		i := len(dst)
+		if cap(dst) > i {
+			dst = dst[:i+1] // expose the recycled slot, buffers intact
+		} else {
+			dst = append(dst, Reply{})
 		}
-		out = append(out, rep)
+		if err := ReadReplyInto(c.r, &dst[i], MaxBulkLen); err != nil {
+			c.markBroken()
+			return dst[:i], err
+		}
 		c.pending--
 	}
-	return out, nil
+	return dst, nil
 }
 
 // ErrNil is returned by typed helpers when the key does not exist.
@@ -334,6 +351,56 @@ func (c *Client) Set(key string, val []byte) error {
 		return err
 	}
 	return rep.Err()
+}
+
+// MSet stores keys[i] ← vals[i] in one round trip (the bulk
+// materialization primitive: a whole placement's partitions land in
+// O(stores) commands instead of O(records)).
+func (c *Client) MSet(keys []string, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("kvstore: mset with %d keys, %d values", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	args := make([][]byte, 0, 2*len(keys))
+	for i, k := range keys {
+		args = append(args, []byte(k), vals[i])
+	}
+	rep, err := c.Do("MSET", args...)
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// MGet fetches many string keys in one round trip; a missing (or
+// non-string) key yields a nil entry.
+func (c *Client) MGet(keys ...string) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	args := make([][]byte, len(keys))
+	for i, k := range keys {
+		args[i] = []byte(k)
+	}
+	rep, err := c.Do("MGET", args...)
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Array) != len(keys) {
+		return nil, fmt.Errorf("kvstore: mget returned %d of %d values", len(rep.Array), len(keys))
+	}
+	out := make([][]byte, len(keys))
+	for i, el := range rep.Array {
+		if el.Type == BulkString {
+			out[i] = el.Bulk
+		}
+	}
+	return out, nil
 }
 
 // Incr atomically increments a counter key and returns the new value.
@@ -379,6 +446,33 @@ func (c *Client) LRange(key string, start, stop int64) ([][]byte, error) {
 		out[i] = el.Bulk
 	}
 	return out, nil
+}
+
+// LRangeChunked streams a list through fn in bounded LRANGE windows of
+// at most window elements, so a huge list (a recovery re-read of a
+// whole shard) never materializes in memory at once. fn's batch is
+// owned by fn for the duration of the call only as far as the slice
+// header goes — the element payloads are freshly allocated and may be
+// retained. A non-nil error from fn stops the scan and is returned.
+func (c *Client) LRangeChunked(key string, window int64, fn func(batch [][]byte) error) error {
+	if window < 1 {
+		return fmt.Errorf("kvstore: lrange window %d, need ≥ 1", window)
+	}
+	for start := int64(0); ; start += window {
+		batch, err := c.LRange(key, start, start+window-1)
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := fn(batch); err != nil {
+			return err
+		}
+		if int64(len(batch)) < window {
+			return nil
+		}
+	}
 }
 
 // LLen returns a list's length.
@@ -427,10 +521,15 @@ func (c *Client) Ping() error {
 // Pipeline is a convenience wrapper enforcing a maximum width: Send
 // auto-flushes once width commands are queued, mirroring the preset
 // pipeline width of paper §IV.
+//
+// Reply accumulation is bounded by preallocation: call Expect with the
+// batch's total command count (known to every shipping path) and the
+// accumulator is sized once instead of regrowing across a long ship.
 type Pipeline struct {
 	c       *Client
 	width   int
 	queued  int
+	sent    int
 	replies []Reply
 }
 
@@ -442,12 +541,24 @@ func (c *Client) NewPipeline(width int) (*Pipeline, error) {
 	return &Pipeline{c: c, width: width}, nil
 }
 
+// Expect hints the total number of commands this pipeline will carry,
+// preallocating the reply accumulator in one shot. Calling it is never
+// required and a low hint only costs the regrowth it failed to avoid.
+func (p *Pipeline) Expect(total int) {
+	if total > cap(p.replies) {
+		grown := make([]Reply, len(p.replies), total)
+		copy(grown, p.replies)
+		p.replies = grown
+	}
+}
+
 // Send enqueues a command, flushing automatically at the width bound.
 func (p *Pipeline) Send(cmd string, args ...[]byte) error {
 	if err := p.c.Send(cmd, args...); err != nil {
 		return err
 	}
 	p.queued++
+	p.sent++
 	if p.queued >= p.width {
 		return p.flushInto()
 	}
@@ -455,20 +566,58 @@ func (p *Pipeline) Send(cmd string, args ...[]byte) error {
 }
 
 func (p *Pipeline) flushInto() error {
-	reps, err := p.c.Flush()
-	p.replies = append(p.replies, reps...)
+	// First flush with no Expect hint: preallocate from the send count
+	// so far, the best lower bound available.
+	if p.replies == nil && p.sent > 0 {
+		p.replies = make([]Reply, 0, p.sent)
+	}
+	reps, err := p.c.FlushInto(p.replies)
+	p.replies = reps
 	p.queued = 0
 	return err
 }
 
 // Finish flushes any remainder and returns every reply in send order.
+//
+// Ownership: the returned slice and everything reachable through it
+// belong to the caller; the pipeline forgets it and a subsequent batch
+// on the same pipeline starts a fresh accumulation.
 func (p *Pipeline) Finish() ([]Reply, error) {
 	if p.queued > 0 {
 		if err := p.flushInto(); err != nil {
-			return p.replies, err
+			out := p.replies
+			p.replies = nil
+			p.sent = 0
+			return out, err
 		}
 	}
 	out := p.replies
 	p.replies = nil
+	p.sent = 0
 	return out, nil
+}
+
+// FinishInto is Finish appending into dst (reusing its capacity): a
+// retry loop that ships batch after batch can recycle one reply slice
+// — and, through FlushInto's slot reuse, the bulk buffers inside it —
+// instead of allocating a fresh accumulation per attempt.
+//
+// Ownership: the returned slice is valid until it is recycled into
+// another FinishInto/FlushInto call. For zero-copy reuse across
+// batches, seed the pipeline with it *before* the first Send via
+// p.Reuse(dst); FinishInto alone reuses dst for replies accumulated
+// after auto-flushed ones are copied over (cheap: Reply headers only).
+func (p *Pipeline) FinishInto(dst []Reply) ([]Reply, error) {
+	out := append(dst[:0], p.replies...)
+	p.replies = out
+	reps, err := p.Finish()
+	return reps, err
+}
+
+// Reuse seeds the pipeline's reply accumulator with dst[:0], recycling
+// the slice and the Reply buffers inside it for the next batch. Call
+// between batches, never with commands in flight.
+func (p *Pipeline) Reuse(dst []Reply) {
+	p.replies = dst[:0]
+	p.sent = 0
 }

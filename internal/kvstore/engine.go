@@ -9,6 +9,15 @@ import (
 // Engine is the in-memory storage engine: string and list values under
 // string keys, sharded for concurrency. It is safe for concurrent use
 // and usable both embedded (in-process) and behind the TCP server.
+//
+// Copy boundary: callers (in particular the server's pooled command
+// arena) may reuse argument buffers the moment Do returns, so every
+// command that retains bytes copies them into engine-owned memory
+// first — keys via string(...) conversion, values via explicit copies
+// in set/mset/rpush/lpush/append. Commands that only read arguments
+// (INCRBY, LRANGE bounds, …) parse before returning; replies echoing
+// an argument (PING/ECHO) alias it and must be consumed before the
+// caller recycles its buffer.
 type Engine struct {
 	shards [numShards]shard
 }
@@ -80,6 +89,23 @@ func (e *Engine) Do(cmd string, args ...[]byte) Reply {
 			return wrongArgs("get")
 		}
 		return e.get(string(args[0]))
+	case "MSET":
+		if len(args) == 0 || len(args)%2 != 0 {
+			return wrongArgs("mset")
+		}
+		for i := 0; i < len(args); i += 2 {
+			e.set(string(args[i]), args[i+1])
+		}
+		return okReply()
+	case "MGET":
+		if len(args) == 0 {
+			return wrongArgs("mget")
+		}
+		out := make([]Reply, len(args))
+		for i, k := range args {
+			out[i] = e.mgetOne(string(k))
+		}
+		return Reply{Type: Array, Array: out}
 	case "DEL":
 		if len(args) == 0 {
 			return wrongArgs("del")
@@ -195,6 +221,22 @@ func (e *Engine) get(key string) Reply {
 	return bulkReply(out)
 }
 
+// mgetOne is get with MGET's forgiving semantics: a missing key or a
+// key of the wrong type yields a null bulk, never an error (as in
+// Redis).
+func (e *Engine) mgetOne(key string) Reply {
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.strings[key]
+	if !ok {
+		return nilReply()
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return bulkReply(out)
+}
+
 func (e *Engine) del(key string) int64 {
 	s := e.shardFor(key)
 	s.mu.Lock()
@@ -275,13 +317,36 @@ func (e *Engine) rpush(key string, vals [][]byte) Reply {
 		return wrongType()
 	}
 	l := s.lists[key]
-	for _, v := range vals {
-		c := make([]byte, len(v))
-		copy(c, v)
+	if len(vals) == 1 { // single-value pushes skip the arena indirection
+		c := make([]byte, len(vals[0]))
+		copy(c, vals[0])
 		l = append(l, c)
+	} else {
+		l = append(l, copyVals(vals)...)
 	}
 	s.lists[key] = l
 	return intReply(int64(len(l)))
+}
+
+// copyVals copies a batch of caller-owned argument buffers into one
+// shared arena (one allocation per command instead of one per element)
+// — the engine's copy-at-the-boundary contract for variadic pushes.
+// Elements of one batch alias the arena but are immutable once stored,
+// and lists only ever drop elements wholesale (DEL/FLUSHDB), so the
+// shared backing cannot outlive its batch partially.
+func copyVals(vals [][]byte) [][]byte {
+	total := 0
+	for _, v := range vals {
+		total += len(v)
+	}
+	arena := make([]byte, 0, total)
+	out := make([][]byte, len(vals))
+	for i, v := range vals {
+		start := len(arena)
+		arena = append(arena, v...)
+		out[i] = arena[start:len(arena):len(arena)]
+	}
+	return out
 }
 
 func (e *Engine) lpush(key string, vals [][]byte) Reply {
@@ -292,10 +357,14 @@ func (e *Engine) lpush(key string, vals [][]byte) Reply {
 		return wrongType()
 	}
 	l := s.lists[key]
-	for _, v := range vals {
-		c := make([]byte, len(v))
-		copy(c, v)
+	if len(vals) == 1 {
+		c := make([]byte, len(vals[0]))
+		copy(c, vals[0])
 		l = append([][]byte{c}, l...)
+	} else {
+		for _, c := range copyVals(vals) {
+			l = append([][]byte{c}, l...)
+		}
 	}
 	s.lists[key] = l
 	return intReply(int64(len(l)))

@@ -287,3 +287,90 @@ func BenchmarkEngineRPush(b *testing.B) {
 		e.Do("RPUSH", []byte("l"), val)
 	}
 }
+
+// TestEngineCopiesArguments guards the zero-copy boundary forever: the
+// server parses commands into a pooled arena and recycles it after
+// every Do, so the engine must copy anything it stores. Mutating the
+// caller's buffers after the call must never reach stored state.
+func TestEngineCopiesArguments(t *testing.T) {
+	e := NewEngine()
+	key := []byte("k")
+	val := []byte("value")
+	e.Do("SET", key, val)
+	key[0], val[0] = 'X', 'X'
+	if rep := e.Do("GET", []byte("k")); string(rep.Bulk) != "value" {
+		t.Errorf("SET aliased caller memory: stored %q", rep.Bulk)
+	}
+
+	lkey := []byte("l")
+	el1, el2 := []byte("aa"), []byte("bb")
+	e.Do("RPUSH", lkey, el1, el2)
+	el1[0], el2[0], lkey[0] = 'X', 'X', 'X'
+	el3 := []byte("front")
+	e.Do("LPUSH", []byte("l"), el3)
+	el3[0] = 'X'
+	rep := e.Do("LRANGE", []byte("l"), []byte("0"), []byte("-1"))
+	if len(rep.Array) != 3 || string(rep.Array[0].Bulk) != "front" ||
+		string(rep.Array[1].Bulk) != "aa" || string(rep.Array[2].Bulk) != "bb" {
+		t.Errorf("RPUSH/LPUSH aliased caller memory: %v", rep.Array)
+	}
+
+	akey, aval := []byte("app"), []byte("tail")
+	e.Do("APPEND", akey, aval)
+	aval[0] = 'X'
+	e.Do("APPEND", []byte("app"), []byte("!"))
+	if rep := e.Do("GET", []byte("app")); string(rep.Bulk) != "tail!" {
+		t.Errorf("APPEND aliased caller memory: %q", rep.Bulk)
+	}
+
+	mk, mv := []byte("mk"), []byte("mv")
+	e.Do("MSET", mk, mv)
+	mk[0], mv[0] = 'X', 'X'
+	if rep := e.Do("GET", []byte("mk")); string(rep.Bulk) != "mv" {
+		t.Errorf("MSET aliased caller memory: %q", rep.Bulk)
+	}
+
+	// And the read direction: replies must not alias engine storage.
+	out := e.Do("GET", []byte("k"))
+	out.Bulk[0] = 'Z'
+	if rep := e.Do("GET", []byte("k")); string(rep.Bulk) != "value" {
+		t.Errorf("GET reply aliases engine storage: %q", rep.Bulk)
+	}
+}
+
+func TestEngineMSetMGet(t *testing.T) {
+	e := NewEngine()
+	if rep := e.Do("MSET", []byte("a")); rep.Type != ErrorReply {
+		t.Error("odd MSET arity accepted")
+	}
+	if rep := e.Do("MSET"); rep.Type != ErrorReply {
+		t.Error("empty MSET accepted")
+	}
+	if rep := e.Do("MGET"); rep.Type != ErrorReply {
+		t.Error("empty MGET accepted")
+	}
+	if rep := e.Do("MSET", []byte("a"), []byte("1"), []byte("b"), []byte("2")); rep.Str != "OK" {
+		t.Fatalf("MSET: %v", rep)
+	}
+	e.Do("RPUSH", []byte("lst"), []byte("x"))
+	rep := e.Do("MGET", []byte("a"), []byte("missing"), []byte("b"), []byte("lst"))
+	if rep.Type != Array || len(rep.Array) != 4 {
+		t.Fatalf("MGET shape: %v", rep)
+	}
+	if string(rep.Array[0].Bulk) != "1" || string(rep.Array[2].Bulk) != "2" {
+		t.Errorf("MGET values: %v", rep.Array)
+	}
+	if rep.Array[1].Type != NullBulk {
+		t.Error("missing key must be null bulk")
+	}
+	if rep.Array[3].Type != NullBulk {
+		t.Error("wrong-type key must be null bulk (Redis MGET semantics)")
+	}
+	// MSET overwrites a list key, like SET.
+	if rep := e.Do("MSET", []byte("lst"), []byte("s")); rep.Str != "OK" {
+		t.Fatalf("MSET over list: %v", rep)
+	}
+	if rep := e.Do("GET", []byte("lst")); string(rep.Bulk) != "s" {
+		t.Errorf("MSET over list: %q", rep.Bulk)
+	}
+}

@@ -74,6 +74,145 @@ func TestProtocolRandomBytes(t *testing.T) {
 	}
 }
 
+// TestCommandRoundTripPooled is a write→read round-trip fuzzer over
+// the pooled command path: random commands are framed by WriteCommand
+// and parsed back by ReadCommandInto through ONE shared CommandBuffer.
+// Each generation must deep-equal what was written, and bytes copied
+// out of the arena (the engine-boundary contract) must survive the
+// arena being recycled by later generations.
+func TestCommandRoundTripPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	names := []string{"SET", "GET", "RPUSH", "MSET", "weird-cmd", "p"}
+	var wire bytes.Buffer
+	w := bufio.NewWriter(&wire)
+	type gen struct {
+		name string
+		args [][]byte
+	}
+	const rounds = 2000
+	gens := make([]gen, rounds)
+	for i := range gens {
+		g := gen{name: names[rng.Intn(len(names))]}
+		for j := rng.Intn(5); j > 0; j-- {
+			arg := make([]byte, rng.Intn(300))
+			rng.Read(arg)
+			g.args = append(g.args, arg)
+		}
+		gens[i] = g
+		if err := WriteCommand(w, g.name, g.args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r := bufio.NewReader(&wire)
+	var cb CommandBuffer
+	// copies holds arena data copied at the consumer boundary; it must
+	// stay intact no matter how many times the arena is recycled.
+	copies := make(map[int][][]byte)
+	for i, g := range gens {
+		name, args, err := ReadCommandInto(r, &cb, MaxBulkLen)
+		if err != nil {
+			t.Fatalf("generation %d: %v", i, err)
+		}
+		if name != g.name {
+			t.Fatalf("generation %d: name %q, want %q", i, name, g.name)
+		}
+		if len(args) != len(g.args) {
+			t.Fatalf("generation %d: %d args, want %d", i, len(args), len(g.args))
+		}
+		for j, a := range args {
+			if !bytes.Equal(a, g.args[j]) {
+				t.Fatalf("generation %d arg %d: %q, want %q", i, j, a, g.args[j])
+			}
+		}
+		if rng.Intn(10) == 0 && len(args) > 0 {
+			cp := make([][]byte, len(args))
+			for j, a := range args {
+				cp[j] = append([]byte(nil), a...)
+			}
+			copies[i] = cp
+		}
+	}
+	for i, cp := range copies {
+		for j, c := range cp {
+			if !bytes.Equal(c, gens[i].args[j]) {
+				t.Fatalf("boundary copy of generation %d arg %d corrupted by arena reuse", i, j)
+			}
+		}
+	}
+}
+
+// TestReplyRoundTripPooled fuzzes the pooled reply path: random reply
+// trees framed by WriteReply and parsed back by ReadReplyInto into ONE
+// reused Reply, which must deep-equal the original every generation.
+func TestReplyRoundTripPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	randReply := func(depth int) Reply {
+		var mk func(d int) Reply
+		mk = func(d int) Reply {
+			switch k := rng.Intn(7); {
+			case k == 0:
+				return Reply{Type: SimpleString, Str: "s"}
+			case k == 1:
+				return Reply{Type: ErrorReply, Str: "e"}
+			case k == 2:
+				return Reply{Type: Integer, Int: rng.Int63() - rng.Int63()}
+			case k == 3:
+				b := make([]byte, rng.Intn(200))
+				rng.Read(b)
+				return Reply{Type: BulkString, Bulk: b}
+			case k == 4:
+				return Reply{Type: NullBulk}
+			case k == 5 && d > 0:
+				els := make([]Reply, rng.Intn(5))
+				for i := range els {
+					els[i] = mk(d - 1)
+				}
+				return Reply{Type: Array, Array: els}
+			default:
+				return Reply{Type: NullArray}
+			}
+		}
+		return mk(depth)
+	}
+	var dst Reply
+	for i := 0; i < 3000; i++ {
+		orig := randReply(3)
+		var wire bytes.Buffer
+		w := bufio.NewWriter(&wire)
+		if err := WriteReply(w, orig); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		if err := ReadReplyInto(bufio.NewReader(&wire), &dst, MaxBulkLen); err != nil {
+			t.Fatalf("generation %d: %v", i, err)
+		}
+		if !replyEqualLoose(dst, orig) {
+			t.Fatalf("generation %d: parsed %+v, want %+v", i, dst, orig)
+		}
+	}
+}
+
+// replyEqualLoose is replyEqual but treating nil and empty bulk/array
+// as equal (the wire cannot distinguish them).
+func replyEqualLoose(a, b Reply) bool {
+	if a.Type != b.Type || a.Str != b.Str || a.Int != b.Int {
+		return false
+	}
+	if !bytes.Equal(a.Bulk, b.Bulk) {
+		return false
+	}
+	if len(a.Array) != len(b.Array) {
+		return false
+	}
+	for i := range a.Array {
+		if !replyEqualLoose(a.Array[i], b.Array[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // TestSnapshotRandomBytes feeds random garbage to the snapshot loader.
 func TestSnapshotRandomBytes(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))

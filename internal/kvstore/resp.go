@@ -10,6 +10,18 @@
 // byte sequences so a whole partition moves in one request, batches
 // requests through pipelining, and synchronizes phases with a global
 // barrier built on the store's atomic INCR.
+//
+// # Memory management on the wire
+//
+// The protocol layer has two decoding modes. The allocating mode
+// (ReadReply, ReadCommand) returns values backed by fresh memory the
+// caller owns forever. The pooled mode (ReadCommandInto with a
+// CommandBuffer, ReadReplyInto with a reused Reply) parses into
+// caller-provided storage that is recycled on the next call — the
+// server's per-connection hot path and the client's pipelined reply
+// drain use it, so steady-state request handling does not allocate.
+// Anything that retains bytes past one request (the engine's SET,
+// RPUSH, …) must copy at that boundary; see engine.go.
 package kvstore
 
 import (
@@ -76,19 +88,80 @@ func (r Reply) String() string {
 
 // Protocol limits guarding against malformed or hostile input.
 const (
-	maxBulkLen  = 1 << 30 // 1 GiB per bulk string
-	maxArrayLen = 1 << 20 // 1M elements per array
+	// MaxBulkLen is the largest single bulk payload accepted on the
+	// wire (1 GiB). A $<n> header beyond it is a protocol error, never
+	// an allocation.
+	MaxBulkLen = 1 << 30
+	// MaxArrayLen is the largest array (and command argument count)
+	// accepted on the wire.
+	MaxArrayLen = 1 << 20
+	// maxLineLen bounds a single header/simple-string line; a longer
+	// line is hostile or corrupt, not data.
+	maxLineLen = 64 << 10
+
+	maxBulkLen  = MaxBulkLen // internal aliases predating the export
+	maxArrayLen = MaxArrayLen
 )
 
 // ErrProtocol reports malformed RESP data on the wire.
 var ErrProtocol = errors.New("kvstore: protocol error")
 
-// WriteCommand encodes a command as a RESP array of bulk strings.
-func WriteCommand(w *bufio.Writer, name string, args ...[]byte) error {
-	if err := writeArrayHeader(w, 1+len(args)); err != nil {
+// writeCRLF terminates a RESP line.
+func writeCRLF(w *bufio.Writer) error {
+	if err := w.WriteByte('\r'); err != nil {
 		return err
 	}
-	if err := writeBulk(w, []byte(name)); err != nil {
+	return w.WriteByte('\n')
+}
+
+// writeUint writes n in decimal digit by digit: on the per-command hot
+// path this replaces a strconv.Itoa whose result escapes (one small
+// allocation per length header).
+func writeUint(w *bufio.Writer, n uint64) error {
+	if n < 10 {
+		return w.WriteByte(byte('0' + n))
+	}
+	var digits [20]byte
+	i := len(digits)
+	for n > 0 {
+		i--
+		digits[i] = byte('0' + n%10)
+		n /= 10
+	}
+	for ; i < len(digits); i++ {
+		if err := w.WriteByte(digits[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeLen writes a "<prefix><decimal n>\r\n" header without
+// allocating.
+func writeLen(w *bufio.Writer, prefix byte, n int) error {
+	if err := w.WriteByte(prefix); err != nil {
+		return err
+	}
+	if err := writeUint(w, uint64(n)); err != nil {
+		return err
+	}
+	return writeCRLF(w)
+}
+
+// WriteCommand encodes a command as a RESP array of bulk strings. It
+// does not allocate: the name and arguments are framed directly into
+// the writer's buffer.
+func WriteCommand(w *bufio.Writer, name string, args ...[]byte) error {
+	if err := writeLen(w, '*', 1+len(args)); err != nil {
+		return err
+	}
+	if err := writeLen(w, '$', len(name)); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(name); err != nil {
+		return err
+	}
+	if err := writeCRLF(w); err != nil {
 		return err
 	}
 	for _, a := range args {
@@ -100,31 +173,17 @@ func WriteCommand(w *bufio.Writer, name string, args ...[]byte) error {
 }
 
 func writeArrayHeader(w *bufio.Writer, n int) error {
-	if err := w.WriteByte('*'); err != nil {
-		return err
-	}
-	if _, err := w.WriteString(strconv.Itoa(n)); err != nil {
-		return err
-	}
-	_, err := w.WriteString("\r\n")
-	return err
+	return writeLen(w, '*', n)
 }
 
 func writeBulk(w *bufio.Writer, b []byte) error {
-	if err := w.WriteByte('$'); err != nil {
-		return err
-	}
-	if _, err := w.WriteString(strconv.Itoa(len(b))); err != nil {
-		return err
-	}
-	if _, err := w.WriteString("\r\n"); err != nil {
+	if err := writeLen(w, '$', len(b)); err != nil {
 		return err
 	}
 	if _, err := w.Write(b); err != nil {
 		return err
 	}
-	_, err := w.WriteString("\r\n")
-	return err
+	return writeCRLF(w)
 }
 
 // WriteReply encodes a Reply in RESP framing.
@@ -137,8 +196,7 @@ func WriteReply(w *bufio.Writer, r Reply) error {
 		if _, err := w.WriteString(r.Str); err != nil {
 			return err
 		}
-		_, err := w.WriteString("\r\n")
-		return err
+		return writeCRLF(w)
 	case ErrorReply:
 		if err := w.WriteByte('-'); err != nil {
 			return err
@@ -146,17 +204,19 @@ func WriteReply(w *bufio.Writer, r Reply) error {
 		if _, err := w.WriteString(r.Str); err != nil {
 			return err
 		}
-		_, err := w.WriteString("\r\n")
-		return err
+		return writeCRLF(w)
 	case Integer:
 		if err := w.WriteByte(':'); err != nil {
 			return err
 		}
-		if _, err := w.WriteString(strconv.FormatInt(r.Int, 10)); err != nil {
+		if r.Int < 0 {
+			if _, err := w.WriteString(strconv.FormatInt(r.Int, 10)); err != nil {
+				return err
+			}
+		} else if err := writeUint(w, uint64(r.Int)); err != nil {
 			return err
 		}
-		_, err := w.WriteString("\r\n")
-		return err
+		return writeCRLF(w)
 	case BulkString:
 		return writeBulk(w, r.Bulk)
 	case NullBulk:
@@ -180,125 +240,388 @@ func WriteReply(w *bufio.Writer, r Reply) error {
 	}
 }
 
-// ReadReply decodes one RESP value.
+// parseLen parses the payload of a bulk or array length header (the
+// line after its type byte). Exactly "-1" means a RESP null; any other
+// negative, non-numeric, or over-limit length is rejected with a clear
+// error so a hostile or corrupt header can never drive an allocation.
+func parseLen(line []byte, max int, what string) (n int, null bool, err error) {
+	s := line[1:]
+	if len(s) == 2 && s[0] == '-' && s[1] == '1' {
+		return 0, true, nil
+	}
+	if len(s) == 0 {
+		return 0, false, fmt.Errorf("%w: empty %s length", ErrProtocol, what)
+	}
+	if s[0] == '-' {
+		return 0, false, fmt.Errorf("%w: negative %s length %q", ErrProtocol, what, s)
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false, fmt.Errorf("%w: bad %s length %q", ErrProtocol, what, s)
+		}
+		n = n*10 + int(c-'0')
+		if n > max {
+			return 0, false, fmt.Errorf("%w: %s length %q exceeds limit %d", ErrProtocol, what, s, max)
+		}
+	}
+	return n, false, nil
+}
+
+// parseInt parses a full-range signed RESP integer without the
+// strconv string conversion.
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' || b[0] == '+' {
+		neg = b[0] == '-'
+		i++
+		if i == len(b) {
+			return 0, false
+		}
+	}
+	var v uint64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+		if v > 1<<63 {
+			return 0, false
+		}
+	}
+	if neg {
+		return -int64(v), true
+	}
+	if v == 1<<63 {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+// ReadReply decodes one RESP value into freshly allocated memory the
+// caller owns.
 func ReadReply(r *bufio.Reader) (Reply, error) {
-	line, err := readLine(r)
-	if err != nil {
+	var rep Reply
+	if err := ReadReplyInto(r, &rep, MaxBulkLen); err != nil {
 		return Reply{}, err
 	}
+	return rep, nil
+}
+
+// ReadReplyInto decodes one RESP value into *dst, reusing dst's Bulk
+// and Array capacity when it suffices. maxBulk bounds any single bulk
+// payload: a $<n> header beyond it is a protocol error rather than a
+// gigabyte allocation.
+//
+// Ownership: *dst is overwritten, including memory reachable through
+// it from previous calls. A caller that retains bulk payloads or array
+// elements across calls must copy them first, or use ReadReply.
+func ReadReplyInto(r *bufio.Reader, dst *Reply, maxBulk int) error {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
 	if len(line) == 0 {
-		return Reply{}, fmt.Errorf("%w: empty line", ErrProtocol)
+		return fmt.Errorf("%w: empty line", ErrProtocol)
 	}
 	switch line[0] {
 	case '+':
-		return Reply{Type: SimpleString, Str: string(line[1:])}, nil
+		*dst = Reply{Type: SimpleString, Str: string(line[1:])}
+		return nil
 	case '-':
-		return Reply{Type: ErrorReply, Str: string(line[1:])}, nil
+		*dst = Reply{Type: ErrorReply, Str: string(line[1:])}
+		return nil
 	case ':':
-		n, err := strconv.ParseInt(string(line[1:]), 10, 64)
-		if err != nil {
-			return Reply{}, fmt.Errorf("%w: bad integer %q", ErrProtocol, line)
+		n, ok := parseInt(line[1:])
+		if !ok {
+			return fmt.Errorf("%w: bad integer %q", ErrProtocol, line)
 		}
-		return Reply{Type: Integer, Int: n}, nil
+		*dst = Reply{Type: Integer, Int: n}
+		return nil
 	case '$':
-		n, err := strconv.ParseInt(string(line[1:]), 10, 64)
-		if err != nil || n > maxBulkLen {
-			return Reply{}, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, line)
-		}
-		if n < 0 {
-			return Reply{Type: NullBulk}, nil
-		}
-		buf, err := readFullN(r, int(n)+2)
+		n, null, err := parseLen(line, maxBulk, "bulk")
 		if err != nil {
-			return Reply{}, err
+			return err
+		}
+		if null {
+			*dst = Reply{Type: NullBulk}
+			return nil
+		}
+		buf, err := readFullNInto(r, dst.Bulk, n+2)
+		if err != nil {
+			return err
 		}
 		if buf[n] != '\r' || buf[n+1] != '\n' {
-			return Reply{}, fmt.Errorf("%w: bulk missing CRLF", ErrProtocol)
+			return fmt.Errorf("%w: bulk missing CRLF", ErrProtocol)
 		}
-		return Reply{Type: BulkString, Bulk: buf[:n]}, nil
+		*dst = Reply{Type: BulkString, Bulk: buf[:n]}
+		return nil
 	case '*':
-		n, err := strconv.ParseInt(string(line[1:]), 10, 64)
-		if err != nil || n > maxArrayLen {
-			return Reply{}, fmt.Errorf("%w: bad array length %q", ErrProtocol, line)
+		n, null, err := parseLen(line, MaxArrayLen, "array")
+		if err != nil {
+			return err
 		}
-		if n < 0 {
-			return Reply{Type: NullArray}, nil
+		if null {
+			*dst = Reply{Type: NullArray}
+			return nil
 		}
-		els := make([]Reply, n)
+		els := dst.Array
+		if cap(els) >= n {
+			els = els[:n]
+		} else {
+			els = make([]Reply, n)
+		}
 		for i := range els {
-			el, err := ReadReply(r)
-			if err != nil {
-				return Reply{}, err
+			if err := ReadReplyInto(r, &els[i], maxBulk); err != nil {
+				return err
 			}
-			els[i] = el
 		}
-		return Reply{Type: Array, Array: els}, nil
+		*dst = Reply{Type: Array, Array: els}
+		return nil
 	default:
-		return Reply{}, fmt.Errorf("%w: unexpected type byte %q", ErrProtocol, line[0])
+		return fmt.Errorf("%w: unexpected type byte %q", ErrProtocol, line[0])
 	}
+}
+
+// CommandBuffer is the reusable arena ReadCommandInto parses into: one
+// flat payload buffer plus recycled argument-slice headers. A server
+// connection owns one for its whole lifetime, so steady-state command
+// parsing does not allocate.
+type CommandBuffer struct {
+	data  []byte
+	spans []int // flattened (start, end) offset pairs into data
+	args  [][]byte
 }
 
 // ReadCommand decodes one client command (a RESP array of bulk
-// strings) into its name and arguments. io.EOF is returned unmangled
-// on a clean connection close between commands.
+// strings) into its name and freshly allocated arguments. io.EOF is
+// returned unmangled on a clean connection close between commands.
 func ReadCommand(r *bufio.Reader) (string, [][]byte, error) {
-	rep, err := ReadReply(r)
+	name, args, err := ReadCommandInto(r, &CommandBuffer{}, MaxBulkLen)
 	if err != nil {
 		return "", nil, err
 	}
-	if rep.Type != Array || len(rep.Array) == 0 {
-		return "", nil, fmt.Errorf("%w: command must be a nonempty array", ErrProtocol)
-	}
-	args := make([][]byte, len(rep.Array))
-	for i, el := range rep.Array {
-		if el.Type != BulkString {
-			return "", nil, fmt.Errorf("%w: command element %d not a bulk string", ErrProtocol, i)
-		}
-		args[i] = el.Bulk
-	}
-	return string(args[0]), args[1:], nil
+	return name, args, nil
 }
 
-// readFullN reads exactly n bytes, growing the buffer in bounded
-// chunks so a hostile length header cannot force a huge allocation
-// before the stream runs dry.
+// ReadCommandInto decodes one client command into cb's arena and
+// returns the command name plus its arguments. maxBulk bounds each
+// argument's size; oversized or negative length headers are protocol
+// errors, never allocations. io.EOF is returned unmangled on a clean
+// connection close between commands.
+//
+// Ownership: the returned arguments alias cb's buffer and are valid
+// only until the next ReadCommandInto call with the same buffer. A
+// consumer that retains argument bytes past one command (a storage
+// engine, a queue) must copy them into owned memory at its boundary.
+func ReadCommandInto(r *bufio.Reader, cb *CommandBuffer, maxBulk int) (string, [][]byte, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(line) == 0 {
+		return "", nil, fmt.Errorf("%w: empty line", ErrProtocol)
+	}
+	if line[0] != '*' {
+		return "", nil, fmt.Errorf("%w: command must be a nonempty array", ErrProtocol)
+	}
+	n, null, err := parseLen(line, MaxArrayLen, "array")
+	if err != nil {
+		return "", nil, err
+	}
+	if null || n == 0 {
+		return "", nil, fmt.Errorf("%w: command must be a nonempty array", ErrProtocol)
+	}
+	cb.data = cb.data[:0]
+	cb.spans = cb.spans[:0]
+	for i := 0; i < n; i++ {
+		line, err := readLine(r)
+		if err != nil {
+			return "", nil, err
+		}
+		if len(line) == 0 || line[0] != '$' {
+			return "", nil, fmt.Errorf("%w: command element %d not a bulk string", ErrProtocol, i)
+		}
+		m, null, err := parseLen(line, maxBulk, "bulk")
+		if err != nil {
+			return "", nil, err
+		}
+		if null {
+			return "", nil, fmt.Errorf("%w: command element %d not a bulk string", ErrProtocol, i)
+		}
+		start := len(cb.data)
+		cb.data, err = appendFullN(r, cb.data, m+2)
+		if err != nil {
+			return "", nil, err
+		}
+		if cb.data[start+m] != '\r' || cb.data[start+m+1] != '\n' {
+			return "", nil, fmt.Errorf("%w: bulk missing CRLF", ErrProtocol)
+		}
+		cb.data = cb.data[:start+m] // drop the CRLF from the arena
+		cb.spans = append(cb.spans, start, start+m)
+	}
+	// Materialize the argument slices only now: arena growth during
+	// parsing may have moved the buffer, so spans must resolve against
+	// the final backing array for every argument to alias live memory.
+	if cap(cb.args) >= n {
+		cb.args = cb.args[:n]
+	} else {
+		cb.args = make([][]byte, n)
+	}
+	for i := 0; i < n; i++ {
+		cb.args[i] = cb.data[cb.spans[2*i]:cb.spans[2*i+1]:cb.spans[2*i+1]]
+	}
+	return internCommand(cb.args[0]), cb.args[1:], nil
+}
+
+// internCommand maps command-name bytes to interned canonical strings,
+// removing the per-command string conversion from the hot path (the
+// switch on string(b) compiles to an allocation-free lookup). Unknown
+// or non-canonical spellings fall back to an allocated copy, which the
+// engine's case-insensitive dispatch still accepts.
+func internCommand(b []byte) string {
+	switch string(b) {
+	case "GET":
+		return "GET"
+	case "SET":
+		return "SET"
+	case "MGET":
+		return "MGET"
+	case "MSET":
+		return "MSET"
+	case "DEL":
+		return "DEL"
+	case "EXISTS":
+		return "EXISTS"
+	case "INCR":
+		return "INCR"
+	case "INCRBY":
+		return "INCRBY"
+	case "APPEND":
+		return "APPEND"
+	case "STRLEN":
+		return "STRLEN"
+	case "RPUSH":
+		return "RPUSH"
+	case "LPUSH":
+		return "LPUSH"
+	case "LLEN":
+		return "LLEN"
+	case "LINDEX":
+		return "LINDEX"
+	case "LRANGE":
+		return "LRANGE"
+	case "PING":
+		return "PING"
+	case "ECHO":
+		return "ECHO"
+	case "DBSIZE":
+		return "DBSIZE"
+	case "SAVE":
+		return "SAVE"
+	case "FLUSHDB":
+		return "FLUSHDB"
+	case "FLUSHALL":
+		return "FLUSHALL"
+	}
+	return string(b)
+}
+
+// readFullN reads exactly n bytes into fresh memory, growing in
+// bounded chunks so a hostile length header cannot force a huge
+// allocation before the stream runs dry.
 func readFullN(r io.Reader, n int) ([]byte, error) {
+	return readFullNInto(r, nil, n)
+}
+
+// readFullNInto reads exactly n bytes, reusing buf's capacity when it
+// suffices and otherwise growing in bounded chunks.
+func readFullNInto(r io.Reader, buf []byte, n int) ([]byte, error) {
 	const chunk = 1 << 20
-	if n <= chunk {
-		buf := make([]byte, n)
+	if cap(buf) >= n {
+		buf = buf[:n]
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, err
 		}
 		return buf, nil
 	}
-	buf := make([]byte, 0, chunk)
-	for len(buf) < n {
-		step := n - len(buf)
+	if n <= chunk {
+		buf = make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	out, err := appendFullN(r, buf[:0], n)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// appendFullN appends exactly n bytes from r onto buf, growing the
+// buffer in bounded chunks (so a hostile length header allocates no
+// faster than the stream actually delivers) and without the temporary
+// slices a naive append-grow would create.
+func appendFullN(r io.Reader, buf []byte, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	for n > 0 {
+		step := n
 		if step > chunk {
 			step = chunk
 		}
 		start := len(buf)
-		buf = append(buf, make([]byte, step)...)
-		if _, err := io.ReadFull(r, buf[start:]); err != nil {
-			return nil, err
+		if cap(buf)-start < step {
+			newCap := 2 * cap(buf)
+			if newCap < start+step {
+				newCap = start + step
+			}
+			grown := make([]byte, start, newCap)
+			copy(grown, buf)
+			buf = grown
 		}
+		buf = buf[:start+step]
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return buf[:start], err
+		}
+		n -= step
 	}
 	return buf, nil
 }
 
-// readLine reads a CRLF-terminated line, excluding the terminator.
+// readLine reads a CRLF-terminated line, excluding the terminator. On
+// the common path the returned slice aliases the bufio buffer and is
+// valid only until the next read from r — every caller parses it
+// before reading further.
 func readLine(r *bufio.Reader) ([]byte, error) {
-	var line []byte
-	for {
-		frag, err := r.ReadSlice('\n')
-		if err == nil || errors.Is(err, bufio.ErrBufferFull) {
-			line = append(line, frag...)
-			if err == nil {
-				break
-			}
-			continue
+	frag, err := r.ReadSlice('\n')
+	if err == nil {
+		if len(frag) < 2 || frag[len(frag)-2] != '\r' {
+			return nil, fmt.Errorf("%w: line missing CRLF", ErrProtocol)
 		}
+		return frag[: len(frag)-2 : len(frag)-2], nil
+	}
+	if !errors.Is(err, bufio.ErrBufferFull) {
 		return nil, err
+	}
+	// Rare path: the line spans bufio fills; accumulate, bounded.
+	line := append(make([]byte, 0, 2*len(frag)), frag...)
+	for {
+		if len(line) > maxLineLen {
+			return nil, fmt.Errorf("%w: header line exceeds %d bytes", ErrProtocol, maxLineLen)
+		}
+		frag, err = r.ReadSlice('\n')
+		line = append(line, frag...)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, bufio.ErrBufferFull) {
+			return nil, err
+		}
 	}
 	if len(line) < 2 || line[len(line)-2] != '\r' {
 		return nil, fmt.Errorf("%w: line missing CRLF", ErrProtocol)

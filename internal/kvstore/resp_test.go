@@ -153,6 +153,121 @@ func TestReadReplyMalformed(t *testing.T) {
 	}
 }
 
+// TestMalformedLengthHeaders drives every hostile length-header shape
+// through both the reply parser and the command parser: negative
+// (other than the -1 null), oversized, overflowing, and garbage
+// lengths must all fail with a protocol error before any allocation
+// can happen.
+func TestMalformedLengthHeaders(t *testing.T) {
+	cases := []struct {
+		name string
+		wire string
+	}{
+		{"negative bulk", "$-5\r\nhello\r\n"},
+		{"negative bulk -2", "$-2\r\n"},
+		{"oversized bulk", "$1073741825\r\n"},                  // maxBulkLen+1
+		{"hugely oversized bulk", "$99999999999999999999\r\n"}, // would overflow int64
+		{"bulk length with sign", "$+5\r\nhello\r\n"},
+		{"bulk length with spaces", "$ 5\r\nhello\r\n"},
+		{"empty bulk length", "$\r\n"},
+		{"negative array", "*-3\r\n"},
+		{"oversized array", "*1048577\r\n"}, // maxArrayLen+1
+		{"hugely oversized array", "*99999999999999999999\r\n"},
+		{"array length with sign", "*+2\r\n"},
+		{"empty array length", "*\r\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadReply(bufio.NewReader(strings.NewReader(c.wire))); !errors.Is(err, ErrProtocol) {
+				t.Errorf("ReadReply(%q): err=%v, want ErrProtocol", c.wire, err)
+			}
+			cmdWire := c.wire
+			if c.wire[0] == '$' {
+				cmdWire = "*2\r\n$4\r\nPING\r\n" + c.wire
+			}
+			var cb CommandBuffer
+			if _, _, err := ReadCommandInto(bufio.NewReader(strings.NewReader(cmdWire)), &cb, MaxBulkLen); !errors.Is(err, ErrProtocol) {
+				t.Errorf("ReadCommandInto(%q): err=%v, want ErrProtocol", cmdWire, err)
+			}
+		})
+	}
+	// Null markers remain valid where RESP allows them.
+	if rep, err := ReadReply(bufio.NewReader(strings.NewReader("$-1\r\n"))); err != nil || rep.Type != NullBulk {
+		t.Errorf("null bulk: %v %v", rep, err)
+	}
+	if rep, err := ReadReply(bufio.NewReader(strings.NewReader("*-1\r\n"))); err != nil || rep.Type != NullArray {
+		t.Errorf("null array: %v %v", rep, err)
+	}
+}
+
+// TestReadReplyIntoMaxBulkGuard proves the explicit per-call guard: a
+// header within the protocol-wide limit but above the caller's bound
+// errors instead of allocating.
+func TestReadReplyIntoMaxBulkGuard(t *testing.T) {
+	wire := "$1024\r\n" + strings.Repeat("x", 1024) + "\r\n"
+	var rep Reply
+	if err := ReadReplyInto(bufio.NewReader(strings.NewReader(wire)), &rep, 512); !errors.Is(err, ErrProtocol) {
+		t.Errorf("oversize for caller bound: err=%v, want ErrProtocol", err)
+	}
+	if err := ReadReplyInto(bufio.NewReader(strings.NewReader(wire)), &rep, 1024); err != nil {
+		t.Errorf("within caller bound: %v", err)
+	}
+	var cb CommandBuffer
+	cmdWire := "*2\r\n$4\r\nECHO\r\n" + wire
+	if _, _, err := ReadCommandInto(bufio.NewReader(strings.NewReader(cmdWire)), &cb, 512); !errors.Is(err, ErrProtocol) {
+		t.Errorf("command oversize for caller bound: err=%v, want ErrProtocol", err)
+	}
+}
+
+// TestHeaderLineLengthBounded: a "line" that never terminates must
+// error once past the line bound instead of accumulating forever.
+func TestHeaderLineLengthBounded(t *testing.T) {
+	endless := "+" + strings.Repeat("x", maxLineLen+4096)
+	r := bufio.NewReaderSize(strings.NewReader(endless), 4096)
+	if _, err := ReadReply(r); !errors.Is(err, ErrProtocol) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("unterminated giant line: err=%v", err)
+	}
+}
+
+// TestCommandArenaReuse exercises ReadCommandInto's pooled path: the
+// same CommandBuffer parses back-to-back commands, arguments stay
+// correct per generation, and arguments from a previous generation are
+// recycled (the documented contract consumers copy against).
+func TestCommandArenaReuse(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteCommand(w, "SET", []byte("key-one"), []byte("value-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCommand(w, "SET", []byte("k2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r := bufio.NewReader(&buf)
+	var cb CommandBuffer
+	_, args, err := ReadCommandInto(r, &cb, MaxBulkLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(args[0]) != "key-one" || string(args[1]) != "value-one" {
+		t.Fatalf("first generation args %q", args)
+	}
+	held := args[0] // retained WITHOUT copying, against the contract
+	copied := append([]byte(nil), args[0]...)
+	if _, args, err = ReadCommandInto(r, &cb, MaxBulkLen); err != nil {
+		t.Fatal(err)
+	}
+	if string(args[0]) != "k2" || string(args[1]) != "v2" {
+		t.Fatalf("second generation args %q", args)
+	}
+	if string(held) == "key-one" {
+		t.Log("held slice happens to survive (arena not yet overwritten) — permitted but not guaranteed")
+	}
+	if string(copied) != "key-one" {
+		t.Error("copied argument corrupted by arena reuse")
+	}
+}
+
 func TestReadCommandErrors(t *testing.T) {
 	// A non-array is not a command.
 	if _, _, err := ReadCommand(bufio.NewReader(strings.NewReader(":5\r\n"))); err == nil {

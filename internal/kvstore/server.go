@@ -134,8 +134,14 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriterSize(conn, 64<<10)
+	// One command arena per connection: arguments parsed by
+	// ReadCommandInto alias cb and are recycled every iteration. The
+	// engine copies anything it stores at its boundary (see engine.go),
+	// and replies that alias the arena (PING/ECHO) are framed into w
+	// before the next read, so nothing outlives its arena generation.
+	var cb CommandBuffer
 	for {
-		cmd, args, err := ReadCommand(r)
+		cmd, args, err := ReadCommandInto(r, &cb, MaxBulkLen)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				return
@@ -152,8 +158,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := WriteReply(w, reply); err != nil {
 			return
 		}
-		// Flush only when no further command is already buffered:
-		// this is what makes pipelining pay off.
+		// Coalesce reply writes: flush only when no further command is
+		// already buffered, so a pipelined batch read in one bufio fill
+		// is answered with one syscall, not one per command.
 		if r.Buffered() == 0 {
 			if err := w.Flush(); err != nil {
 				return

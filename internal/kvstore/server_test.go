@@ -331,3 +331,126 @@ func BenchmarkServerUnpipelinedSet(b *testing.B) {
 		}
 	}
 }
+
+func TestClientMSetMGetOverWire(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialTest(t, addr)
+	keys := []string{"m1", "m2", "m3"}
+	vals := [][]byte{[]byte("alpha"), []byte(""), []byte("gamma")}
+	if err := c.MSet(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MGet("m1", "missing", "m3", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("alpha"), nil, []byte("gamma"), []byte("")}
+	if len(got) != len(want) {
+		t.Fatalf("MGET returned %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if (got[i] == nil) != (want[i] == nil) || !bytes.Equal(got[i], want[i]) {
+			t.Errorf("MGET[%d] = %q (nil=%v), want %q", i, got[i], got[i] == nil, want[i])
+		}
+	}
+	// Arity mismatch is a client-side error, caught before the wire.
+	if err := c.MSet([]string{"a"}, nil); err == nil {
+		t.Error("mismatched MSet accepted")
+	}
+}
+
+func TestClientLRangeChunked(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialTest(t, addr)
+	const n = 1000
+	var want [][]byte
+	for i := 0; i < n; i += 100 {
+		batch := make([][]byte, 0, 100)
+		for j := i; j < i+100; j++ {
+			batch = append(batch, []byte(fmt.Sprintf("el-%04d", j)))
+		}
+		want = append(want, batch...)
+		if _, err := c.RPush("biglist", batch...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A window that doesn't divide n exercises the ragged final batch.
+	var got [][]byte
+	batches := 0
+	err := c.LRangeChunked("biglist", 64, func(batch [][]byte) error {
+		batches++
+		for _, b := range batch {
+			got = append(got, append([]byte(nil), b...))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != (n+63)/64 {
+		t.Errorf("saw %d batches, want %d", batches, (n+63)/64)
+	}
+	if len(got) != n {
+		t.Fatalf("streamed %d elements, want %d", len(got), n)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("element %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Missing key streams zero batches without error.
+	if err := c.LRangeChunked("nope", 64, func([][]byte) error {
+		t.Error("callback invoked for missing key")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Callback errors abort the stream and surface.
+	sentinel := errors.New("stop")
+	if err := c.LRangeChunked("biglist", 64, func([][]byte) error {
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("callback error surfaced as %v", err)
+	}
+}
+
+func TestPipelineFinishIntoReuse(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialTest(t, addr)
+	p, err := c.NewPipeline(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: fill a reply slice.
+	for i := 0; i < 20; i++ {
+		if err := p.Send("SET", []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps, err := p.FinishInto(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 20 {
+		t.Fatalf("round 1: %d replies, want 20", len(reps))
+	}
+	// Round 2: the same backing slice is recycled.
+	p.Reuse(reps)
+	for i := 0; i < 20; i++ {
+		if err := p.Send("GET", []byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps2, err := p.FinishInto(reps[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps2) != 20 {
+		t.Fatalf("round 2: %d replies, want 20", len(reps2))
+	}
+	for i, r := range reps2 {
+		if string(r.Bulk) != "v" {
+			t.Errorf("reply %d = %q, want v", i, r.Bulk)
+		}
+	}
+}

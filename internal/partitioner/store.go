@@ -117,10 +117,19 @@ func splitRecords(buf []byte) ([][]byte, error) {
 	return out, nil
 }
 
+// maxBatchBytes caps the record payload packed into one variadic
+// RPUSH during a partition write, so one command can never blow up the
+// server's read arena.
+const maxBatchBytes = 1 << 20
+
+// readWindow bounds the LRANGE windows a partition is fetched in.
+const readWindow = 4096
+
 // KVStore places partitions as lists in key-value store instances —
 // the paper's Redis deployment: one store per node, the framework
 // controls which partition lands on which node, and transfers are
-// batched through pipelining.
+// batched through pipelining and chunked variadic RPUSH (many records
+// per command, bounded by payload bytes).
 type KVStore struct {
 	// clients[j] connects to the store instance hosting partition j.
 	clients []*kvstore.Client
@@ -156,8 +165,11 @@ func (k *KVStore) clientFor(id int) (*kvstore.Client, error) {
 	return k.clients[id%len(k.clients)], nil
 }
 
-// WritePartition implements Store: DEL then pipelined RPUSH of every
-// record to the partition's list.
+// WritePartition implements Store: DEL, then pipelined chunked
+// variadic RPUSHes — records ride many-per-command up to maxBatchBytes
+// of payload, so a partition costs O(records/chunk) commands instead
+// of O(records). List contents are element-for-element identical to a
+// per-record push.
 func (k *KVStore) WritePartition(id int, records [][]byte) error {
 	c, err := k.clientFor(id)
 	if err != nil {
@@ -170,10 +182,30 @@ func (k *KVStore) WritePartition(id int, records [][]byte) error {
 	if err != nil {
 		return err
 	}
-	for _, r := range records {
-		if err := p.Send("RPUSH", []byte(k.key(id)), r); err != nil {
-			return fmt.Errorf("partitioner: pushing to partition %d: %w", id, err)
+	keyArg := []byte(k.key(id))
+	args := make([][]byte, 1, 256)
+	args[0] = keyArg
+	payload := 0
+	sendBatch := func() error {
+		if len(args) == 1 {
+			return nil
 		}
+		err := p.Send("RPUSH", args...)
+		args = args[:1]
+		payload = 0
+		return err
+	}
+	for _, r := range records {
+		if len(args) > 1 && payload+len(r) > maxBatchBytes {
+			if err := sendBatch(); err != nil {
+				return fmt.Errorf("partitioner: pushing to partition %d: %w", id, err)
+			}
+		}
+		args = append(args, r)
+		payload += len(r)
+	}
+	if err := sendBatch(); err != nil {
+		return fmt.Errorf("partitioner: pushing to partition %d: %w", id, err)
 	}
 	reps, err := p.Finish()
 	if err != nil {
@@ -187,22 +219,147 @@ func (k *KVStore) WritePartition(id int, records [][]byte) error {
 	return nil
 }
 
-// ReadPartition implements Store: one LRANGE fetches the entire list.
+// ReadPartition implements Store: bounded LRANGE windows stream the
+// list without materializing one giant reply.
 func (k *KVStore) ReadPartition(id int) ([][]byte, error) {
 	c, err := k.clientFor(id)
 	if err != nil {
 		return nil, err
 	}
-	els, err := c.LRange(k.key(id), 0, -1)
+	var els [][]byte
+	err = c.LRangeChunked(k.key(id), readWindow, func(batch [][]byte) error {
+		els = append(els, batch...)
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("partitioner: reading partition %d: %w", id, err)
 	}
 	return els, nil
 }
 
+// KVBlobStore materializes each partition as ONE string value: the
+// records concatenated in order. Records carry their own 4-byte length
+// prefixes (the §IV storage layout, exactly what DiskStore writes), so
+// the blob is self-delimiting and a partition round-trips in O(1)
+// commands — and a whole placement in O(stores) commands via MSET.
+type KVBlobStore struct {
+	clients   []*kvstore.Client
+	keyPrefix string
+}
+
+// NewKVBlobStore builds a blob-mode store over per-partition clients.
+func NewKVBlobStore(clients []*kvstore.Client, keyPrefix string) (*KVBlobStore, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("partitioner: no kv clients")
+	}
+	if keyPrefix == "" {
+		keyPrefix = "partition"
+	}
+	return &KVBlobStore{clients: clients, keyPrefix: keyPrefix}, nil
+}
+
+func (k *KVBlobStore) key(id int) string {
+	return k.keyPrefix + ":" + strconv.Itoa(id)
+}
+
+func (k *KVBlobStore) clientFor(id int) (*kvstore.Client, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("partitioner: partition id %d", id)
+	}
+	return k.clients[id%len(k.clients)], nil
+}
+
+func concatRecords(records [][]byte) []byte {
+	total := 0
+	for _, r := range records {
+		total += len(r)
+	}
+	blob := make([]byte, 0, total)
+	for _, r := range records {
+		blob = append(blob, r...)
+	}
+	return blob
+}
+
+// WritePartition implements Store: one SET of the concatenated blob.
+func (k *KVBlobStore) WritePartition(id int, records [][]byte) error {
+	c, err := k.clientFor(id)
+	if err != nil {
+		return err
+	}
+	if err := c.Set(k.key(id), concatRecords(records)); err != nil {
+		return fmt.Errorf("partitioner: writing partition %d: %w", id, err)
+	}
+	return nil
+}
+
+// ReadPartition implements Store: one GET, then the self-delimiting
+// blob splits back into records.
+func (k *KVBlobStore) ReadPartition(id int) ([][]byte, error) {
+	c, err := k.clientFor(id)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := c.Get(k.key(id))
+	if err != nil {
+		if errors.Is(err, kvstore.ErrNil) {
+			return nil, fmt.Errorf("partitioner: partition %d not found", id)
+		}
+		return nil, fmt.Errorf("partitioner: reading partition %d: %w", id, err)
+	}
+	return splitRecords(blob)
+}
+
+// WritePartitions implements BulkStore: partitions are grouped by
+// hosting client and each group lands in a single MSET, so a whole
+// placement costs one command per store instance.
+func (k *KVBlobStore) WritePartitions(ids []int, records [][][]byte) error {
+	if len(ids) != len(records) {
+		return fmt.Errorf("partitioner: %d ids, %d record lists", len(ids), len(records))
+	}
+	keysByClient := make(map[*kvstore.Client][]string)
+	valsByClient := make(map[*kvstore.Client][][]byte)
+	for i, id := range ids {
+		c, err := k.clientFor(id)
+		if err != nil {
+			return err
+		}
+		keysByClient[c] = append(keysByClient[c], k.key(id))
+		valsByClient[c] = append(valsByClient[c], concatRecords(records[i]))
+	}
+	for c, keys := range keysByClient {
+		if err := c.MSet(keys, valsByClient[c]); err != nil {
+			return fmt.Errorf("partitioner: bulk writing partitions: %w", err)
+		}
+	}
+	return nil
+}
+
+// BulkStore is implemented by stores that can place many partitions in
+// one batched round trip; Place uses it when available.
+type BulkStore interface {
+	Store
+	// WritePartitions stores records[i] as partition ids[i], replacing
+	// any previous content.
+	WritePartitions(ids []int, records [][][]byte) error
+}
+
 // Place serializes every partition of the assignment from the corpus
-// and writes it to the store.
+// and writes it to the store — through the store's bulk path when it
+// has one.
 func Place(c pivots.Corpus, a *Assignment, st Store) error {
+	if bs, ok := st.(BulkStore); ok {
+		ids := make([]int, a.P())
+		recs := make([][][]byte, a.P())
+		for j := range a.Parts {
+			ids[j] = j
+			recs[j] = RecordsOf(c, a, j)
+		}
+		if err := bs.WritePartitions(ids, recs); err != nil {
+			return fmt.Errorf("partitioner: placing partitions: %w", err)
+		}
+		return nil
+	}
 	for j := range a.Parts {
 		if err := st.WritePartition(j, RecordsOf(c, a, j)); err != nil {
 			return fmt.Errorf("partitioner: placing partition %d: %w", j, err)

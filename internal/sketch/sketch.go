@@ -41,7 +41,24 @@ type LinearPermutation struct {
 // Apply evaluates the permutation at x. x is first folded into the
 // field so that arbitrary 64-bit items are accepted.
 func (lp LinearPermutation) Apply(x Item) uint64 {
-	return addMod(mulMod(lp.A, reduce(x)), lp.B)
+	return applyPerm(lp.A, lp.B, reduce(x))
+}
+
+// applyPerm returns (a·xr + b) mod 2^61−1 for xr already reduced and
+// b < p. It merges the product fold and the addition into a single
+// reduction chain — one conditional subtract instead of mulMod's and
+// addMod's separate ones — and is canonical-value-identical to
+// addMod(mulMod(a, xr), b).
+func applyPerm(a, b, xr uint64) uint64 {
+	hi, lo := bits.Mul64(a, xr)
+	// Each masked term is < 2^61 and the shifts contribute < 2^7, so
+	// t < 3·2^61 + b-fold slack fits a uint64 without overflow.
+	t := (lo & MersennePrime61) + (lo >> 61) + (hi<<3)&MersennePrime61 + (hi >> 58) + b
+	r := (t & MersennePrime61) + (t >> 61)
+	if r >= MersennePrime61 {
+		r -= MersennePrime61
+	}
+	return r
 }
 
 // reduce folds an arbitrary 64-bit value into [0, 2^61−1).
@@ -153,21 +170,39 @@ func (h *Hasher) Sketch(set []Item) Sketch {
 
 // SketchInto computes the signature into dst, which must have length
 // K(). It exists so bulk sketching can avoid per-set allocations.
+//
+// The loop is blocked for the hot path (bulk sketching in the
+// distributed ship): items are pre-reduced into a stack buffer once
+// per block, then each permutation streams the block with its minimum
+// held in a register instead of re-reading dst per item. Coordinate
+// values are identical to applying the permutations item by item.
 func (h *Hasher) SketchInto(set []Item, dst Sketch) {
 	perms := h.perms
 	if len(dst) != len(perms) {
 		panic(fmt.Sprintf("sketch: SketchInto dst width %d, want %d", len(dst), len(perms)))
 	}
+	dst = dst[:len(perms)]
 	for i := range dst {
 		dst[i] = EmptySentinel
 	}
-	for _, x := range set {
-		xr := reduce(x)
+	var xbuf [64]uint64
+	for base := 0; base < len(set); base += len(xbuf) {
+		block := set[base:]
+		if len(block) > len(xbuf) {
+			block = block[:len(xbuf)]
+		}
+		for j, x := range block {
+			xbuf[j] = reduce(x)
+		}
+		xr := xbuf[:len(block)]
 		for i := range perms {
-			v := addMod(mulMod(perms[i].A, xr), perms[i].B)
-			if v < dst[i] {
-				dst[i] = v
+			a, b, m := perms[i].A, perms[i].B, dst[i]
+			for _, x := range xr {
+				if v := applyPerm(a, b, x); v < m {
+					m = v
+				}
 			}
+			dst[i] = m
 		}
 	}
 }

@@ -351,3 +351,52 @@ func BenchmarkSketch100Items(b *testing.B) {
 		h.SketchInto(set, dst)
 	}
 }
+
+// TestSketchMatchesNaive pins the blocked SketchInto loop to the
+// definitional implementation — per-item, per-permutation Apply with a
+// running minimum — across set sizes straddling the 64-item block
+// boundary. The blocked loop must be bit-exact.
+func TestSketchMatchesNaive(t *testing.T) {
+	h, err := NewHasher(8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 128, 200} {
+		set := make([]Item, n)
+		for i := range set {
+			set[i] = rng.Uint64()
+		}
+		naive := make(Sketch, h.K())
+		for i := range naive {
+			naive[i] = EmptySentinel
+		}
+		for _, x := range set {
+			for i, p := range h.perms {
+				if v := p.Apply(x); v < naive[i] {
+					naive[i] = v
+				}
+			}
+		}
+		got := h.Sketch(set)
+		for i := range naive {
+			if got[i] != naive[i] {
+				t.Errorf("n=%d coord %d: blocked %d, naive %d", n, i, got[i], naive[i])
+			}
+		}
+	}
+}
+
+// TestApplyPermMatchesModChain pins the fused reduction against the
+// two-step addMod(mulMod(...)) chain it replaced.
+func TestApplyPermMatchesModChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 200000; i++ {
+		a := 1 + uint64(rng.Int63n(MersennePrime61-1))
+		b := uint64(rng.Int63n(MersennePrime61))
+		xr := reduce(rng.Uint64())
+		if got, want := applyPerm(a, b, xr), addMod(mulMod(a, xr), b); got != want {
+			t.Fatalf("applyPerm(%d,%d,%d) = %d, want %d", a, b, xr, got, want)
+		}
+	}
+}
