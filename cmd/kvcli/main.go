@@ -5,7 +5,12 @@
 // Usage:
 //
 //	kvcli -addr 127.0.0.1:6380 SET greeting hello
+//	kvcli -addr 127.0.0.1:6380 info     # formatted server telemetry
 //	kvcli -addr 127.0.0.1:6380          # interactive: one command per line
+//
+// The info subcommand fetches the server's telemetry snapshot (the
+// INFO command) and renders command counts, latency percentiles and
+// connection statistics instead of dumping raw JSON.
 package main
 
 import (
@@ -13,10 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"pareto/internal/kvstore"
+	"pareto/internal/telemetry"
 )
 
 func main() {
@@ -52,8 +59,12 @@ func main() {
 	}
 }
 
-// runOne sends one command and renders its reply.
+// runOne sends one command and renders its reply. The info subcommand
+// is special-cased into a formatted telemetry report.
 func runOne(c *kvstore.Client, fields []string) error {
+	if strings.EqualFold(fields[0], "info") && len(fields) == 1 {
+		return runInfo(c)
+	}
 	args := make([][]byte, len(fields)-1)
 	for i, f := range fields[1:] {
 		args[i] = []byte(f)
@@ -64,6 +75,72 @@ func runOne(c *kvstore.Client, fields []string) error {
 	}
 	printReply(rep, "")
 	return nil
+}
+
+// runInfo fetches and pretty-prints the server telemetry snapshot.
+func runInfo(c *kvstore.Client) error {
+	rep, err := c.Do("INFO")
+	if err != nil {
+		return err
+	}
+	if rep.Type == kvstore.ErrorReply {
+		return fmt.Errorf("info: %s", rep.String())
+	}
+	snap, err := telemetry.ReadSnapshot(strings.NewReader(rep.String()))
+	if err != nil {
+		return fmt.Errorf("info: parsing snapshot: %w", err)
+	}
+	printInfo(os.Stdout, snap)
+	return nil
+}
+
+// printInfo renders the parts of a server snapshot an operator reaches
+// for first: per-command traffic, latency percentiles, connections.
+func printInfo(w *os.File, snap *telemetry.Snapshot) {
+	fmt.Fprintf(w, "# server\nuptime_sec: %.1f\n", snap.UptimeSec)
+
+	fmt.Fprintf(w, "\n# commands\n")
+	const cmdPrefix = `kv_server_commands_total{cmd="`
+	var cmds []string
+	var total int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, cmdPrefix) && v > 0 {
+			cmds = append(cmds, name)
+			total += v
+		}
+	}
+	sort.Slice(cmds, func(i, j int) bool {
+		if snap.Counters[cmds[i]] != snap.Counters[cmds[j]] {
+			return snap.Counters[cmds[i]] > snap.Counters[cmds[j]]
+		}
+		return cmds[i] < cmds[j]
+	})
+	for _, name := range cmds {
+		cmd := strings.TrimSuffix(strings.TrimPrefix(name, cmdPrefix), `"}`)
+		fmt.Fprintf(w, "%-10s %d\n", cmd+":", snap.Counters[name])
+	}
+	fmt.Fprintf(w, "%-10s %d\n", "total:", total)
+	fmt.Fprintf(w, "%-10s %d\n", "errors:", snap.Counters["kv_server_command_errors_total"])
+
+	if h, ok := snap.Histograms["kv_server_command_latency_ns"]; ok && h.Count > 0 {
+		fmt.Fprintf(w, "\n# latency (batch mean)\n")
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+			fmt.Fprintf(w, "%s: %.1fµs\n", q.label, h.Quantile(q.q)/1e3)
+		}
+		fmt.Fprintf(w, "mean: %.1fµs over %d commands\n", h.Mean()/1e3, h.Count)
+	}
+
+	fmt.Fprintf(w, "\n# connections\n")
+	fmt.Fprintf(w, "active: %.0f\ntotal: %d\nparse_errors: %d\n",
+		snap.Gauges["kv_server_connections_active"],
+		snap.Counters["kv_server_connections_total"],
+		snap.Counters["kv_server_parse_errors_total"])
+	fmt.Fprintf(w, "bytes_in: %d\nbytes_out: %d\n",
+		snap.Counters["kv_server_bytes_in_total"],
+		snap.Counters["kv_server_bytes_out_total"])
 }
 
 func printReply(r kvstore.Reply, indent string) {

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	kvstored -addr 127.0.0.1:6379
+//	kvstored -addr 127.0.0.1:6379 -metrics-addr 127.0.0.1:9100
+//
+// With -metrics-addr the server also exposes its telemetry over HTTP:
+// Prometheus text at /metrics, a JSON snapshot at /debug/vars. The
+// same snapshot is available in-band via the INFO command.
 package main
 
 import (
@@ -16,11 +21,13 @@ import (
 	"syscall"
 
 	"pareto/internal/kvstore"
+	"pareto/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
 	snapshot := flag.String("snapshot", "", "snapshot file: loaded at start, written by SAVE and on shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "expose telemetry over HTTP on this address (empty = disabled)")
 	flag.Parse()
 	srv := kvstore.NewServer(nil)
 	if *snapshot != "" {
@@ -28,6 +35,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kvstored: loading snapshot: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	reg := telemetry.NewRegistry()
+	srv.SetTelemetry(reg)
+	var metricsSrv *telemetry.HTTPServer
+	if *metricsAddr != "" {
+		var err error
+		metricsSrv, err = reg.ListenAndServe(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvstored: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kvstored metrics on http://%s/metrics\n", metricsSrv.Addr)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -39,6 +58,11 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("kvstored: shutting down")
+	if metricsSrv != nil {
+		if err := metricsSrv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "kvstored: metrics close: %v\n", err)
+		}
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "kvstored: close: %v\n", err)
 		os.Exit(1)

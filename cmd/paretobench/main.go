@@ -5,26 +5,33 @@
 //	paretobench -list
 //	paretobench -exp fig3            # one artifact at the small scale
 //	paretobench -exp all -scale paper
+//	paretobench -exp fig3 -snapshot telemetry.json
 //
 // Each experiment prints an aligned text table with one row per
 // (strategy, partition count) or per α point; see DESIGN.md §4 for the
-// artifact index and EXPERIMENTS.md for recorded runs.
+// artifact index and EXPERIMENTS.md for recorded runs. With -snapshot
+// the run is instrumented and the final telemetry snapshot — plan-stage
+// spans, per-node busy time and green/dirty energy gauges — is written
+// to the given file as JSON ("-" for stdout).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"pareto/internal/bench"
+	"pareto/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (table1, fig2, fig3, fig4, table2, table3, fig5, fig6, all)")
-		scale = flag.String("scale", "small", "dataset scale: small | paper")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "all", "experiment id (table1, fig2, fig3, fig4, table2, table3, fig5, fig6, all)")
+		scale    = flag.String("scale", "small", "dataset scale: small | paper")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		snapshot = flag.String("snapshot", "", "write the final telemetry snapshot as JSON to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 	if *list {
@@ -43,6 +50,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paretobench: unknown scale %q (want small or paper)\n", *scale)
 		os.Exit(2)
 	}
+	var reg *telemetry.Registry
+	if *snapshot != "" {
+		reg = telemetry.NewRegistry()
+		s.Telemetry = reg
+	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = bench.Experiments()
@@ -56,4 +68,24 @@ func main() {
 		}
 		fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", rep.ID, rep.Title, time.Since(start).Seconds(), rep.Text)
 	}
+	if reg != nil {
+		if err := writeSnapshot(reg, *snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "paretobench: snapshot: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSnapshot dumps the run's accumulated telemetry as JSON.
+func writeSnapshot(reg *telemetry.Registry, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return reg.Snapshot().WriteJSON(w)
 }

@@ -9,6 +9,7 @@ import (
 	"pareto/internal/core"
 	"pareto/internal/opt"
 	"pareto/internal/strata"
+	"pareto/internal/telemetry"
 )
 
 // StrategyRow is one measured (strategy, partition count) cell of a
@@ -47,6 +48,10 @@ type Options struct {
 	// the equal share (mining workloads need ~0.25 to stay out of the
 	// scaled-support degenerate regime; compression can use 0).
 	MinPartitionFrac float64
+	// Telemetry, when non-nil, instruments planning (stage spans, corpus
+	// gauges) for every strategy run. Cluster-side metrics attach to the
+	// cluster itself (see Scale.Telemetry / mkPaperCluster).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions mirror the paper's FPM settings. The paper sets
@@ -68,6 +73,7 @@ func strategiesFor(w Workload, o Options) []core.Config {
 		TraceOffset:         o.TraceOffset,
 		MinPartitionFrac:    o.MinPartitionFrac,
 		MinPartitionRecords: w.MinPartitionRecords(),
+		Telemetry:           o.Telemetry,
 	}
 	strat := base
 	strat.Strategy = core.Stratified
@@ -163,6 +169,7 @@ func MeasureFrontier(w Workload, cl *cluster.Cluster, alphas []float64, o Option
 		TraceOffset:         o.TraceOffset,
 		MinPartitionFrac:    o.MinPartitionFrac,
 		MinPartitionRecords: w.MinPartitionRecords(),
+		Telemetry:           o.Telemetry,
 	}
 	for _, a := range alphas {
 		cfg := base
@@ -206,6 +213,7 @@ func PredictFrontier(w Workload, cl *cluster.Cluster, alphas []float64, o Option
 		Stratifier:  o.Stratifier,
 		SampleSeed:  o.Seed,
 		TraceOffset: o.TraceOffset,
+		Telemetry:   o.Telemetry,
 	}
 	plan, err := core.BuildPlan(w.Corpus(), cl, w.Profile, cfg)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"pareto/internal/datasets"
 	"pareto/internal/energy"
 	"pareto/internal/pivots"
+	"pareto/internal/telemetry"
 	"pareto/internal/workloads/graphcomp"
 	"pareto/internal/workloads/lz77"
 )
@@ -31,6 +32,18 @@ type Scale struct {
 	// TextMaxLen / TreeMaxNodes bound pattern sizes.
 	TextMaxLen   int
 	TreeMaxNodes int
+	// Telemetry, when non-nil, instruments the whole suite: plan-stage
+	// spans and corpus gauges from core, per-node busy time and
+	// green/dirty energy gauges from every cluster the suite builds.
+	Telemetry *telemetry.Registry
+}
+
+// options returns the suite defaults with the scale's registry
+// attached.
+func (s Scale) options() Options {
+	o := DefaultOptions()
+	o.Telemetry = s.Telemetry
+	return o
 }
 
 // SmallScale runs the whole suite in seconds (CI-sized).
@@ -58,10 +71,16 @@ func PaperScale() Scale {
 	}
 }
 
-// mkPaperCluster returns the cluster factory shared by the suite.
-func mkPaperCluster(hours int) func(p int) (*cluster.Cluster, error) {
+// mkPaperCluster returns the cluster factory shared by the suite; the
+// scale's telemetry registry rides along onto every cluster built.
+func mkPaperCluster(s Scale) func(p int) (*cluster.Cluster, error) {
 	return func(p int) (*cluster.Cluster, error) {
-		return cluster.PaperCluster(p, energy.DefaultPanel(), 172, hours)
+		cl, err := cluster.PaperCluster(p, energy.DefaultPanel(), 172, s.TraceHours)
+		if err != nil {
+			return nil, err
+		}
+		cl.Telemetry = s.Telemetry
+		return cl, nil
 	}
 }
 
@@ -143,7 +162,7 @@ func Fig2(s Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := Sweep(w, s.PartitionCounts, mkPaperCluster(s.TraceHours), DefaultOptions())
+		r, err := Sweep(w, s.PartitionCounts, mkPaperCluster(s), s.options())
 		if err != nil {
 			return nil, fmt.Errorf("fig2 %s: %w", d.name, err)
 		}
@@ -165,7 +184,7 @@ func Fig3(s Scale) (*Report, error) {
 		return nil, err
 	}
 	w := &TextMining{Docs: corpus, SupportFrac: s.TextSupport, MaxLen: s.TextMaxLen}
-	rows, err := Sweep(w, s.PartitionCounts, mkPaperCluster(s.TraceHours), DefaultOptions())
+	rows, err := Sweep(w, s.PartitionCounts, mkPaperCluster(s), s.options())
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +208,7 @@ func graphWorkload(cfg datasets.GraphConfig) (*GraphCompression, error) {
 // Fig4 regenerates Figure 4: webgraph compression time, energy and
 // compression ratio on the two webgraphs (α = 0.995 per §V-C2).
 func Fig4(s Scale) (*Report, error) {
-	o := DefaultOptions()
+	o := s.options()
 	o.Alpha = 0.99         // one notch below the mining α, as in §V-C2
 	o.MinPartitionFrac = 0 // compression tolerates starved partitions
 	var rows []StrategyRow
@@ -205,7 +224,7 @@ func Fig4(s Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := Sweep(w, s.PartitionCounts, mkPaperCluster(s.TraceHours), o)
+		r, err := Sweep(w, s.PartitionCounts, mkPaperCluster(s), o)
 		if err != nil {
 			return nil, fmt.Errorf("fig4 %s: %w", d.name, err)
 		}
@@ -227,10 +246,10 @@ func lz77Table(id, title string, cfg datasets.GraphConfig, s Scale) (*Report, er
 		return nil, err
 	}
 	w := &LZ77Compression{Data: corpus, Cfg: lz77.Config{}}
-	o := DefaultOptions()
+	o := s.options()
 	o.Alpha = 0.99
 	o.MinPartitionFrac = 0
-	cl, err := mkPaperCluster(s.TraceHours)(8)
+	cl, err := mkPaperCluster(s)(8)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +281,7 @@ func fig5Alphas() []float64 {
 func Fig5(s Scale) (*Report, error) {
 	var sb strings.Builder
 	var frontier []FrontierRow
-	cl, err := mkPaperCluster(s.TraceHours)(8)
+	cl, err := mkPaperCluster(s)(8)
 	if err != nil {
 		return nil, err
 	}
@@ -283,14 +302,14 @@ func Fig5(s Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	graphOpts := DefaultOptions()
+	graphOpts := s.options()
 	graphOpts.MinPartitionFrac = 0 // reproduce the α≈0.9 pile-on of §V-D
 	for _, wc := range []struct {
 		w Workload
 		o Options
 	}{
-		{tree, DefaultOptions()},
-		{&TextMining{Docs: textCorpus, SupportFrac: s.TextSupport, MaxLen: s.TextMaxLen}, DefaultOptions()},
+		{tree, s.options()},
+		{&TextMining{Docs: textCorpus, SupportFrac: s.TextSupport, MaxLen: s.TextMaxLen}, s.options()},
 		{graph, graphOpts},
 	} {
 		rows, err := MeasureFrontier(wc.w, cl, fig5Alphas(), wc.o)
@@ -308,7 +327,7 @@ func Fig5(s Scale) (*Report, error) {
 func Fig6(s Scale) (*Report, error) {
 	var sb strings.Builder
 	var frontier []FrontierRow
-	cl, err := mkPaperCluster(s.TraceHours)(8)
+	cl, err := mkPaperCluster(s)(8)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +336,7 @@ func Fig6(s Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows, err := MeasureFrontier(tree, cl, fig5Alphas(), DefaultOptions())
+		rows, err := MeasureFrontier(tree, cl, fig5Alphas(), s.options())
 		if err != nil {
 			return nil, fmt.Errorf("fig6 tree support ×%.1f: %w", mult, err)
 		}
@@ -335,7 +354,7 @@ func Fig6(s Scale) (*Report, error) {
 	}
 	for _, mult := range []float64{1.0, 1.5} {
 		w := &TextMining{Docs: textCorpus, SupportFrac: s.TextSupport * mult, MaxLen: s.TextMaxLen}
-		rows, err := MeasureFrontier(w, cl, fig5Alphas(), DefaultOptions())
+		rows, err := MeasureFrontier(w, cl, fig5Alphas(), s.options())
 		if err != nil {
 			return nil, fmt.Errorf("fig6 text support ×%.1f: %w", mult, err)
 		}
@@ -360,11 +379,11 @@ func OverheadReport(s Scale) (*Report, error) {
 		return nil, err
 	}
 	w := &TextMining{Docs: corpus, SupportFrac: s.TextSupport, MaxLen: s.TextMaxLen}
-	cl, err := mkPaperCluster(s.TraceHours)(8)
+	cl, err := mkPaperCluster(s)(8)
 	if err != nil {
 		return nil, err
 	}
-	ov, err := MeasureOverhead(w, cl, DefaultOptions())
+	ov, err := MeasureOverhead(w, cl, s.options())
 	if err != nil {
 		return nil, err
 	}

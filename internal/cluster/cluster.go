@@ -17,11 +17,14 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"pareto/internal/energy"
 	"pareto/internal/opt"
 	"pareto/internal/sampling"
+	"pareto/internal/telemetry"
 )
 
 // NodeSpec describes one cluster node.
@@ -50,6 +53,11 @@ type Cluster struct {
 	// strategies under the same rate, so its absolute value only sets
 	// the time scale.
 	CostRate float64
+	// Telemetry, when non-nil, records per-run spans (a "run" span with
+	// one child per node) and cumulative energy/busy-time metrics into
+	// the registry. nil disables instrumentation; per-node wall times
+	// are reported on Result either way.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultCostRate makes one million cost units ≈ one second on the
@@ -164,6 +172,16 @@ type Result struct {
 	DirtyEnergy float64
 	// TotalEnergy is the total electrical energy consumed (J).
 	TotalEnergy float64
+	// NodeGreen[i] is node i's green (trace-covered) energy in joules:
+	// total draw minus dirty draw, never negative.
+	NodeGreen []float64
+	// GreenEnergy is the total green energy across nodes (J).
+	GreenEnergy float64
+	// NodeWallSec[i] is the real (not simulated) wall-clock seconds
+	// node i's task goroutine ran — the actual algorithm execution.
+	NodeWallSec []float64
+	// WallSec is the real wall-clock duration of the whole Run call.
+	WallSec float64
 }
 
 // Imbalance quantifies load balance: makespan divided by the mean busy
@@ -211,8 +229,12 @@ func (c *Cluster) RunDetailed(offset float64, tasks []DetailedTask) (*Result, er
 	if len(tasks) != len(c.Nodes) {
 		return nil, fmt.Errorf("cluster: %d tasks for %d nodes", len(tasks), len(c.Nodes))
 	}
+	runStart := time.Now()
+	span := c.Telemetry.StartSpan("run")
+	defer span.End()
 	reports := make([]TaskReport, len(tasks))
 	errs := make([]error, len(tasks))
+	wallSec := make([]float64, len(tasks))
 	var wg sync.WaitGroup
 	for i, task := range tasks {
 		if task == nil {
@@ -221,7 +243,11 @@ func (c *Cluster) RunDetailed(offset float64, tasks []DetailedTask) (*Result, er
 		wg.Add(1)
 		go func(i int, task DetailedTask) {
 			defer wg.Done()
+			sp := span.Child(c.Nodes[i].Name)
+			t0 := time.Now()
 			reports[i], errs[i] = task()
+			wallSec[i] = time.Since(t0).Seconds()
+			sp.End()
 		}(i, task)
 	}
 	wg.Wait()
@@ -232,9 +258,11 @@ func (c *Cluster) RunDetailed(offset float64, tasks []DetailedTask) (*Result, er
 		return nil, err
 	}
 	res := &Result{
-		NodeTimes: make([]float64, len(tasks)),
-		NodeCosts: make([]float64, len(tasks)),
-		NodeDirty: make([]float64, len(tasks)),
+		NodeTimes:   make([]float64, len(tasks)),
+		NodeCosts:   make([]float64, len(tasks)),
+		NodeDirty:   make([]float64, len(tasks)),
+		NodeGreen:   make([]float64, len(tasks)),
+		NodeWallSec: wallSec,
 	}
 	for i := range tasks {
 		if reports[i].FixedSeconds < 0 {
@@ -251,8 +279,38 @@ func (c *Cluster) RunDetailed(offset float64, tasks []DetailedTask) (*Result, er
 		d := energy.DirtyEnergy(watts, c.Nodes[i].Trace, offset, t)
 		res.NodeDirty[i] = d
 		res.DirtyEnergy += d
+		// Green = draw the trace covered. DirtyEnergy floors per-step
+		// surplus at zero, so the difference is never negative; clamp
+		// anyway against float round-off.
+		green := watts*t - d
+		if green < 0 {
+			green = 0
+		}
+		res.NodeGreen[i] = green
+		res.GreenEnergy += green
 	}
+	res.WallSec = time.Since(runStart).Seconds()
+	c.recordRun(res)
 	return res, nil
+}
+
+// recordRun folds one job execution into the cumulative telemetry:
+// per-node green/dirty energy (Wh) and busy seconds, plus totals.
+func (c *Cluster) recordRun(res *Result) {
+	reg := c.Telemetry
+	if reg == nil {
+		return
+	}
+	const wh = 1.0 / 3600 // joules → watt-hours
+	for i := range c.Nodes {
+		node := strconv.Itoa(i)
+		reg.FloatGauge(`energy_node_dirty_wh{node="` + node + `"}`).Add(res.NodeDirty[i] * wh)
+		reg.FloatGauge(`energy_node_green_wh{node="` + node + `"}`).Add(res.NodeGreen[i] * wh)
+		reg.FloatGauge(`cluster_node_busy_sec_total{node="` + node + `"}`).Add(res.NodeTimes[i])
+	}
+	reg.FloatGauge("energy_dirty_wh_total").Add(res.DirtyEnergy * wh)
+	reg.FloatGauge("energy_green_wh_total").Add(res.GreenEnergy * wh)
+	reg.Counter("cluster_runs_total").Inc()
 }
 
 // ProfileAll runs the progressive-sampling loop on every node

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"pareto/internal/energy"
+	"pareto/internal/telemetry"
+)
+
+// TestRunDetailedTelemetry: an instrumented run must surface per-node
+// wall times and green/dirty energy on the Result, and record a "run"
+// span with one child per loaded node plus cumulative energy gauges.
+func TestRunDetailedTelemetry(t *testing.T) {
+	c, err := PaperCluster(4, energy.DefaultPanel(), 172, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c.Telemetry = reg
+	tasks := make([]DetailedTask, 4)
+	for i := range tasks {
+		tasks[i] = func() (TaskReport, error) {
+			time.Sleep(time.Millisecond)
+			return TaskReport{Cost: 1e6}, nil
+		}
+	}
+	// Noon offset so the traces carry green power.
+	res, err := c.RunDetailed(12*3600, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodeWallSec) != 4 || len(res.NodeGreen) != 4 {
+		t.Fatalf("per-node slices: wall=%d green=%d", len(res.NodeWallSec), len(res.NodeGreen))
+	}
+	for i := range tasks {
+		if res.NodeWallSec[i] <= 0 {
+			t.Errorf("node %d wall time = %v, want > 0", i, res.NodeWallSec[i])
+		}
+		// Energy must partition exactly: green + dirty = total draw.
+		total := c.Nodes[i].Power.Watts() * res.NodeTimes[i]
+		if got := res.NodeGreen[i] + res.NodeDirty[i]; got < total*0.999 || got > total*1.001 {
+			t.Errorf("node %d green+dirty = %v, want %v", i, got, total)
+		}
+	}
+	if res.WallSec <= 0 {
+		t.Errorf("run wall time = %v, want > 0", res.WallSec)
+	}
+	if res.GreenEnergy <= 0 {
+		t.Errorf("green energy = %v at noon, want > 0", res.GreenEnergy)
+	}
+
+	snap := reg.Snapshot()
+	run := snap.FindSpan("run")
+	if run == nil {
+		t.Fatal("no run span recorded")
+	}
+	if len(run.Children) != 4 {
+		t.Fatalf("run span has %d children, want 4", len(run.Children))
+	}
+	for _, child := range run.Children {
+		if child.DurationMs <= 0 {
+			t.Errorf("node span %q duration = %v, want > 0", child.Name, child.DurationMs)
+		}
+	}
+	if snap.Counters["cluster_runs_total"] != 1 {
+		t.Errorf("runs = %d, want 1", snap.Counters["cluster_runs_total"])
+	}
+	wantTotal := (res.DirtyEnergy + res.GreenEnergy) / 3600
+	gotTotal := snap.Gauges["energy_dirty_wh_total"] + snap.Gauges["energy_green_wh_total"]
+	if gotTotal < wantTotal*0.999 || gotTotal > wantTotal*1.001 {
+		t.Errorf("energy gauges total %v Wh, want %v", gotTotal, wantTotal)
+	}
+	if _, ok := snap.Gauges[`energy_node_dirty_wh{node="0"}`]; !ok {
+		t.Error("per-node dirty energy gauge missing")
+	}
+}
+
+// TestRunDetailedNilTelemetry: wall times still populate with no
+// registry attached.
+func TestRunDetailedNilTelemetry(t *testing.T) {
+	c, err := PaperCluster(2, energy.DefaultPanel(), 172, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []DetailedTask{
+		func() (TaskReport, error) { return TaskReport{Cost: 1e5}, nil },
+		nil,
+	}
+	res, err := c.RunDetailed(0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeWallSec[0] < 0 || res.NodeWallSec[1] != 0 {
+		t.Errorf("wall times: %v", res.NodeWallSec)
+	}
+	if res.WallSec <= 0 {
+		t.Errorf("run wall = %v", res.WallSec)
+	}
+}

@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"pareto/internal/cluster"
 	"pareto/internal/opt"
@@ -23,6 +24,7 @@ import (
 	"pareto/internal/pivots"
 	"pareto/internal/sampling"
 	"pareto/internal/strata"
+	"pareto/internal/telemetry"
 )
 
 // Strategy identifies one of the paper's three partitioning strategies.
@@ -106,6 +108,18 @@ type Config struct {
 	// Summary, so an operator can see the run did not exercise the
 	// distributed path.
 	DistStratify func(c pivots.Corpus, cfg strata.StratifierConfig) (*strata.Stratification, error)
+	// Telemetry, when non-nil, records a "plan" span with one child per
+	// pipeline stage (scan, stratify, profile, optimize, place) plus
+	// corpus gauges into the registry. Stage timings are collected on
+	// the Plan regardless (they are one clock pair per stage).
+	Telemetry *telemetry.Registry
+}
+
+// StageTiming is one pipeline stage's wall-clock duration, collected
+// by BuildPlan and surfaced through the PlanSummary.
+type StageTiming struct {
+	Name string  `json:"name"`
+	Ms   float64 `json:"ms"`
 }
 
 // ProfileFunc runs the actual analytics algorithm on a representative
@@ -139,6 +153,11 @@ type Plan struct {
 	// carries the failure.
 	DegradedStratify bool
 	DegradedReason   string
+	// Stages holds the wall-clock timing of every pipeline stage that
+	// ran, in execution order.
+	Stages []StageTiming
+	// CorpusWeight is the summed record weight found by the scan stage.
+	CorpusWeight int
 }
 
 // BuildPlan runs the full pipeline for the corpus on the cluster.
@@ -165,30 +184,74 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 		cfg.Stratifier.Cluster.L = 3
 	}
 
-	// Component III: stratify — distributed first when configured,
-	// degrading to in-process if the distributed path fails terminally.
-	var st *strata.Stratification
-	var err error
-	degradedReason := ""
-	if cfg.DistStratify != nil {
-		st, err = cfg.DistStratify(corpus, cfg.Stratifier)
-		if err != nil {
-			degradedReason = err.Error()
-			st = nil
-		}
-	}
-	if st == nil {
-		st, err = strata.Stratify(corpus, cfg.Stratifier)
-		if err != nil {
-			return nil, fmt.Errorf("core: stratifying: %w", err)
-		}
+	plan := &Plan{Strategy: cfg.Strategy, Scheme: cfg.Scheme}
+	root := cfg.Telemetry.StartSpan("plan")
+	defer root.End()
+	// stage wraps one pipeline stage: a child span (nil-safe when
+	// telemetry is off) plus a wall-clock timing recorded on the plan.
+	stage := func(name string, fn func() error) error {
+		sp := root.Child(name)
+		t0 := time.Now()
+		err := fn()
+		plan.Stages = append(plan.Stages, StageTiming{
+			Name: name, Ms: float64(time.Since(t0).Nanoseconds()) / 1e6,
+		})
+		sp.End()
+		return err
 	}
 
-	plan := &Plan{Strategy: cfg.Strategy, Strat: st, Scheme: cfg.Scheme}
-	if degradedReason != "" {
-		plan.DegradedStratify = true
-		plan.DegradedReason = degradedReason
+	// Scan: one pass over the corpus for its total weight — the
+	// denominator for stratified weighting and the first thing an
+	// operator checks when a snapshot looks wrong.
+	_ = stage("scan", func() error {
+		w := 0
+		for i := 0; i < n; i++ {
+			w += corpus.Weight(i)
+		}
+		plan.CorpusWeight = w
+		if reg := cfg.Telemetry; reg != nil {
+			reg.Gauge("corpus_records").Set(int64(n))
+			reg.Gauge("corpus_weight").Set(int64(w))
+		}
+		return nil
+	})
+
+	// Component III: stratify — distributed first when configured,
+	// degrading to in-process if the distributed path fails terminally.
+	// A failed distributed attempt's cost is folded into the fallback's
+	// stats (FailedAttempts/FailedAttemptTime) instead of being dropped,
+	// so the planning-overhead audit stays honest on the degraded path.
+	var st *strata.Stratification
+	if err := stage("stratify", func() error {
+		var err error
+		var failedDur time.Duration
+		degradedReason := ""
+		if cfg.DistStratify != nil {
+			t0 := time.Now()
+			st, err = cfg.DistStratify(corpus, cfg.Stratifier)
+			if err != nil {
+				failedDur = time.Since(t0)
+				degradedReason = err.Error()
+				st = nil
+			}
+		}
+		if st == nil {
+			st, err = strata.Stratify(corpus, cfg.Stratifier)
+			if err != nil {
+				return fmt.Errorf("core: stratifying: %w", err)
+			}
+			if degradedReason != "" {
+				plan.DegradedStratify = true
+				plan.DegradedReason = degradedReason
+				st.Stats.AddFailedAttempt(failedDur)
+			}
+		}
+		plan.Strat = st
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+
 	switch cfg.Strategy {
 	case Stratified:
 		plan.Alpha = 1
@@ -205,39 +268,55 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 		if profile == nil {
 			return nil, fmt.Errorf("core: strategy %v requires a profile function", cfg.Strategy)
 		}
-		models, err := profileCluster(corpus, cl, st, profile, cfg)
-		if err != nil {
+		if err := stage("profile", func() error {
+			models, err := profileCluster(corpus, cl, st, profile, cfg)
+			if err != nil {
+				return err
+			}
+			plan.Models = models
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		plan.Models = models
-		var oplan *opt.Plan
-		if cfg.Normalized {
-			oplan, err = opt.OptimizeNormalized(models, n, alpha)
-		} else {
-			cons := opt.Constraints{}
-			if cfg.MinPartitionFrac > 0 {
-				cons.MinSize = cfg.MinPartitionFrac * float64(n) / float64(p)
+		if err := stage("optimize", func() error {
+			var oplan *opt.Plan
+			var err error
+			if cfg.Normalized {
+				oplan, err = opt.OptimizeNormalized(plan.Models, n, alpha)
+			} else {
+				cons := opt.Constraints{}
+				if cfg.MinPartitionFrac > 0 {
+					cons.MinSize = cfg.MinPartitionFrac * float64(n) / float64(p)
+				}
+				if cfg.MinPartitionRecords > cons.MinSize {
+					cons.MinSize = cfg.MinPartitionRecords
+				}
+				oplan, err = opt.OptimizeWithConstraints(plan.Models, n, alpha, cons)
 			}
-			if cfg.MinPartitionRecords > cons.MinSize {
-				cons.MinSize = cfg.MinPartitionRecords
+			if err != nil {
+				return fmt.Errorf("core: optimizing: %w", err)
 			}
-			oplan, err = opt.OptimizeWithConstraints(models, n, alpha, cons)
+			plan.Optimized = oplan
+			plan.Sizes = oplan.Sizes
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		if err != nil {
-			return nil, fmt.Errorf("core: optimizing: %w", err)
-		}
-		plan.Optimized = oplan
-		plan.Sizes = oplan.Sizes
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
 	}
 
 	// Component V: place.
-	assign, err := partitioner.Partition(cfg.Scheme, st.Members, plan.Sizes)
-	if err != nil {
-		return nil, fmt.Errorf("core: partitioning: %w", err)
+	if err := stage("place", func() error {
+		assign, err := partitioner.Partition(cfg.Scheme, st.Members, plan.Sizes)
+		if err != nil {
+			return fmt.Errorf("core: partitioning: %w", err)
+		}
+		plan.Assign = assign
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	plan.Assign = assign
 	return plan, nil
 }
 

@@ -53,6 +53,7 @@ import (
 	"pareto/internal/pivots"
 	"pareto/internal/sketch"
 	"pareto/internal/strata"
+	"pareto/internal/telemetry"
 )
 
 // Options configures the distributed stratification.
@@ -94,6 +95,34 @@ type Options struct {
 	// DisableRecovery makes any worker failure terminal for the whole
 	// run (the pre-fault-tolerance behavior).
 	DisableRecovery bool
+
+	// Telemetry, when non-nil, records protocol metrics: shipped
+	// payload bytes, whole-shard ship retries, recovery events, barrier
+	// aborts, and barrier wait time. nil disables instrumentation.
+	Telemetry *telemetry.Registry
+}
+
+// distribMetrics bundles the run's pre-resolved metrics. With a nil
+// registry every field is a nil metric whose methods no-op, so call
+// sites stay unconditional (clock reads are still guarded).
+type distribMetrics struct {
+	shipBytes   *telemetry.Counter
+	shipRetries *telemetry.Counter
+	recShards   *telemetry.Counter
+	recRecords  *telemetry.Counter
+	aborts      *telemetry.Counter
+	barrierWait *telemetry.Histogram
+}
+
+func newDistribMetrics(reg *telemetry.Registry) distribMetrics {
+	return distribMetrics{
+		shipBytes:   reg.Counter("distrib_ship_bytes_total"),
+		shipRetries: reg.Counter("distrib_ship_retries_total"),
+		recShards:   reg.Counter("distrib_recovered_shards_total"),
+		recRecords:  reg.Counter("distrib_recovered_records_total"),
+		aborts:      reg.Counter("distrib_barrier_aborts_total"),
+		barrierWait: reg.Histogram("distrib_barrier_wait_ns", telemetry.LatencyBuckets()),
+	}
 }
 
 func (o *Options) normalize() {
@@ -261,6 +290,8 @@ func StratifyDetailed(master *kvstore.Client, workers []*kvstore.Client, corpus 
 	}
 	parties := w + 1 // workers + coordinator
 	report := &Report{WorkerErrs: make([]error, w)}
+	dm := newDistribMetrics(o.Telemetry)
+	var stats strata.StratifyStats
 
 	// Clear this run's control keys before any worker can poll them, so
 	// a stale assignment or abort from an earlier run under the same
@@ -279,11 +310,11 @@ func StratifyDetailed(master *kvstore.Client, workers []*kvstore.Client, corpus 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			report.WorkerErrs[i] = runWorker(workers[i], corpus, hasher, i, w, parties, o, &shardAssigns[i])
+			report.WorkerErrs[i] = runWorker(workers[i], corpus, hasher, i, w, parties, o, dm, &shardAssigns[i])
 		}(i)
 	}
 
-	coordErr := runCoordinator(master, corpus, hasher, n, w, parties, o, report)
+	coordErr := runCoordinator(master, corpus, hasher, n, w, parties, o, dm, &stats, report)
 	wg.Wait()
 	if coordErr != nil {
 		return nil, report, coordErr
@@ -342,14 +373,17 @@ func StratifyDetailed(master *kvstore.Client, workers []*kvstore.Client, corpus 
 		},
 		Sketches:     sketches,
 		WeightTotals: wt,
+		Stats:        stats,
 	}, report, nil
 }
 
 // runCoordinator waits (boundedly) for the workers' sketches, recovers
 // missing shards locally, clusters, and publishes the assignment. On a
 // terminal error it aborts both the barrier and the run so every
-// blocked or polling worker is released promptly.
-func runCoordinator(master *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, n, w, parties int, o Options, report *Report) (err error) {
+// blocked or polling worker is released promptly. stats receives the
+// distributed run's stratification profile: the sketch phase (barrier
+// wait + gather + recovery) and the centralized clustering.
+func runCoordinator(master *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, n, w, parties int, o Options, dm distribMetrics, stats *strata.StratifyStats, report *Report) (err error) {
 	b, berr := kvstore.NewBarrier(master, o.barrierName(), parties)
 	if berr != nil {
 		return berr
@@ -362,14 +396,22 @@ func runCoordinator(master *kvstore.Client, corpus pivots.Corpus, hasher *sketch
 			_ = b.Abort("coordinator failed: " + err.Error())
 		}
 	}()
+	phaseStart := time.Now()
 	var missing []int
-	if berr := b.Await(); berr != nil {
+	if berr := func() error {
+		if dm.barrierWait != nil {
+			waitStart := time.Now()
+			defer func() { dm.barrierWait.Observe(time.Since(waitStart).Nanoseconds()) }()
+		}
+		return b.Await()
+	}(); berr != nil {
 		if o.DisableRecovery {
 			return fmt.Errorf("distrib: coordinator sketch barrier: %w", berr)
 		}
 		// Bounded wait expired (or the barrier itself misbehaved):
 		// release live workers now and take over the missing shards.
 		report.Aborted = true
+		dm.aborts.Inc()
 		if aerr := b.Abort("coordinator recovering missing shards"); aerr != nil {
 			return fmt.Errorf("distrib: aborting sketch barrier: %w (after %v)", aerr, berr)
 		}
@@ -423,6 +465,7 @@ func runCoordinator(master *kvstore.Client, corpus pivots.Corpus, hasher *sketch
 		}
 	}
 	report.RecoveredShards = missing
+	dm.recShards.Add(int64(len(missing)))
 	// Defensive sweep: a worker that arrived at the barrier after a
 	// failed ship leaves holes no marker accounts for.
 	for r, s := range sketches {
@@ -435,9 +478,19 @@ func runCoordinator(master *kvstore.Client, corpus pivots.Corpus, hasher *sketch
 		sketches[r] = hasher.Sketch(corpus.ItemSet(r))
 		report.RecoveredRecords++
 	}
+	dm.recRecords.Add(int64(report.RecoveredRecords))
+	stats.SketchTime = time.Since(phaseStart)
+	clusterStart := time.Now()
 	res, err := strata.Cluster(sketches, o.Cluster)
 	if err != nil {
 		return err
+	}
+	stats.ClusterTime = time.Since(clusterStart)
+	stats.Iterations = res.Iterations
+	stats.Converged = res.Converged
+	stats.Iters = res.IterStats
+	for _, it := range res.IterStats {
+		stats.MovedTotal += it.Moved
 	}
 	enc, err := encodeAssignment(res.Assign)
 	if err != nil {
@@ -452,14 +505,17 @@ func runCoordinator(master *kvstore.Client, corpus pivots.Corpus, hasher *sketch
 // runWorker executes one worker's phases: sketch shard → ship (with
 // whole-shard retry) → completion marker → barrier (advisory) → poll
 // assignment.
-func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i, w, parties int, o Options, shardAssign *[]int) error {
+func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i, w, parties int, o Options, dm distribMetrics, shardAssign *[]int) error {
 	n := corpus.Len()
 	lo := i * n / w
 	hi := (i + 1) * n / w
 
 	var shipErr error
 	for attempt := 0; attempt <= o.ShipRetries; attempt++ {
-		if shipErr = shipShard(c, corpus, hasher, lo, hi, o.sketchKey(i), o.PipelineWidth, o.MaxShipBytes); shipErr == nil {
+		if attempt > 0 {
+			dm.shipRetries.Inc()
+		}
+		if shipErr = shipShard(c, corpus, hasher, lo, hi, o.sketchKey(i), o.PipelineWidth, o.MaxShipBytes, dm.shipBytes); shipErr == nil {
 			break
 		}
 	}
@@ -507,7 +563,7 @@ func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i
 // the per-record path (variadic RPUSH appends values in order), and
 // each attempt starts from scratch, which is what makes the
 // non-idempotent RPUSHes safely retryable as a unit.
-func shipShard(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, lo, hi int, key string, width, maxShip int) error {
+func shipShard(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, lo, hi int, key string, width, maxShip int, shipBytes *telemetry.Counter) error {
 	if _, err := c.Del(key); err != nil {
 		return err
 	}
@@ -547,6 +603,7 @@ func shipShard(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, l
 		if err := p.Send("RPUSH", args...); err != nil {
 			return err
 		}
+		shipBytes.Add(int64(len(arena)))
 		r += n
 	}
 	reps, err := p.Finish()

@@ -63,13 +63,18 @@ func DirtyEnergy(watts float64, tr *Trace, from, dur float64) float64 {
 	var dirty float64
 	end := from + dur
 	cur := from
+	// Pre-trace time has no green supply: the whole draw is dirty. This
+	// mirrors Trace.Energy's clamp so green + dirty always sums to the
+	// total draw, whatever the offset.
+	if cur < 0 {
+		if end <= 0 {
+			return watts * dur
+		}
+		dirty += watts * -cur
+		cur = 0
+	}
 	for cur < end {
 		i := int(cur / tr.StepSeconds)
-		if i < 0 {
-			i = 0
-			cur = 0
-			continue
-		}
 		var green float64
 		var stepEnd float64
 		if i >= len(tr.Power) {

@@ -257,13 +257,17 @@ func (t *Trace) Energy(from, dur float64) float64 {
 	var total float64
 	end := from + dur
 	cur := from
+	// Before the trace there is no green supply: skip straight to t=0
+	// (int truncation toward zero would otherwise misfile a fractional
+	// negative offset into step 0 and credit green for pre-trace time).
+	if cur < 0 {
+		if end <= 0 {
+			return 0
+		}
+		cur = 0
+	}
 	for cur < end {
 		i := int(cur / t.StepSeconds)
-		if i < 0 {
-			i = 0
-			cur = 0
-			continue
-		}
 		if i >= len(t.Power) {
 			// Beyond the trace: hold the last value (the framework
 			// sizes traces to cover the job window, this is a guard).

@@ -21,6 +21,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"pareto/internal/telemetry"
 )
 
 // Action is the fault decision applied to one Read or Write.
@@ -103,6 +105,34 @@ type Plan struct {
 	// connections pass through clean. This simulates a transient
 	// outage that a reconnecting client recovers from.
 	FaultConns int
+
+	// Telemetry, when non-nil, counts wrapped connections, fault
+	// decisions, and injected faults by action — so the observed fault
+	// mix can be checked against the configured rates. nil disables
+	// instrumentation.
+	Telemetry *telemetry.Registry
+}
+
+// faultMetrics is the pre-resolved counter bundle shared by every
+// connection wrapped from one plan-with-registry.
+type faultMetrics struct {
+	conns    *telemetry.Counter
+	ops      *telemetry.Counter
+	injected [5]*telemetry.Counter // indexed by Action; Pass slot unused
+}
+
+func newFaultMetrics(reg *telemetry.Registry) *faultMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &faultMetrics{
+		conns: reg.Counter("faultnet_conns_wrapped_total"),
+		ops:   reg.Counter("faultnet_ops_total"),
+	}
+	for _, a := range []Action{Drop, Stall, Partial, Delay} {
+		m.injected[a] = reg.Counter(`faultnet_injected_total{action="` + a.String() + `"}`)
+	}
+	return m
 }
 
 func (p Plan) stall() time.Duration {
@@ -123,9 +153,14 @@ func (p Plan) latency() time.Duration {
 // connection's PRNG stream; wrapping two connections with the same id
 // gives them identical fault sequences.
 func (p Plan) Wrap(conn net.Conn, id int64) net.Conn {
+	m := newFaultMetrics(p.Telemetry)
+	if m != nil {
+		m.conns.Inc()
+	}
 	return &faultConn{
 		Conn: conn,
 		plan: p,
+		m:    m,
 		rng:  rand.New(rand.NewSource(p.Seed ^ (id+1)*0x5851f42d4c957f2d)),
 	}
 }
@@ -172,6 +207,7 @@ func (l *faultListener) Accept() (net.Conn, error) {
 type faultConn struct {
 	net.Conn
 	plan Plan
+	m    *faultMetrics
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -191,6 +227,10 @@ func (c *faultConn) next(write bool) Action {
 	c.ops++
 	if c.plan.DropAfterOps > 0 && k >= c.plan.DropAfterOps {
 		c.dropped = true
+		if c.m != nil {
+			c.m.ops.Inc()
+			c.m.injected[Drop].Inc()
+		}
 		return Drop
 	}
 	var act Action
@@ -213,7 +253,13 @@ func (c *faultConn) next(write bool) Action {
 	}
 	if act == Drop || (act == Partial && !write) {
 		c.dropped = true
-		return Drop
+		act = Drop
+	}
+	if c.m != nil {
+		c.m.ops.Inc()
+		if act != Pass {
+			c.m.injected[act].Inc()
+		}
 	}
 	return act
 }

@@ -1,0 +1,92 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"pareto/internal/telemetry"
+)
+
+// TestTelemetryCounts: a scripted plan's observed fault mix must land
+// in the registry exactly — one op per decision, one injected count
+// per non-Pass action.
+func TestTelemetryCounts(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := Plan{
+		Script:    []Action{Pass, Delay, Stall, Drop},
+		Stall:     time.Microsecond,
+		Latency:   time.Microsecond,
+		Telemetry: reg,
+	}
+	a, b := net.Pipe()
+	defer b.Close()
+	conn := p.Wrap(a, 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 16)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	msg := []byte("x")
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Write(msg); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := conn.Write(msg); !errors.Is(err, ErrInjected) {
+		t.Fatalf("scripted drop: err = %v", err)
+	}
+	<-done
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"faultnet_conns_wrapped_total":            1,
+		"faultnet_ops_total":                      4,
+		`faultnet_injected_total{action="delay"}`: 1,
+		`faultnet_injected_total{action="stall"}`: 1,
+		`faultnet_injected_total{action="drop"}`:  1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Counters[`faultnet_injected_total{action="partial"}`]; got != 0 {
+		t.Errorf("partial = %d, want 0", got)
+	}
+}
+
+// TestTelemetryDropAfterOps: the hard-kill path must count its drop.
+func TestTelemetryDropAfterOps(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := Plan{DropAfterOps: 1, Telemetry: reg}
+	a, b := net.Pipe()
+	defer b.Close()
+	conn := p.Wrap(a, 0)
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop-after-ops: err = %v", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[`faultnet_injected_total{action="drop"}`]; got != 1 {
+		t.Errorf("drop = %d, want 1", got)
+	}
+	if got := snap.Counters["faultnet_ops_total"]; got != 2 {
+		t.Errorf("ops = %d, want 2", got)
+	}
+}

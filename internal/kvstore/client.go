@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"pareto/internal/telemetry"
 )
 
 // Client is a connection to one store instance. It supports immediate
@@ -35,6 +37,7 @@ type Client struct {
 	dialTimeout time.Duration
 	opts        Options
 	rng         *rand.Rand
+	metrics     *clientMetrics
 
 	// pending counts commands written but not yet read (pipelining).
 	pending int
@@ -68,6 +71,10 @@ type Options struct {
 	// Dialer overrides how (re)connections are established — the
 	// fault-injection hook. nil = net.DialTimeout("tcp", …).
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Telemetry, when non-nil, records op latency, errors, retries,
+	// reconnects, and pipeline depth into the registry. nil keeps the
+	// client uninstrumented with a single-branch fast path.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Options) normalize() {
@@ -112,6 +119,7 @@ func DialOptions(addr string, timeout time.Duration, opts Options) (*Client, err
 		dialTimeout: timeout,
 		opts:        opts,
 		rng:         rand.New(rand.NewSource(opts.Seed)),
+		metrics:     newClientMetrics(opts.Telemetry),
 	}
 	conn, err := c.dial()
 	if err != nil {
@@ -164,6 +172,9 @@ func (c *Client) reconnect() error {
 		return fmt.Errorf("kvstore: reconnect %s: %w", c.addr, err)
 	}
 	c.attach(conn)
+	if c.metrics != nil {
+		c.metrics.reconnects.Inc()
+	}
 	return nil
 }
 
@@ -243,6 +254,21 @@ func (c *Client) exchange(cmd string, args [][]byte) (Reply, error) {
 func (c *Client) Do(cmd string, args ...[]byte) (Reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if m := c.metrics; m != nil {
+		start := time.Now()
+		rep, err := c.doLocked(cmd, args)
+		m.ops.Inc()
+		m.opLatency.Observe(time.Since(start).Nanoseconds())
+		if err != nil {
+			m.opErrors.Inc()
+		}
+		return rep, err
+	}
+	return c.doLocked(cmd, args)
+}
+
+// doLocked is Do's body; the caller holds c.mu.
+func (c *Client) doLocked(cmd string, args [][]byte) (Reply, error) {
 	if c.pending > 0 {
 		return c.exchange(cmd, args)
 	}
@@ -254,6 +280,9 @@ func (c *Client) Do(cmd string, args ...[]byte) (Reply, error) {
 		return Reply{}, fmt.Errorf("kvstore: %s failed (%v): %w", cmd, err, ErrNotRetryable)
 	}
 	for attempt := 1; attempt <= c.opts.MaxRetries; attempt++ {
+		if c.metrics != nil {
+			c.metrics.retries.Inc()
+		}
 		c.backoff(attempt)
 		rep, err = c.exchange(cmd, args)
 		if err == nil {
@@ -302,6 +331,9 @@ func (c *Client) Flush() ([]Reply, error) {
 func (c *Client) FlushInto(dst []Reply) ([]Reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.metrics != nil && c.pending > 0 {
+		c.metrics.pipelineDepth.Observe(int64(c.pending))
+	}
 	c.armDeadline()
 	if err := c.w.Flush(); err != nil {
 		c.markBroken()

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,8 @@ import (
 	"os"
 	"strings"
 	"sync"
+
+	"pareto/internal/telemetry"
 )
 
 // Server exposes an Engine over TCP using the RESP protocol, one
@@ -25,6 +28,9 @@ type Server struct {
 
 	snapshotPath string
 	wrapConn     func(net.Conn) net.Conn
+
+	telemetry *telemetry.Registry
+	metrics   *serverMetrics
 }
 
 // NewServer wraps an engine; a nil engine gets a fresh one.
@@ -63,9 +69,39 @@ func (s *Server) SetConnWrapper(wrap func(net.Conn) net.Conn) {
 	s.mu.Unlock()
 }
 
+// SetTelemetry attaches a metrics registry: per-command counts and
+// latency, wire bytes in/out, connection churn, and parse errors are
+// recorded into it, and the INFO command renders its snapshot. A nil
+// registry (or never calling this) keeps instrumentation off with a
+// single-branch fast path. Must be called before Listen.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	s.telemetry = reg
+	s.metrics = newServerMetrics(reg)
+	s.mu.Unlock()
+}
+
+// infoReply renders the telemetry snapshot as a JSON bulk string.
+// Per-connection counters land in the registry at batch boundaries, so
+// INFO reflects activity through each connection's last flushed batch.
+func (s *Server) infoReply() Reply {
+	var buf bytes.Buffer
+	if err := s.telemetry.Snapshot().WriteJSON(&buf); err != nil {
+		return errReply("ERR " + err.Error())
+	}
+	return bulkReply(buf.Bytes())
+}
+
 // handleServerCommand intercepts commands that need server context
-// (persistence); ok=false means the engine should handle the command.
+// (persistence, telemetry); ok=false means the engine should handle
+// the command.
 func (s *Server) handleServerCommand(cmd string) (Reply, bool) {
+	if len(cmd) != 4 {
+		return Reply{}, false
+	}
+	if strings.EqualFold(cmd, "INFO") {
+		return s.infoReply(), true
+	}
 	if !strings.EqualFold(cmd, "SAVE") {
 		return Reply{}, false
 	}
@@ -132,8 +168,25 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	r := bufio.NewReaderSize(conn, 64<<10)
-	w := bufio.NewWriterSize(conn, 64<<10)
+	// Instrumented connections read/write through a byte-counting
+	// wrapper and keep goroutine-local command counters in stats,
+	// flushed to the shared registry at batch boundaries (below) and on
+	// teardown. stats == nil is the telemetry-off fast path.
+	var stats *connStats
+	ioConn := conn
+	if m := s.metrics; m != nil {
+		cc := &countingConn{Conn: conn}
+		ioConn = cc
+		stats = &connStats{m: m, cc: cc}
+		m.connsTotal.Inc()
+		m.connsActive.Add(1)
+		defer func() {
+			stats.flush()
+			m.connsActive.Add(-1)
+		}()
+	}
+	r := bufio.NewReaderSize(ioConn, 64<<10)
+	w := bufio.NewWriterSize(ioConn, 64<<10)
 	// One command arena per connection: arguments parsed by
 	// ReadCommandInto alias cb and are recycled every iteration. The
 	// engine copies anything it stores at its boundary (see engine.go),
@@ -146,14 +199,23 @@ func (s *Server) serveConn(conn net.Conn) {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				return
 			}
+			if stats != nil {
+				stats.m.parseErrors.Inc()
+			}
 			// Malformed input: answer with an error if possible, drop.
 			_ = WriteReply(w, errReply("ERR "+err.Error()))
 			_ = w.Flush()
 			return
 		}
+		if stats != nil {
+			stats.begin()
+		}
 		reply, handled := s.handleServerCommand(cmd)
 		if !handled {
 			reply = s.engine.Do(cmd, args...)
+		}
+		if stats != nil {
+			stats.observe(cmdClass(cmd), reply.Type == ErrorReply)
 		}
 		if err := WriteReply(w, reply); err != nil {
 			return
@@ -164,6 +226,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if r.Buffered() == 0 {
 			if err := w.Flush(); err != nil {
 				return
+			}
+			if stats != nil {
+				stats.flush()
 			}
 		}
 	}

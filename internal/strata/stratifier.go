@@ -44,6 +44,22 @@ type StratifyStats struct {
 	Iters []IterStat
 	// MovedTotal sums moved-record counts over all rounds.
 	MovedTotal int
+
+	// FailedAttempts counts earlier stratification attempts whose work
+	// preceded this one — e.g. a distributed run that failed and
+	// degraded to the local fallback. Their cost is part of planning
+	// overhead and must not be dropped from the audit trail.
+	FailedAttempts int
+	// FailedAttemptTime is the wall-clock spent in those failed
+	// attempts before this stratification started.
+	FailedAttemptTime time.Duration
+}
+
+// AddFailedAttempt folds one failed prior attempt (its wall-clock
+// cost) into the stats of the stratification that finally succeeded.
+func (s *StratifyStats) AddFailedAttempt(d time.Duration) {
+	s.FailedAttempts++
+	s.FailedAttemptTime += d
 }
 
 // Stratification is the output of the stratifier: the clustering plus

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{0, 5, 10} {
+		h.Observe(v) // bucket 0 (≤10)
+	}
+	h.Observe(11)   // bucket 1
+	h.Observe(100)  // bucket 1
+	h.Observe(999)  // bucket 2
+	h.Observe(1001) // overflow
+	s := h.Snapshot()
+	want := []int64{3, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 0+5+10+11+100+999+1001 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	h := newHistogram([]int64{10, 100})
+	h.ObserveN(7, 5)
+	h.ObserveN(50, 0)  // no-op
+	h.ObserveN(50, -3) // no-op
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 35 || s.Counts[0] != 5 {
+		t.Errorf("after ObserveN: %+v", s)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]int64{10, 20, 30, 40})
+	// 100 uniform values in (0, 40]: quantiles should land near q*40.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe((v-1)%40 + 1)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 20, 5},
+		{0.9, 36, 5},
+		{0.99, 40, 5},
+	} {
+		got := s.Quantile(tc.q)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.2f = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+	// Out-of-range q clamps.
+	if got := s.Quantile(-1); got < 0 {
+		t.Errorf("q(-1) = %v", got)
+	}
+	if got := s.Quantile(2); got > 40 {
+		t.Errorf("q(2) = %v", got)
+	}
+	// Empty histogram.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	// Overflow-only histogram reports the last bound.
+	h2 := newHistogram([]int64{10})
+	h2.Observe(1 << 40)
+	if got := h2.Snapshot().Quantile(0.5); got != 10 {
+		t.Errorf("overflow quantile = %v, want 10", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := newHistogram([]int64{10, 100})
+	b := newHistogram([]int64{10, 100})
+	a.Observe(5)
+	b.Observe(50)
+	b.Observe(500)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if sa.Count != 3 || sa.Sum != 555 {
+		t.Errorf("merged: %+v", sa)
+	}
+	if sa.Counts[0] != 1 || sa.Counts[1] != 1 || sa.Counts[2] != 1 {
+		t.Errorf("merged counts: %v", sa.Counts)
+	}
+	// Merging into an empty snapshot adopts the other's bounds.
+	var empty HistogramSnapshot
+	if err := empty.Merge(sb); err != nil {
+		t.Fatalf("merge into empty: %v", err)
+	}
+	if empty.Count != 2 {
+		t.Errorf("empty-merge count = %d", empty.Count)
+	}
+	// Mismatched bounds must error.
+	c := newHistogram([]int64{10, 99}).Snapshot()
+	cc := c
+	if err := cc.Merge(sb); err == nil {
+		t.Error("merge with mismatched bounds succeeded")
+	}
+	d := newHistogram([]int64{10}).Snapshot()
+	if err := d.Merge(sb); err == nil {
+		t.Error("merge with mismatched bucket count succeeded")
+	}
+	// A merged-from snapshot must not alias the merged-into counts.
+	before := sb.Counts[1]
+	sa.Counts[1] += 100
+	if sb.Counts[1] != before {
+		t.Error("merge aliased counts between snapshots")
+	}
+}
+
+func TestHistogramConcurrentObservers(t *testing.T) {
+	h := newHistogram(LatencyBuckets())
+	const workers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Errorf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestBucketPresetsAscending(t *testing.T) {
+	for name, bounds := range map[string][]int64{
+		"latency": LatencyBuckets(),
+		"size":    SizeBuckets(),
+		"depth":   DepthBuckets(),
+	} {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Errorf("%s bounds not ascending at %d: %v", name, i, bounds)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics     Prometheus text exposition format
+//	/debug/vars  indented JSON snapshot (expvar-style)
+//
+// Both render a fresh snapshot per request; a nil registry serves
+// empty snapshots, so the endpoints are always safe to mount.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WriteProm(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	return mux
+}
+
+// HTTPServer is a running metrics endpoint; Close shuts it down.
+type HTTPServer struct {
+	// Addr is the bound address (useful with ":0" listeners).
+	Addr string
+	srv  *http.Server
+}
+
+// ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves the
+// registry's HTTP endpoints in a background goroutine, returning the
+// bound server. Errors if the registry is nil — an explicit metrics
+// address with telemetry disabled is a misconfiguration.
+func (r *Registry) ListenAndServe(addr string) (*HTTPServer, error) {
+	if r == nil {
+		return nil, errors.New("telemetry: ListenAndServe on nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &HTTPServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close stops the HTTP server and closes its listener.
+func (h *HTTPServer) Close() error {
+	if h == nil {
+		return nil
+	}
+	return h.srv.Close()
+}

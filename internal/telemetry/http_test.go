@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(4)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	prom, ctype := get("/metrics")
+	if !strings.Contains(prom, "hits_total 4") {
+		t.Errorf("/metrics missing counter:\n%s", prom)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	vars, ctype := get("/debug/vars")
+	if !strings.Contains(vars, `"hits_total": 4`) {
+		t.Errorf("/debug/vars missing counter:\n%s", vars)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/debug/vars content type %q", ctype)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up").Inc()
+	hs, err := r.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	resp, err := http.Get("http://" + hs.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up 1") {
+		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+	if err := hs.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+
+	var nilReg *Registry
+	if _, err := nilReg.ListenAndServe("127.0.0.1:0"); err == nil {
+		t.Error("nil registry ListenAndServe succeeded")
+	}
+}

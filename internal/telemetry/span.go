@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span measures one stage of a pipeline. Spans nest: a parent span's
+// snapshot carries its children in completion order, so a plan run
+// renders as plan → {scan, stratify, profile, optimize, place}. Spans
+// are cheap (two clock reads and one small allocation each) and are
+// meant for stage-granularity timing, not per-operation tracing — use
+// histograms for operations.
+//
+// Concurrency: children may be created and ended from different
+// goroutines (e.g. one span per cluster node). End is idempotent. A
+// child ended after its parent already ended is promoted to a root
+// span rather than silently dropped.
+//
+// All methods are safe on a nil *Span (the nil-registry fast path):
+// Child returns nil and End does nothing.
+type Span struct {
+	reg    *Registry
+	parent *Span
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	children []SpanSnapshot
+	ended    bool
+}
+
+// SpanSnapshot is a completed span: its duration, its offset from the
+// parent's start (0 for roots), and its completed children.
+type SpanSnapshot struct {
+	Name          string         `json:"name"`
+	StartOffsetMs float64        `json:"start_offset_ms"`
+	DurationMs    float64        `json:"duration_ms"`
+	Children      []SpanSnapshot `json:"children,omitempty"`
+}
+
+// StartSpan opens a root span. Returns nil (a valid no-op span) on a
+// nil registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, name: name, start: time.Now()}
+}
+
+// Child opens a nested span under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{reg: s.reg, parent: s, name: name, start: time.Now()}
+}
+
+// End completes the span, attaching its snapshot to the parent (or the
+// registry's root-span log). Idempotent; no-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	snap := SpanSnapshot{
+		Name:       s.name,
+		DurationMs: float64(now.Sub(s.start)) / float64(time.Millisecond),
+		Children:   s.children,
+	}
+	s.children = nil
+	s.mu.Unlock()
+	if s.parent != nil {
+		snap.StartOffsetMs = float64(s.start.Sub(s.parent.start)) / float64(time.Millisecond)
+		if s.parent.addChild(snap) {
+			return
+		}
+		// Parent already ended: promote, keeping the offset as a hint.
+	}
+	s.reg.recordSpan(snap)
+}
+
+// addChild attaches a completed child; reports false when s has
+// already ended (the child is then promoted to a root).
+func (s *Span) addChild(snap SpanSnapshot) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return false
+	}
+	s.children = append(s.children, snap)
+	return true
+}
+
+// Find returns the first span snapshot with the given name in a
+// depth-first walk of the tree rooted at s, or nil.
+func (s *SpanSnapshot) Find(name string) *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for i := range s.Children {
+		if found := s.Children[i].Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}

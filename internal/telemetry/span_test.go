@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("plan")
+	for _, stage := range []string{"scan", "stratify", "profile"} {
+		c := root.Child(stage)
+		time.Sleep(time.Millisecond)
+		c.End()
+	}
+	root.End()
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("root spans = %d, want 1", len(snap.Spans))
+	}
+	got := snap.Spans[0]
+	if got.Name != "plan" || len(got.Children) != 3 {
+		t.Fatalf("root span: %+v", got)
+	}
+	var prevOffset float64 = -1
+	for i, want := range []string{"scan", "stratify", "profile"} {
+		c := got.Children[i]
+		if c.Name != want {
+			t.Errorf("child %d = %q, want %q", i, c.Name, want)
+		}
+		if c.DurationMs <= 0 {
+			t.Errorf("child %q duration = %v, want > 0", c.Name, c.DurationMs)
+		}
+		if c.StartOffsetMs <= prevOffset {
+			t.Errorf("child %q offset %v not after previous %v", c.Name, c.StartOffsetMs, prevOffset)
+		}
+		prevOffset = c.StartOffsetMs
+	}
+	if got.DurationMs < got.Children[2].StartOffsetMs+got.Children[2].DurationMs {
+		t.Errorf("root duration %v shorter than its children", got.DurationMs)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	r := NewRegistry()
+	s := r.StartSpan("x")
+	s.End()
+	s.End()
+	if n := len(r.Snapshot().Spans); n != 1 {
+		t.Errorf("double End recorded %d spans", n)
+	}
+}
+
+// TestSpanOrphanPromotion: a child ended after its parent must surface
+// as a root span, not vanish.
+func TestSpanOrphanPromotion(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("parent")
+	child := root.Child("late")
+	root.End()
+	child.End()
+	snap := r.Snapshot()
+	if len(snap.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2 (parent + promoted orphan)", len(snap.Spans))
+	}
+	if snap.FindSpan("late") == nil {
+		t.Error("orphan child not found in snapshot")
+	}
+}
+
+// TestSpanConcurrentChildren: per-node spans end from worker
+// goroutines concurrently.
+func TestSpanConcurrentChildren(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("run")
+	var wg sync.WaitGroup
+	const nodes = 16
+	for i := 0; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.Child(fmt.Sprintf("node%02d", i))
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 || len(snap.Spans[0].Children) != nodes {
+		t.Fatalf("spans: %d roots, %d children", len(snap.Spans), len(snap.Spans[0].Children))
+	}
+}
+
+// TestSpanLogBound: the root-span log must stay bounded and count
+// what it dropped.
+func TestSpanLogBound(t *testing.T) {
+	r := NewRegistry()
+	total := maxRootSpans + 10
+	for i := 0; i < total; i++ {
+		r.StartSpan(fmt.Sprintf("s%d", i)).End()
+	}
+	snap := r.Snapshot()
+	if len(snap.Spans) != maxRootSpans {
+		t.Errorf("span log = %d, want %d", len(snap.Spans), maxRootSpans)
+	}
+	if snap.SpansDropped != 10 {
+		t.Errorf("dropped = %d, want 10", snap.SpansDropped)
+	}
+	// Oldest dropped, newest kept.
+	if snap.Spans[len(snap.Spans)-1].Name != fmt.Sprintf("s%d", total-1) {
+		t.Errorf("newest span = %q", snap.Spans[len(snap.Spans)-1].Name)
+	}
+}
+
+func TestFindSpan(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("a")
+	b := root.Child("b")
+	b.Child("c").End()
+	b.End()
+	root.End()
+	snap := r.Snapshot()
+	if snap.FindSpan("c") == nil {
+		t.Error("nested span c not found")
+	}
+	if snap.FindSpan("zzz") != nil {
+		t.Error("found a span that does not exist")
+	}
+}
