@@ -321,6 +321,33 @@ func (c *Cluster) recordRun(res *Result) {
 // returned models are ready for the Pareto modeler, with dirty rates
 // taken over [offset, offset+window) of each node's trace.
 func (c *Cluster) ProfileAll(sizes []int, runSample func(size int) (float64, error), offset, window float64) ([]opt.NodeModel, error) {
+	return c.ProfileAllWithRates(sizes, runSample, c.DirtyRates(offset, window))
+}
+
+// DirtyRates computes every node's dirty-rate constant k_i (paper
+// §III-B) over [offset, offset+window) of its trace. Split out of
+// ProfileAll so planners can overlap the trace integration with sample
+// drawing and profiling — the two touch disjoint data.
+func (c *Cluster) DirtyRates(offset, window float64) []float64 {
+	rates := make([]float64, len(c.Nodes))
+	var wg sync.WaitGroup
+	wg.Add(len(c.Nodes))
+	for i := range c.Nodes {
+		go func(i int) {
+			defer wg.Done()
+			rates[i] = energy.DirtyRate(c.Nodes[i].Power.Watts(), c.Nodes[i].Trace, offset, window)
+		}(i)
+	}
+	wg.Wait()
+	return rates
+}
+
+// ProfileAllWithRates is ProfileAll with precomputed dirty rates
+// (typically from a DirtyRates call overlapped with sample profiling).
+func (c *Cluster) ProfileAllWithRates(sizes []int, runSample func(size int) (float64, error), rates []float64) ([]opt.NodeModel, error) {
+	if len(rates) != len(c.Nodes) {
+		return nil, fmt.Errorf("cluster: %d dirty rates for %d nodes", len(rates), len(c.Nodes))
+	}
 	models := make([]opt.NodeModel, len(c.Nodes))
 	errs := make([]error, len(c.Nodes))
 	var wg sync.WaitGroup
@@ -339,10 +366,7 @@ func (c *Cluster) ProfileAll(sizes []int, runSample func(size int) (float64, err
 				errs[i] = err
 				return
 			}
-			models[i] = opt.NodeModel{
-				Time:      fit,
-				DirtyRate: energy.DirtyRate(c.Nodes[i].Power.Watts(), c.Nodes[i].Trace, offset, window),
-			}
+			models[i] = opt.NodeModel{Time: fit, DirtyRate: rates[i]}
 		}(i)
 	}
 	wg.Wait()

@@ -16,10 +16,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pareto/internal/cluster"
 	"pareto/internal/opt"
+	"pareto/internal/parallel"
 	"pareto/internal/partitioner"
 	"pareto/internal/pivots"
 	"pareto/internal/sampling"
@@ -113,13 +115,29 @@ type Config struct {
 	// corpus gauges into the registry. Stage timings are collected on
 	// the Plan regardless (they are one clock pair per stage).
 	Telemetry *telemetry.Registry
+	// Workers bounds the goroutines the planner's parallel stages use
+	// (corpus scan, sample drawing, and — when ProfileParallel is set —
+	// profile evaluation). ≤ 0 means GOMAXPROCS. Plans are bit-identical
+	// at every value: parallel stages are chunked and index-addressed,
+	// never order-sensitive.
+	Workers int
+	// ProfileParallel opts the user's ProfileFunc into concurrent
+	// evaluation across sample sizes. Off by default because BuildPlan
+	// cannot know whether an arbitrary ProfileFunc is thread-safe; set
+	// it only when the function may be called from multiple goroutines
+	// at once. Sample *drawing* is always parallel — it touches only
+	// planner-owned state.
+	ProfileParallel bool
 }
 
 // StageTiming is one pipeline stage's wall-clock duration, collected
-// by BuildPlan and surfaced through the PlanSummary.
+// by BuildPlan and surfaced through the PlanSummary. ParallelMs, when
+// nonzero, is the summed worker busy time inside the stage's parallel
+// sections; ParallelMs ÷ Ms approximates the stage's achieved speedup.
 type StageTiming struct {
-	Name string  `json:"name"`
-	Ms   float64 `json:"ms"`
+	Name       string  `json:"name"`
+	Ms         float64 `json:"ms"`
+	ParallelMs float64 `json:"parallel_ms,omitempty"`
 }
 
 // ProfileFunc runs the actual analytics algorithm on a representative
@@ -183,37 +201,61 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 	if cfg.Stratifier.Cluster.L == 0 {
 		cfg.Stratifier.Cluster.L = 3
 	}
+	// One knob bounds the whole planner: unless the stratifier was given
+	// its own worker count, it inherits Config.Workers (both treat 0 as
+	// GOMAXPROCS, and stratification is worker-count independent anyway).
+	if cfg.Stratifier.Cluster.Workers == 0 {
+		cfg.Stratifier.Cluster.Workers = cfg.Workers
+	}
 
 	plan := &Plan{Strategy: cfg.Strategy, Scheme: cfg.Scheme}
 	root := cfg.Telemetry.StartSpan("plan")
 	defer root.End()
+	if reg := cfg.Telemetry; reg != nil {
+		reg.Gauge("plan_workers").Set(int64(parallel.Workers(n, cfg.Workers)))
+	}
 	// stage wraps one pipeline stage: a child span (nil-safe when
 	// telemetry is off) plus a wall-clock timing recorded on the plan.
-	stage := func(name string, fn func() error) error {
+	// Stages report the summed busy time of their parallel sections (0
+	// for sequential stages), surfaced as StageTiming.ParallelMs and the
+	// plan_stage_parallel_ms gauge so an operator can compare busy time
+	// against span wall time for achieved speedup.
+	stage := func(name string, fn func() (time.Duration, error)) error {
 		sp := root.Child(name)
 		t0 := time.Now()
-		err := fn()
-		plan.Stages = append(plan.Stages, StageTiming{
-			Name: name, Ms: float64(time.Since(t0).Nanoseconds()) / 1e6,
-		})
+		busy, err := fn()
+		st := StageTiming{Name: name, Ms: float64(time.Since(t0).Nanoseconds()) / 1e6}
+		if busy > 0 {
+			st.ParallelMs = float64(busy.Nanoseconds()) / 1e6
+			if reg := cfg.Telemetry; reg != nil {
+				reg.FloatGauge(`plan_stage_parallel_ms{stage="` + name + `"}`).Add(st.ParallelMs)
+			}
+		}
+		plan.Stages = append(plan.Stages, st)
 		sp.End()
 		return err
 	}
 
 	// Scan: one pass over the corpus for its total weight — the
 	// denominator for stratified weighting and the first thing an
-	// operator checks when a snapshot looks wrong.
-	_ = stage("scan", func() error {
-		w := 0
-		for i := 0; i < n; i++ {
-			w += corpus.Weight(i)
-		}
-		plan.CorpusWeight = w
+	// operator checks when a snapshot looks wrong. Chunked in parallel;
+	// the integer sum is commutative, so the result is exact at any
+	// worker count.
+	_ = stage("scan", func() (time.Duration, error) {
+		var w atomic.Int64
+		busy := parallel.For(n, cfg.Workers, func(lo, hi int) {
+			sum := 0
+			for i := lo; i < hi; i++ {
+				sum += corpus.Weight(i)
+			}
+			w.Add(int64(sum))
+		})
+		plan.CorpusWeight = int(w.Load())
 		if reg := cfg.Telemetry; reg != nil {
 			reg.Gauge("corpus_records").Set(int64(n))
-			reg.Gauge("corpus_weight").Set(int64(w))
+			reg.Gauge("corpus_weight").Set(w.Load())
 		}
-		return nil
+		return busy, nil
 	})
 
 	// Component III: stratify — distributed first when configured,
@@ -222,7 +264,7 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 	// stats (FailedAttempts/FailedAttemptTime) instead of being dropped,
 	// so the planning-overhead audit stays honest on the degraded path.
 	var st *strata.Stratification
-	if err := stage("stratify", func() error {
+	if err := stage("stratify", func() (time.Duration, error) {
 		var err error
 		var failedDur time.Duration
 		degradedReason := ""
@@ -238,7 +280,7 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 		if st == nil {
 			st, err = strata.Stratify(corpus, cfg.Stratifier)
 			if err != nil {
-				return fmt.Errorf("core: stratifying: %w", err)
+				return 0, fmt.Errorf("core: stratifying: %w", err)
 			}
 			if degradedReason != "" {
 				plan.DegradedStratify = true
@@ -247,7 +289,7 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 			}
 		}
 		plan.Strat = st
-		return nil
+		return 0, nil
 	}); err != nil {
 		return nil, err
 	}
@@ -268,17 +310,17 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 		if profile == nil {
 			return nil, fmt.Errorf("core: strategy %v requires a profile function", cfg.Strategy)
 		}
-		if err := stage("profile", func() error {
-			models, err := profileCluster(corpus, cl, st, profile, cfg)
+		if err := stage("profile", func() (time.Duration, error) {
+			models, busy, err := profileCluster(corpus, cl, st, profile, cfg)
 			if err != nil {
-				return err
+				return busy, err
 			}
 			plan.Models = models
-			return nil
+			return busy, nil
 		}); err != nil {
 			return nil, err
 		}
-		if err := stage("optimize", func() error {
+		if err := stage("optimize", func() (time.Duration, error) {
 			var oplan *opt.Plan
 			var err error
 			if cfg.Normalized {
@@ -294,11 +336,11 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 				oplan, err = opt.OptimizeWithConstraints(plan.Models, n, alpha, cons)
 			}
 			if err != nil {
-				return fmt.Errorf("core: optimizing: %w", err)
+				return 0, fmt.Errorf("core: optimizing: %w", err)
 			}
 			plan.Optimized = oplan
 			plan.Sizes = oplan.Sizes
-			return nil
+			return 0, nil
 		}); err != nil {
 			return nil, err
 		}
@@ -307,13 +349,13 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 	}
 
 	// Component V: place.
-	if err := stage("place", func() error {
+	if err := stage("place", func() (time.Duration, error) {
 		assign, err := partitioner.Partition(cfg.Scheme, st.Members, plan.Sizes)
 		if err != nil {
-			return fmt.Errorf("core: partitioning: %w", err)
+			return 0, fmt.Errorf("core: partitioning: %w", err)
 		}
 		plan.Assign = assign
-		return nil
+		return 0, nil
 	}); err != nil {
 		return nil, err
 	}
@@ -322,8 +364,17 @@ func BuildPlan(corpus pivots.Corpus, cl *cluster.Cluster, profile ProfileFunc, c
 
 // profileCluster runs components I and II: representative progressive
 // samples through the real workload on every node, least-squares time
-// fits, and trace-derived dirty rates.
-func profileCluster(corpus pivots.Corpus, cl *cluster.Cluster, st *strata.Stratification, profile ProfileFunc, cfg Config) ([]opt.NodeModel, error) {
+// fits, and trace-derived dirty rates. It also returns the summed busy
+// time of its parallel sections for the stage's ParallelMs audit.
+//
+// Concurrency layout: the energy-trace integration (dirty rates, which
+// touches only the cluster's traces) overlaps with the sample work on
+// its own goroutine; sample drawing fans out across sizes (each size's
+// RNG is seeded independently as SampleSeed+size, so draws are
+// index-addressed and bit-identical at any worker count); profile
+// evaluation fans out only when Config.ProfileParallel declares the
+// user's ProfileFunc thread-safe.
+func profileCluster(corpus pivots.Corpus, cl *cluster.Cluster, st *strata.Stratification, profile ProfileFunc, cfg Config) ([]opt.NodeModel, time.Duration, error) {
 	minFrac, maxFrac, steps := cfg.ProfileMinFrac, cfg.ProfileMaxFrac, cfg.ProfileSteps
 	if minFrac == 0 {
 		minFrac = sampling.DefaultMinFrac
@@ -336,39 +387,69 @@ func profileCluster(corpus pivots.Corpus, cl *cluster.Cluster, st *strata.Strati
 	}
 	sizes, err := sampling.ScheduleWithFloor(corpus.Len(), minFrac, maxFrac, steps, cfg.ProfileMinRecords)
 	if err != nil {
-		return nil, fmt.Errorf("core: profiling schedule: %w", err)
-	}
-	// Draw one representative sample per scheduled size; every node
-	// profiles on the same sample, so differences are pure hardware.
-	samples := make(map[int][]int, len(sizes))
-	costs := make(map[int]float64, len(sizes))
-	for _, s := range sizes {
-		idx, err := strata.StratifiedSample(st.Members, s, cfg.SampleSeed+int64(s))
-		if err != nil {
-			return nil, fmt.Errorf("core: sampling %d records: %w", s, err)
-		}
-		cost, err := profile(idx)
-		if err != nil {
-			return nil, fmt.Errorf("core: profiling sample of %d: %w", s, err)
-		}
-		samples[s] = idx
-		costs[s] = cost
+		return nil, 0, fmt.Errorf("core: profiling schedule: %w", err)
 	}
 	window := cfg.Window
 	if window <= 0 {
 		window = 3600
 	}
-	models, err := cl.ProfileAll(sizes, func(sz int) (float64, error) {
-		c, ok := costs[sz]
+	// Kick off the trace integration now; it is joined right before the
+	// model fit needs the rates. The channel is buffered so the sender
+	// never leaks even if an error path returns early.
+	ratesCh := make(chan []float64, 1)
+	go func() { ratesCh <- cl.DirtyRates(cfg.TraceOffset, window) }()
+
+	// Draw one representative sample per scheduled size; every node
+	// profiles on the same sample, so differences are pure hardware.
+	idxs := make([][]int, len(sizes))
+	costs := make([]float64, len(sizes))
+	busy, err := parallel.ForErr(len(sizes), cfg.Workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			s := sizes[i]
+			idx, err := strata.StratifiedSample(st.Members, s, cfg.SampleSeed+int64(s))
+			if err != nil {
+				return fmt.Errorf("core: sampling %d records: %w", s, err)
+			}
+			idxs[i] = idx
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, busy, err
+	}
+	profWorkers := 1
+	if cfg.ProfileParallel {
+		profWorkers = cfg.Workers
+	}
+	profBusy, err := parallel.ForErr(len(sizes), profWorkers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			cost, err := profile(idxs[i])
+			if err != nil {
+				return fmt.Errorf("core: profiling sample of %d: %w", sizes[i], err)
+			}
+			costs[i] = cost
+		}
+		return nil
+	})
+	busy += profBusy
+	if err != nil {
+		return nil, busy, err
+	}
+	costBySize := make(map[int]float64, len(sizes))
+	for i, s := range sizes {
+		costBySize[s] = costs[i]
+	}
+	models, err := cl.ProfileAllWithRates(sizes, func(sz int) (float64, error) {
+		c, ok := costBySize[sz]
 		if !ok {
 			return 0, fmt.Errorf("core: no cached cost for sample size %d", sz)
 		}
 		return c, nil
-	}, cfg.TraceOffset, window)
+	}, <-ratesCh)
 	if err != nil {
-		return nil, fmt.Errorf("core: fitting node models: %w", err)
+		return nil, busy, fmt.Errorf("core: fitting node models: %w", err)
 	}
-	return models, nil
+	return models, busy, nil
 }
 
 // RunPartition is the executable form of one node's share: the record

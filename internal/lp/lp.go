@@ -121,39 +121,95 @@ type Solution struct {
 	X []float64
 	// Objective is the optimal objective value.
 	Objective float64
+	// Iterations is the number of simplex pivots performed across both
+	// phases — the planner's audit of how hard the sizing LP worked.
+	Iterations int
 }
 
 // eps is the pivoting and feasibility tolerance.
 const eps = 1e-9
 
+// refreshEvery bounds how many incremental reduced-cost updates may
+// run between full recomputations. Incremental maintenance turns each
+// iteration's O(m·n) reduced-cost rebuild (which also allocated) into
+// an O(n) row update; the periodic rebuild keeps float drift from
+// accumulating across many pivots, and optimality is never declared on
+// drifted data (see optimize).
+const refreshEvery = 64
+
 // Solve runs two-phase primal simplex and returns an optimal basic
 // solution, ErrInfeasible, or ErrUnbounded.
+//
+// The tableau is a flat row-major []float64 carved, together with every
+// other piece of solver state, out of two slab allocations sized in a
+// pre-pass — Solve's allocation count is constant in the iteration
+// count and near-constant in problem size.
 func (p *Problem) Solve() (*Solution, error) {
-	// Map problem variables to solver columns, splitting free vars.
-	// Column layout: for each var i, posCol[i]; for free vars also
-	// negCol[i] (coefficient −1×).
-	posCol := make([]int, p.numVars)
-	negCol := make([]int, p.numVars)
-	ncols := 0
+	m := len(p.cons)
+
+	// Pre-pass: count solver columns without allocating. Column layout:
+	// for each var i, posCol[i]; for free vars also negCol[i]
+	// (coefficient −1×); then slack/surplus columns; then artificials.
+	nFree := 0
+	for _, f := range p.free {
+		if f {
+			nFree++
+		}
+	}
+	nSlack, nArt := 0, 0
+	for _, c := range p.cons {
+		op := c.op
+		if c.rhs < 0 { // the row will be sign-flipped; ≤ ↔ ≥
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		if op == LE || op == GE {
+			nSlack++
+		}
+		if op == GE || op == EQ {
+			nArt++
+		}
+	}
+	ncols := p.numVars + nFree + nSlack
+	total := ncols + nArt
+
+	// Slab 1: all integer state. Slab 2: all float state.
+	ints := make([]int, 2*p.numVars+2*m+m)
+	posCol, ints := ints[:p.numVars], ints[p.numVars:]
+	negCol, ints := ints[:p.numVars], ints[p.numVars:]
+	slackCol, ints := ints[:m], ints[m:]
+	artCol, ints := ints[:m], ints[m:]
+	basis := ints[:m]
+
+	floats := make([]float64, m*total+m+total+total+total)
+	a, floats := floats[:m*total], floats[m*total:]
+	bvec, floats := floats[:m], floats[m:]
+	red, floats := floats[:total], floats[total:]
+	phaseObj, floats := floats[:total], floats[total:]
+	xcols := floats[:total]
+
+	col := 0
 	for i := 0; i < p.numVars; i++ {
-		posCol[i] = ncols
-		ncols++
+		posCol[i] = col
+		col++
 		if p.free[i] {
-			negCol[i] = ncols
-			ncols++
+			negCol[i] = col
+			col++
 		} else {
 			negCol[i] = -1
 		}
 	}
 
-	m := len(p.cons)
-	// Build rows with nonnegative RHS; track per-row op after possible
-	// sign flip (≤ flips to ≥ and vice versa).
-	rows := make([][]float64, m)
-	rhs := make([]float64, m)
-	ops := make([]Op, m)
+	t := &tableau{m: m, n: total, stride: total, a: a, b: bvec, basis: basis, red: red}
+
+	// Build rows directly into the flat tableau with nonnegative RHS.
+	slack, art := p.numVars + nFree, ncols
 	for r, c := range p.cons {
-		row := make([]float64, ncols)
+		row := t.row(r)
 		for i, v := range c.coeffs {
 			row[posCol[i]] = v
 			if negCol[i] >= 0 {
@@ -173,70 +229,37 @@ func (p *Problem) Solve() (*Solution, error) {
 				op = LE
 			}
 		}
-		rows[r], rhs[r], ops[r] = row, b, op
-	}
-
-	// Add slack/surplus columns, then artificials.
-	slackCol := make([]int, m)
-	for r := range rows {
-		switch ops[r] {
-		case LE, GE:
-			slackCol[r] = ncols
-			ncols++
-		default:
-			slackCol[r] = -1
-		}
-	}
-	artCol := make([]int, m)
-	nArt := 0
-	for r := range rows {
-		if ops[r] == GE || ops[r] == EQ {
-			artCol[r] = ncols + nArt
-			nArt++
-		} else {
-			artCol[r] = -1
-		}
-	}
-	total := ncols + nArt
-
-	t := &tableau{
-		m:     m,
-		n:     total,
-		a:     make([][]float64, m),
-		b:     make([]float64, m),
-		basis: make([]int, m),
-	}
-	for r := range rows {
-		row := make([]float64, total)
-		copy(row, rows[r])
-		if slackCol[r] >= 0 {
-			if ops[r] == LE {
+		t.b[r] = b
+		if op == LE || op == GE {
+			slackCol[r] = slack
+			slack++
+			if op == LE {
 				row[slackCol[r]] = 1
 			} else {
 				row[slackCol[r]] = -1
 			}
+		} else {
+			slackCol[r] = -1
 		}
-		if artCol[r] >= 0 {
+		if op == GE || op == EQ {
+			artCol[r] = art
+			art++
 			row[artCol[r]] = 1
-		}
-		t.a[r] = row
-		t.b[r] = rhs[r]
-		if artCol[r] >= 0 {
 			t.basis[r] = artCol[r]
 		} else {
+			artCol[r] = -1
 			t.basis[r] = slackCol[r] // LE slack with +1 coefficient
 		}
 	}
 
 	// Phase 1: minimize the sum of artificials.
 	if nArt > 0 {
-		phase1 := make([]float64, total)
-		for r := range rows {
+		for r := 0; r < m; r++ {
 			if artCol[r] >= 0 {
-				phase1[artCol[r]] = 1
+				phaseObj[artCol[r]] = 1
 			}
 		}
-		val, err := t.optimize(phase1)
+		val, err := t.optimize(phaseObj)
 		if err != nil {
 			// Phase 1 is bounded below by 0; unboundedness means a bug,
 			// surface it as-is.
@@ -250,30 +273,27 @@ func (p *Problem) Solve() (*Solution, error) {
 			if t.basis[r] < ncols {
 				continue
 			}
-			pivoted := false
+			row := t.row(r)
 			for j := 0; j < ncols; j++ {
-				if math.Abs(t.a[r][j]) > eps {
+				if math.Abs(row[j]) > eps {
 					t.pivot(r, j)
-					pivoted = true
 					break
 				}
 			}
-			if !pivoted {
-				// Redundant row: zero it; basis keeps the artificial
-				// at value 0 which can never re-enter (column removed
-				// from the phase-2 objective and never chosen).
-				continue
-			}
+			// If no pivot column exists the row is redundant: the basis
+			// keeps the artificial at value 0, which can never re-enter
+			// (the column count shrinks below it next).
 		}
-		// Forbid artificial columns from re-entering.
+		// Forbid artificial columns from re-entering: shrink the active
+		// column count; the flat rows keep their stride, so no copying.
 		t.n = ncols
-		for r := range t.a {
-			t.a[r] = t.a[r][:ncols]
-		}
 	}
 
 	// Phase 2: the real objective over solver columns.
-	obj := make([]float64, t.n)
+	obj := phaseObj[:t.n]
+	for j := range obj {
+		obj[j] = 0
+	}
 	for i := 0; i < p.numVars; i++ {
 		obj[posCol[i]] += p.obj[i]
 		if negCol[i] >= 0 {
@@ -285,7 +305,6 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 
 	// Extract solution.
-	xcols := make([]float64, t.n)
 	for r, bi := range t.basis {
 		if bi >= 0 && bi < t.n {
 			xcols[bi] = t.b[r]
@@ -302,20 +321,40 @@ func (p *Problem) Solve() (*Solution, error) {
 	for i, v := range x {
 		objVal += p.obj[i] * v
 	}
-	return &Solution{X: x, Objective: objVal}, nil
+	return &Solution{X: x, Objective: objVal, Iterations: t.pivots}, nil
 }
 
 // tableau is the dense simplex state: a·x = b with a current basis.
+// The matrix is one flat row-major slab; row r occupies
+// a[r*stride : r*stride+stride], of which only the first n columns are
+// active (the phase-1 → phase-2 transition shrinks n below stride).
 type tableau struct {
-	m, n  int
-	a     [][]float64
-	b     []float64
-	basis []int
+	m, n   int
+	stride int
+	a      []float64
+	b      []float64
+	basis  []int
+	// red is the maintained reduced-cost row r_j = c_j − c_B·B⁻¹A_j
+	// over the active columns.
+	red []float64
+	// pivots counts Gauss–Jordan pivots across all optimize calls.
+	pivots int
+}
+
+// row returns the full backing row r (stride wide).
+func (t *tableau) row(r int) []float64 {
+	return t.a[r*t.stride : r*t.stride+t.stride]
+}
+
+// arow returns the active columns of row r.
+func (t *tableau) arow(r int) []float64 {
+	return t.a[r*t.stride : r*t.stride+t.n]
 }
 
 // pivot performs a Gauss–Jordan pivot on (row, col) and updates basis.
+// Only active columns are touched.
 func (t *tableau) pivot(row, col int) {
-	pr := t.a[row]
+	pr := t.arow(row)
 	pv := pr[col]
 	inv := 1 / pv
 	for j := range pr {
@@ -327,11 +366,11 @@ func (t *tableau) pivot(row, col int) {
 		if r == row {
 			continue
 		}
-		f := t.a[r][col]
+		ar := t.arow(r)
+		f := ar[col]
 		if f == 0 {
 			continue
 		}
-		ar := t.a[r]
 		for j := range ar {
 			ar[j] -= f * pr[j]
 		}
@@ -339,57 +378,88 @@ func (t *tableau) pivot(row, col int) {
 		t.b[r] -= f * t.b[row]
 	}
 	t.basis[row] = col
+	t.pivots++
+}
+
+// recomputeReduced rebuilds the reduced-cost row and the objective
+// value c_B·b from scratch — the numerically self-correcting path,
+// run at entry, every refreshEvery pivots, and before any optimality
+// claim. Allocation-free: it scans the basis directly instead of
+// materializing a c_B vector.
+func (t *tableau) recomputeReduced(obj []float64) float64 {
+	red := t.red[:t.n]
+	for j := range red {
+		if j < len(obj) {
+			red[j] = obj[j]
+		} else {
+			red[j] = 0
+		}
+	}
+	z := 0.0
+	for r := 0; r < t.m; r++ {
+		bi := t.basis[r]
+		var c float64
+		if bi >= 0 && bi < len(obj) {
+			c = obj[bi]
+		}
+		if c == 0 {
+			continue
+		}
+		z += c * t.b[r]
+		row := t.arow(r)
+		for j := range row {
+			red[j] -= c * row[j]
+		}
+	}
+	return z
 }
 
 // optimize runs primal simplex with Bland's rule on the given
 // objective, assuming the current basis is feasible. Returns the
 // optimal objective value.
+//
+// Reduced costs are maintained incrementally across pivots (an O(n)
+// row update using the normalized pivot row) and rebuilt from the
+// basis every refreshEvery pivots for numerical hygiene. Optimality is
+// only ever declared after a fresh rebuild confirms no entering column
+// exists, so drift can cost extra iterations but never a wrong answer.
+// Bland's rule (smallest entering index, smallest basis index on ratio
+// ties) is preserved exactly, keeping the anti-cycling guarantee.
 func (t *tableau) optimize(obj []float64) (float64, error) {
-	// Reduced costs maintained implicitly: z_j - c_j computed from the
-	// basis each iteration. Small problems make this affordable and
-	// numerically self-correcting.
-	cb := func() []float64 {
-		c := make([]float64, t.m)
-		for r, bi := range t.basis {
-			if bi >= 0 && bi < len(obj) {
-				c[r] = obj[bi]
-			}
-		}
-		return c
-	}
+	red := t.red[:t.n]
+	z := t.recomputeReduced(obj)
+	sinceRefresh := 0
 	const maxIter = 100000
 	for iter := 0; iter < maxIter; iter++ {
-		cbv := cb()
-		// entering column: smallest index with reduced cost < -eps.
+		// Entering column: smallest index with reduced cost < −eps.
 		enter := -1
-		for j := 0; j < t.n; j++ {
-			// reduced cost r_j = c_j − cb·a_j
-			rj := 0.0
-			if j < len(obj) {
-				rj = obj[j]
-			}
-			for r := 0; r < t.m; r++ {
-				rj -= cbv[r] * t.a[r][j]
-			}
-			if rj < -eps {
+		for j := range red {
+			if red[j] < -eps {
 				enter = j
 				break
 			}
 		}
 		if enter < 0 {
-			// Optimal: objective = cb·b.
-			val := 0.0
-			for r := 0; r < t.m; r++ {
-				val += cbv[r] * t.b[r]
+			// No candidate under the maintained costs: confirm against a
+			// fresh rebuild before declaring optimality.
+			z = t.recomputeReduced(obj)
+			sinceRefresh = 0
+			for j := range red {
+				if red[j] < -eps {
+					enter = j
+					break
+				}
 			}
-			return val, nil
+			if enter < 0 {
+				return z, nil
+			}
 		}
-		// leaving row: min ratio b_r / a_r,enter over positive entries;
+		// Leaving row: min ratio b_r / a_r,enter over positive entries;
 		// ties broken by smallest basis index (Bland).
 		leave := -1
 		bestRatio := math.Inf(1)
 		for r := 0; r < t.m; r++ {
-			arj := t.a[r][enter]
+			arj := t.a[r*t.stride+enter]
 			if arj > eps {
 				ratio := t.b[r] / arj
 				if ratio < bestRatio-eps ||
@@ -402,7 +472,22 @@ func (t *tableau) optimize(obj []float64) (float64, error) {
 		if leave < 0 {
 			return 0, ErrUnbounded
 		}
+		f := red[enter]
 		t.pivot(leave, enter)
+		sinceRefresh++
+		if sinceRefresh >= refreshEvery {
+			z = t.recomputeReduced(obj)
+			sinceRefresh = 0
+		} else {
+			// Objective-row pivot update: r′ = r − r_enter·(pivot row),
+			// z′ = z + r_enter·b̄_leave, using the post-normalization row.
+			pr := t.arow(leave)
+			for j := range red {
+				red[j] -= f * pr[j]
+			}
+			red[enter] = 0
+			z += f * t.b[leave]
+		}
 	}
 	return 0, errors.New("lp: iteration limit exceeded")
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"strconv"
 	"testing"
 )
 
@@ -370,6 +371,99 @@ func TestZeroConstraintProblem(t *testing.T) {
 	s := solve(t, p)
 	if !approx(s.X[0], 0, 1e-9) {
 		t.Errorf("x = %v, want 0", s.X[0])
+	}
+}
+
+func TestDegenerateCyclingReportsIterations(t *testing.T) {
+	// Beale's cycling LP again, this time auditing the new pivot
+	// counter: Bland's rule must terminate well inside the iteration
+	// limit with the count visible on the solution. Textbook simplex
+	// with Dantzig's rule cycles forever on this problem.
+	p := mustProblem(t, []float64{-0.75, 150, -0.02, 6})
+	addCon(t, p, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	addCon(t, p, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	addCon(t, p, []float64{0, 0, 1, 0}, LE, 1)
+	s := solve(t, p)
+	if !approx(s.Objective, -0.05, 1e-6) {
+		t.Errorf("obj = %v, want −0.05", s.Objective)
+	}
+	if s.Iterations <= 0 {
+		t.Errorf("Iterations = %d, want > 0 (pivots must be counted)", s.Iterations)
+	}
+	if s.Iterations > 100 {
+		t.Errorf("Iterations = %d: Bland's rule should finish this 3×4 LP in a handful of pivots", s.Iterations)
+	}
+}
+
+func TestIterationsZeroWhenAlreadyOptimal(t *testing.T) {
+	// min x s.t. x ≤ 5: the initial slack basis is already optimal.
+	p := mustProblem(t, []float64{1})
+	addCon(t, p, []float64{1}, LE, 5)
+	s := solve(t, p)
+	if s.Iterations != 0 {
+		t.Errorf("Iterations = %d, want 0 for an immediately optimal basis", s.Iterations)
+	}
+}
+
+// paperLP builds the modeler's α-scalarized LP at p partitions:
+// variables x_0..x_{p−1}, v; per-node constraints m_i x_i + c_i ≤ v
+// folded with the dirty-rate term, and Σ x_i = n (§III-D shape).
+func paperLP(p int, alpha float64, n float64) *Problem {
+	obj := make([]float64, p+1)
+	obj[p] = alpha
+	for j := 0; j < p; j++ {
+		obj[j] = (1 - alpha) * 0.002 * float64(j%4+1)
+	}
+	prob, err := NewProblem(obj)
+	if err != nil {
+		panic(err)
+	}
+	for j := 0; j < p; j++ {
+		coeffs := make([]float64, p+1)
+		coeffs[j] = 1 / float64(5-j%4)
+		coeffs[p] = -1
+		if err := prob.AddConstraint(coeffs, LE, 0); err != nil {
+			panic(err)
+		}
+	}
+	sum := make([]float64, p+1)
+	for j := 0; j < p; j++ {
+		sum[j] = 1
+	}
+	if err := prob.AddConstraint(sum, EQ, n); err != nil {
+		panic(err)
+	}
+	return prob
+}
+
+func TestSolveAllocsBounded(t *testing.T) {
+	// The flat-tableau rewrite carves all solver state out of two slabs;
+	// allocations must not scale with the pivot count. The old
+	// implementation allocated a fresh c_B vector every iteration plus a
+	// slice header per row (~80+ allocs on this problem).
+	prob := paperLP(16, 0.999, 1e6)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := prob.Solve(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("Solve allocated %.0f times, want ≤ 8 (slab-allocated tableau)", allocs)
+	}
+}
+
+func BenchmarkLPSolve(b *testing.B) {
+	// The paper-shaped LP: P nodes, α-scalarized time/energy objective.
+	for _, p := range []int{16, 64} {
+		prob := paperLP(p, 0.999, 1e6)
+		b.Run("P"+strconv.Itoa(p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prob.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,142 @@
+// Package parallel is the planning front-end's shared bounded
+// fork-join helper: chunked, index-addressed loops over [0, n) whose
+// results are bit-identical at any worker count.
+//
+// Every parallel stage of the planner (corpus construction, record
+// decoding, corpus scans, profiling fan-out, placement materialization)
+// follows the same discipline:
+//
+//   - Work is split into contiguous index chunks handed to a bounded
+//     set of goroutines. Chunk *scheduling* is dynamic (an atomic
+//     cursor, so skewed records cannot strand one worker with all the
+//     heavy chunks), but every output is addressed by record index, so
+//     the assembled result is independent of which worker ran which
+//     chunk, of chunk boundaries, and of GOMAXPROCS.
+//   - Reductions are either per-chunk partials combined in chunk order
+//     or commutative (integer sums, maxima), never order-sensitive
+//     float accumulation across a racy boundary.
+//   - Errors are reported by ascending chunk index: each body scans its
+//     range in ascending order and stops at its first failure, and
+//     ForErr returns the error of the lowest failing chunk — which is
+//     therefore the error of the lowest failing index, exactly what the
+//     sequential loop would have returned.
+//
+// The helpers return the summed busy time of all workers so call sites
+// can export per-stage parallel speedup (busy ÷ wall) via telemetry.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// chunksPerWorker oversplits the index space so dynamic scheduling can
+// rebalance skewed chunks without making chunks so small that cursor
+// contention dominates.
+const chunksPerWorker = 4
+
+// Workers resolves an effective worker count for n items: non-positive
+// means GOMAXPROCS, and the result never exceeds n (an idle goroutine
+// per empty chunk is pure overhead) or falls below 1.
+func Workers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs body over contiguous chunks covering [0, n) on at most
+// `workers` goroutines (≤ 0 means GOMAXPROCS) and blocks until all
+// chunks finish. Bodies must write results only to index-addressed
+// locations within their [lo, hi) range; under that contract the
+// assembled output is identical at any worker count. Returns the
+// summed busy time across workers.
+func For(n, workers int, body func(lo, hi int)) time.Duration {
+	busy, _ := run(n, workers, func(lo, hi int) error {
+		body(lo, hi)
+		return nil
+	}, false)
+	return busy
+}
+
+// ForErr is For with error reporting. Bodies must scan their range in
+// ascending index order and return at the first failure; ForErr then
+// returns the error of the lowest failing chunk, which equals the
+// error the sequential loop would have produced. Once any chunk fails,
+// undispatched chunks are skipped (their outputs are never read —
+// the caller discards partial results on error).
+func ForErr(n, workers int, body func(lo, hi int) error) (time.Duration, error) {
+	return run(n, workers, body, true)
+}
+
+func run(n, workers int, body func(lo, hi int) error, failFast bool) (time.Duration, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	w := Workers(n, workers)
+	if w == 1 {
+		// Inline fast path: no goroutines, one chunk, same semantics.
+		t0 := time.Now()
+		err := body(0, n)
+		return time.Since(t0), err
+	}
+	nChunks := w * chunksPerWorker
+	if nChunks > n {
+		nChunks = n
+	}
+	chunk := (n + nChunks - 1) / nChunks
+	// Recompute the true chunk count after ceiling division so the
+	// error slots align with the cursor's range.
+	nChunks = (n + chunk - 1) / chunk
+	errs := make([]error, nChunks)
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	var busyNs atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			for {
+				if failFast && failed.Load() {
+					break
+				}
+				c := int(cursor.Add(1)) - 1
+				if c >= nChunks {
+					break
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if err := body(lo, hi); err != nil {
+					errs[c] = err
+					failed.Store(true)
+				}
+			}
+			busyNs.Add(time.Since(t0).Nanoseconds())
+		}()
+	}
+	wg.Wait()
+	busy := time.Duration(busyNs.Load())
+	// The cursor hands out chunks in ascending order, so every chunk
+	// below the lowest failing one was dispatched (and completed)
+	// before the failure could stop the loop: the first error found in
+	// ascending chunk order is the lowest-index failure overall.
+	for _, err := range errs {
+		if err != nil {
+			return busy, err
+		}
+	}
+	return busy, nil
+}

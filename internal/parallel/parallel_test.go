@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(100, 0); w != runtime.GOMAXPROCS(0) && w != 100 {
+		t.Errorf("Workers(100, 0) = %d, want GOMAXPROCS capped at n", w)
+	}
+	if w := Workers(3, 8); w != 3 {
+		t.Errorf("Workers(3, 8) = %d, want 3", w)
+	}
+	if w := Workers(0, 8); w != 1 {
+		t.Errorf("Workers(0, 8) = %d, want 1", w)
+	}
+	if w := Workers(10, -5); w < 1 {
+		t.Errorf("Workers(10, -5) = %d, want ≥ 1", w)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7, 64} {
+		n := 1000
+		hits := make([]int32, n)
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForResultsIndependentOfWorkers(t *testing.T) {
+	n := 517
+	ref := make([]int, n)
+	For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = i * i
+		}
+	})
+	for _, workers := range []int{2, 3, 16} {
+		out := make([]int, n)
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = i * i
+			}
+		})
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	if busy := For(0, 4, func(lo, hi int) { called = true }); busy != 0 {
+		t.Errorf("busy = %v for empty range", busy)
+	}
+	if called {
+		t.Error("body called for n = 0")
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	// Indices 313 and 711 fail; every worker count must report 313,
+	// exactly as the sequential loop would.
+	n := 1000
+	fail := map[int]bool{313: true, 711: true}
+	for _, workers := range []int{1, 2, 4, 32} {
+		_, err := ForErr(n, workers, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if fail[i] {
+					return fmt.Errorf("index %d failed", i)
+				}
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 313 failed" {
+			t.Errorf("workers=%d: err = %v, want index 313 failed", workers, err)
+		}
+	}
+}
+
+func TestForErrNilOnSuccess(t *testing.T) {
+	busy, err := ForErr(100, 4, func(lo, hi int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy < 0 {
+		t.Error("negative busy time")
+	}
+}
+
+func TestForErrSingleChunkError(t *testing.T) {
+	want := errors.New("boom")
+	_, err := ForErr(5, 1, func(lo, hi int) error { return want })
+	if !errors.Is(err, want) {
+		t.Errorf("err = %v, want %v", err, want)
+	}
+}
+
+func TestForBusyTimeAccumulates(t *testing.T) {
+	busy := For(10000, 4, func(lo, hi int) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		_ = s
+	})
+	if busy <= 0 {
+		t.Error("busy time must be positive for nonempty work")
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 
 	"pareto/internal/kvstore"
+	"pareto/internal/parallel"
 	"pareto/internal/pivots"
 )
 
@@ -22,8 +24,11 @@ type Store interface {
 	ReadPartition(id int) ([][]byte, error)
 }
 
-// MemoryStore keeps partitions in process memory.
+// MemoryStore keeps partitions in process memory. It is safe for
+// concurrent use; only the map insertion itself is serialized, so
+// parallel placement still overlaps the record copying.
 type MemoryStore struct {
+	mu    sync.Mutex
 	parts map[int][][]byte
 }
 
@@ -40,13 +45,21 @@ func (m *MemoryStore) WritePartition(id int, records [][]byte) error {
 		copy(c, r)
 		cp[i] = c
 	}
+	m.mu.Lock()
 	m.parts[id] = cp
+	m.mu.Unlock()
 	return nil
 }
 
+// WriteGroup implements WriteGrouper: every partition is its own
+// group — the store is fully concurrent.
+func (m *MemoryStore) WriteGroup(id int) int { return id }
+
 // ReadPartition implements Store.
 func (m *MemoryStore) ReadPartition(id int) ([][]byte, error) {
+	m.mu.Lock()
 	p, ok := m.parts[id]
+	m.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("partitioner: partition %d not found", id)
 	}
@@ -89,6 +102,10 @@ func (d *DiskStore) WritePartition(id int, records [][]byte) error {
 	}
 	return nil
 }
+
+// WriteGroup implements WriteGrouper: partitions live in independent
+// files, so every partition is its own group.
+func (d *DiskStore) WriteGroup(id int) int { return id }
 
 // ReadPartition implements Store.
 func (d *DiskStore) ReadPartition(id int) ([][]byte, error) {
@@ -219,6 +236,12 @@ func (k *KVStore) WritePartition(id int, records [][]byte) error {
 	return nil
 }
 
+// WriteGroup implements WriteGrouper: partitions sharing a client
+// share a group. WritePartition runs a pipeline, and two pipelines
+// interleaving on one connection would steal each other's replies —
+// but writes through distinct clients are independent connections.
+func (k *KVStore) WriteGroup(id int) int { return id % len(k.clients) }
+
 // ReadPartition implements Store: bounded LRANGE windows stream the
 // list without materializing one giant reply.
 func (k *KVStore) ReadPartition(id int) ([][]byte, error) {
@@ -312,23 +335,50 @@ func (k *KVBlobStore) ReadPartition(id int) ([][]byte, error) {
 
 // WritePartitions implements BulkStore: partitions are grouped by
 // hosting client and each group lands in a single MSET, so a whole
-// placement costs one command per store instance.
+// placement costs one command per store instance. Blob concatenation
+// is chunked across workers (index-addressed), and the per-client
+// MSETs fan out concurrently — they ride independent connections. On
+// failure the error of the lowest-indexed failing client is returned,
+// deterministically.
 func (k *KVBlobStore) WritePartitions(ids []int, records [][][]byte) error {
 	if len(ids) != len(records) {
 		return fmt.Errorf("partitioner: %d ids, %d record lists", len(ids), len(records))
 	}
-	keysByClient := make(map[*kvstore.Client][]string)
-	valsByClient := make(map[*kvstore.Client][][]byte)
-	for i, id := range ids {
-		c, err := k.clientFor(id)
-		if err != nil {
-			return err
+	for _, id := range ids {
+		if id < 0 {
+			return fmt.Errorf("partitioner: partition id %d", id)
 		}
-		keysByClient[c] = append(keysByClient[c], k.key(id))
-		valsByClient[c] = append(valsByClient[c], concatRecords(records[i]))
 	}
-	for c, keys := range keysByClient {
-		if err := c.MSet(keys, valsByClient[c]); err != nil {
+	blobs := make([][]byte, len(ids))
+	parallel.For(len(ids), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			blobs[i] = concatRecords(records[i])
+		}
+	})
+	// Group in input order per client index, so each client's MSET sees
+	// the same key order regardless of worker count.
+	keysByClient := make([][]string, len(k.clients))
+	valsByClient := make([][][]byte, len(k.clients))
+	for i, id := range ids {
+		ci := id % len(k.clients)
+		keysByClient[ci] = append(keysByClient[ci], k.key(id))
+		valsByClient[ci] = append(valsByClient[ci], blobs[i])
+	}
+	errs := make([]error, len(k.clients))
+	var wg sync.WaitGroup
+	for ci := range k.clients {
+		if len(keysByClient[ci]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			errs[ci] = k.clients[ci].MSet(keysByClient[ci], valsByClient[ci])
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return fmt.Errorf("partitioner: bulk writing partitions: %w", err)
 		}
 	}
@@ -344,26 +394,80 @@ type BulkStore interface {
 	WritePartitions(ids []int, records [][][]byte) error
 }
 
+// WriteGrouper is implemented by stores whose WritePartition calls may
+// run concurrently across groups: writes to partitions with different
+// WriteGroup values are independent, while writes within one group must
+// stay sequential (e.g. KVStore pipelines sharing one connection).
+// Stores not implementing it get strictly sequential writes from Place.
+type WriteGrouper interface {
+	Store
+	WriteGroup(id int) int
+}
+
 // Place serializes every partition of the assignment from the corpus
 // and writes it to the store — through the store's bulk path when it
-// has one.
+// has one. Equivalent to PlaceParallel with the default worker count.
 func Place(c pivots.Corpus, a *Assignment, st Store) error {
-	if bs, ok := st.(BulkStore); ok {
-		ids := make([]int, a.P())
-		recs := make([][][]byte, a.P())
-		for j := range a.Parts {
-			ids[j] = j
+	return PlaceParallel(c, a, st, 0)
+}
+
+// PlaceParallel is Place with an explicit worker bound (≤ 0 means
+// GOMAXPROCS). Record serialization always fans out — it only reads
+// the corpus and writes index-addressed slots, so the serialized bytes
+// are identical at any worker count. The store writes fan out per
+// WriteGroup when the store declares one (bulk stores batch instead);
+// otherwise they run sequentially, since an arbitrary Store's
+// concurrency contract is unknown. On failure the error of the
+// lowest-numbered failing group is returned, deterministically.
+func PlaceParallel(c pivots.Corpus, a *Assignment, st Store, workers int) error {
+	p := a.P()
+	recs := make([][][]byte, p)
+	parallel.For(p, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
 			recs[j] = RecordsOf(c, a, j)
+		}
+	})
+	if bs, ok := st.(BulkStore); ok {
+		ids := make([]int, p)
+		for j := range ids {
+			ids[j] = j
 		}
 		if err := bs.WritePartitions(ids, recs); err != nil {
 			return fmt.Errorf("partitioner: placing partitions: %w", err)
 		}
 		return nil
 	}
-	for j := range a.Parts {
-		if err := st.WritePartition(j, RecordsOf(c, a, j)); err != nil {
-			return fmt.Errorf("partitioner: placing partition %d: %w", j, err)
+	gr, ok := st.(WriteGrouper)
+	if !ok {
+		for j := 0; j < p; j++ {
+			if err := st.WritePartition(j, recs[j]); err != nil {
+				return fmt.Errorf("partitioner: placing partition %d: %w", j, err)
+			}
 		}
+		return nil
 	}
-	return nil
+	// Bucket partitions by write group, preserving ascending id order
+	// within each group; groups then fan out.
+	groupOf := make(map[int]int)
+	var order []int
+	buckets := make(map[int][]int)
+	for j := 0; j < p; j++ {
+		g := gr.WriteGroup(j)
+		if _, seen := groupOf[g]; !seen {
+			groupOf[g] = len(order)
+			order = append(order, g)
+		}
+		buckets[g] = append(buckets[g], j)
+	}
+	_, err := parallel.ForErr(len(order), workers, func(lo, hi int) error {
+		for gi := lo; gi < hi; gi++ {
+			for _, j := range buckets[order[gi]] {
+				if err := st.WritePartition(j, recs[j]); err != nil {
+					return fmt.Errorf("partitioner: placing partition %d: %w", j, err)
+				}
+			}
+		}
+		return nil
+	})
+	return err
 }

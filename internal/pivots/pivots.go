@@ -24,7 +24,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
+	"pareto/internal/parallel"
 	"pareto/internal/sketch"
 )
 
@@ -306,18 +308,39 @@ func PruferDecode(seq []int32, n int) ([]int32, error) {
 type TreeCorpus struct {
 	Trees []Tree
 
-	items [][]sketch.Item
+	items      [][]sketch.Item
+	totalNodes int
 }
 
-// NewTreeCorpus validates every tree and precomputes pivot sets.
+// NewTreeCorpus validates every tree and precomputes pivot sets,
+// fanning the work out across GOMAXPROCS workers.
 func NewTreeCorpus(trees []Tree) (*TreeCorpus, error) {
+	return NewTreeCorpusParallel(trees, 0)
+}
+
+// NewTreeCorpusParallel is NewTreeCorpus with an explicit worker bound
+// (≤ 0 means GOMAXPROCS). Validation and pivot extraction are
+// index-addressed per tree, so the corpus — and any error — is
+// identical at every worker count.
+func NewTreeCorpusParallel(trees []Tree, workers int) (*TreeCorpus, error) {
 	c := &TreeCorpus{Trees: trees, items: make([][]sketch.Item, len(trees))}
-	for i := range trees {
-		if err := trees[i].Validate(); err != nil {
-			return nil, fmt.Errorf("tree %d: %w", i, err)
+	var total atomic.Int64
+	_, err := parallel.ForErr(len(trees), workers, func(lo, hi int) error {
+		nodes := 0
+		for i := lo; i < hi; i++ {
+			if err := trees[i].Validate(); err != nil {
+				return fmt.Errorf("tree %d: %w", i, err)
+			}
+			c.items[i] = trees[i].Pivots()
+			nodes += trees[i].NumNodes()
 		}
-		c.items[i] = trees[i].Pivots()
+		total.Add(int64(nodes))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	c.totalNodes = int(total.Load())
 	return c, nil
 }
 
@@ -333,14 +356,9 @@ func (c *TreeCorpus) ItemSet(i int) []sketch.Item { return c.items[i] }
 // Weight returns the node count of tree i.
 func (c *TreeCorpus) Weight(i int) int { return c.Trees[i].NumNodes() }
 
-// TotalNodes returns the node count across all trees.
-func (c *TreeCorpus) TotalNodes() int {
-	n := 0
-	for i := range c.Trees {
-		n += c.Trees[i].NumNodes()
-	}
-	return n
-}
+// TotalNodes returns the node count across all trees, computed once at
+// construction (the planner queries it per plan, not per record).
+func (c *TreeCorpus) TotalNodes() int { return c.totalNodes }
 
 // AppendRecord serializes tree i as:
 //
@@ -435,25 +453,56 @@ func (g *Graph) Validate() error {
 type GraphCorpus struct {
 	G *Graph
 
-	items [][]sketch.Item
+	items    [][]sketch.Item
+	numEdges int
 }
 
 // NewGraphCorpus validates the graph and caches per-vertex pivot sets
-// (the neighbor sets themselves, per paper §III-C step 1).
+// (the neighbor sets themselves, per paper §III-C step 1), fanning the
+// work out across GOMAXPROCS workers.
 func NewGraphCorpus(g *Graph) (*GraphCorpus, error) {
-	if err := g.Validate(); err != nil {
+	return NewGraphCorpusParallel(g, 0)
+}
+
+// NewGraphCorpusParallel is NewGraphCorpus with an explicit worker
+// bound (≤ 0 means GOMAXPROCS). Validation and item-set construction
+// run in one per-vertex pass, index-addressed, so the corpus — and any
+// error — is identical at every worker count.
+func NewGraphCorpusParallel(g *Graph, workers int) (*GraphCorpus, error) {
+	n := uint32(len(g.Adj))
+	c := &GraphCorpus{G: g, items: make([][]sketch.Item, len(g.Adj))}
+	var edges atomic.Int64
+	_, err := parallel.ForErr(len(g.Adj), workers, func(lo, hi int) error {
+		cnt := 0
+		for v := lo; v < hi; v++ {
+			nbrs := g.Adj[v]
+			set := make([]sketch.Item, len(nbrs))
+			for i, u := range nbrs {
+				if u >= n {
+					return fmt.Errorf("pivots: vertex %d has out-of-range neighbor %d", v, u)
+				}
+				if i > 0 && nbrs[i-1] >= u {
+					return fmt.Errorf("pivots: vertex %d adjacency not strictly increasing at %d", v, i)
+				}
+				set[i] = sketch.Item(u)
+			}
+			c.items[v] = set
+			cnt += len(nbrs)
+		}
+		edges.Add(int64(cnt))
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	c := &GraphCorpus{G: g, items: make([][]sketch.Item, len(g.Adj))}
-	for v, nbrs := range g.Adj {
-		set := make([]sketch.Item, len(nbrs))
-		for i, u := range nbrs {
-			set[i] = sketch.Item(u)
-		}
-		c.items[v] = set
-	}
+	c.numEdges = int(edges.Load())
 	return c, nil
 }
+
+// NumEdges returns the total directed edge count, computed once at
+// construction (Graph.NumEdges rescans the adjacency table; the corpus
+// caches the sum the same way TreeCorpus caches TotalNodes).
+func (c *GraphCorpus) NumEdges() int { return c.numEdges }
 
 // Kind returns GraphData.
 func (c *GraphCorpus) Kind() Kind { return GraphData }
@@ -521,30 +570,56 @@ type TextCorpus struct {
 	Docs      []Doc
 	VocabSize int
 
-	items [][]sketch.Item
+	items      [][]sketch.Item
+	totalTerms int
 }
 
-// NewTextCorpus validates term ordering/range and caches item sets.
+// NewTextCorpus validates term ordering/range and caches item sets,
+// fanning the work out across GOMAXPROCS workers.
 func NewTextCorpus(docs []Doc, vocabSize int) (*TextCorpus, error) {
+	return NewTextCorpusParallel(docs, vocabSize, 0)
+}
+
+// NewTextCorpusParallel is NewTextCorpus with an explicit worker bound
+// (≤ 0 means GOMAXPROCS). Validation and term extraction are
+// index-addressed per document, so the corpus — and any error — is
+// identical at every worker count.
+func NewTextCorpusParallel(docs []Doc, vocabSize, workers int) (*TextCorpus, error) {
 	if vocabSize <= 0 {
 		return nil, errors.New("pivots: vocabSize must be positive")
 	}
 	c := &TextCorpus{Docs: docs, VocabSize: vocabSize, items: make([][]sketch.Item, len(docs))}
-	for d, doc := range docs {
-		set := make([]sketch.Item, len(doc.Terms))
-		for i, t := range doc.Terms {
-			if int(t) >= vocabSize {
-				return nil, fmt.Errorf("pivots: doc %d term %d exceeds vocab %d", d, t, vocabSize)
+	var terms atomic.Int64
+	_, err := parallel.ForErr(len(docs), workers, func(lo, hi int) error {
+		cnt := 0
+		for d := lo; d < hi; d++ {
+			doc := docs[d]
+			set := make([]sketch.Item, len(doc.Terms))
+			for i, t := range doc.Terms {
+				if int(t) >= vocabSize {
+					return fmt.Errorf("pivots: doc %d term %d exceeds vocab %d", d, t, vocabSize)
+				}
+				if i > 0 && doc.Terms[i-1] >= t {
+					return fmt.Errorf("pivots: doc %d terms not strictly increasing at %d", d, i)
+				}
+				set[i] = sketch.Item(t)
 			}
-			if i > 0 && doc.Terms[i-1] >= t {
-				return nil, fmt.Errorf("pivots: doc %d terms not strictly increasing at %d", d, i)
-			}
-			set[i] = sketch.Item(t)
+			c.items[d] = set
+			cnt += len(doc.Terms)
 		}
-		c.items[d] = set
+		terms.Add(int64(cnt))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	c.totalTerms = int(terms.Load())
 	return c, nil
 }
+
+// TotalTerms returns the summed distinct-term count across documents,
+// computed once at construction.
+func (c *TextCorpus) TotalTerms() int { return c.totalTerms }
 
 // Kind returns TextData.
 func (c *TextCorpus) Kind() Kind { return TextData }
@@ -594,16 +669,37 @@ func DecodeTextRecord(buf []byte) (Doc, []byte, error) {
 }
 
 // DecodeTreeRecords parses a whole stream of tree records (the datagen
-// / DiskStore file layout) into a corpus-ready slice.
+// / DiskStore file layout) into a corpus-ready slice. A sequential
+// length-header scan first splits the buffer into per-record spans;
+// the payload decode then fans out across GOMAXPROCS workers.
 func DecodeTreeRecords(buf []byte) ([]Tree, error) {
-	var trees []Tree
-	for len(buf) > 0 {
-		t, rest, err := DecodeTreeRecord(buf)
-		if err != nil {
-			return nil, fmt.Errorf("record %d: %w", len(trees), err)
+	return DecodeTreeRecordsParallel(buf, 0)
+}
+
+// DecodeTreeRecordsParallel is DecodeTreeRecords with an explicit
+// worker bound (≤ 0 means GOMAXPROCS). Records decode into
+// index-addressed slots, so the result is identical at every worker
+// count.
+func DecodeTreeRecordsParallel(buf []byte, workers int) ([]Tree, error) {
+	offs, err := scanRecordOffsets(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(offs) == 0 {
+		return nil, nil
+	}
+	trees := make([]Tree, len(offs))
+	if _, err := parallel.ForErr(len(offs), workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			t, _, err := DecodeTreeRecord(recordSpan(buf, offs, i))
+			if err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
+			}
+			trees[i] = t
 		}
-		trees = append(trees, t)
-		buf = rest
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return trees, nil
 }
@@ -645,24 +741,52 @@ func DecodeGraphRecords(buf []byte) (*Graph, error) {
 }
 
 // DecodeTextRecords parses a stream of document records, returning the
-// documents and the implied vocabulary size (max term + 1).
+// documents and the implied vocabulary size (max term + 1). A
+// sequential length-header scan first splits the buffer into
+// per-record spans; the payload decode then fans out across GOMAXPROCS
+// workers.
 func DecodeTextRecords(buf []byte) ([]Doc, int, error) {
-	var docs []Doc
-	maxTerm := uint32(0)
-	for len(buf) > 0 {
-		d, rest, err := DecodeTextRecord(buf)
-		if err != nil {
-			return nil, 0, fmt.Errorf("record %d: %w", len(docs), err)
-		}
-		docs = append(docs, d)
-		for _, t := range d.Terms {
-			if t > maxTerm {
-				maxTerm = t
+	return DecodeTextRecordsParallel(buf, 0)
+}
+
+// DecodeTextRecordsParallel is DecodeTextRecords with an explicit
+// worker bound (≤ 0 means GOMAXPROCS). Records decode into
+// index-addressed slots and the vocabulary bound is a commutative
+// maximum, so the result is identical at every worker count.
+func DecodeTextRecordsParallel(buf []byte, workers int) ([]Doc, int, error) {
+	offs, err := scanRecordOffsets(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(offs) == 0 {
+		return nil, 1, nil
+	}
+	docs := make([]Doc, len(offs))
+	var maxTerm atomic.Uint32
+	if _, err := parallel.ForErr(len(offs), workers, func(lo, hi int) error {
+		m := uint32(0)
+		for i := lo; i < hi; i++ {
+			d, _, err := DecodeTextRecord(recordSpan(buf, offs, i))
+			if err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
+			}
+			docs[i] = d
+			for _, t := range d.Terms {
+				if t > m {
+					m = t
+				}
 			}
 		}
-		buf = rest
+		for {
+			cur := maxTerm.Load()
+			if m <= cur || maxTerm.CompareAndSwap(cur, m) {
+				return nil
+			}
+		}
+	}); err != nil {
+		return nil, 0, err
 	}
-	return docs, int(maxTerm) + 1, nil
+	return docs, int(maxTerm.Load()) + 1, nil
 }
 
 // splitRecord strips one uint32-length-prefixed record from buf.
@@ -675,4 +799,40 @@ func splitRecord(buf []byte) (payload, rest []byte, err error) {
 		return nil, nil, fmt.Errorf("pivots: record claims %d payload bytes, only %d available", n, len(buf)-4)
 	}
 	return buf[4 : 4+n], buf[4+n:], nil
+}
+
+// scanRecordOffsets walks the length headers of a record stream
+// sequentially — the cheap O(records) pass — and returns the byte
+// offset where each record starts, so the expensive payload decode can
+// fan out across workers on independent spans. Header-level corruption
+// is reported with the same record index the sequential decoder would
+// have used.
+func scanRecordOffsets(buf []byte) ([]int, error) {
+	var offs []int
+	off := 0
+	for off < len(buf) {
+		rest := buf[off:]
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("record %d: %w", len(offs),
+				errors.New("pivots: record buffer shorter than length header"))
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		if len(rest) < 4+n {
+			return nil, fmt.Errorf("record %d: pivots: record claims %d payload bytes, only %d available",
+				len(offs), n, len(rest)-4)
+		}
+		offs = append(offs, off)
+		off += 4 + n
+	}
+	return offs, nil
+}
+
+// recordSpan returns the bytes of record i: from its offset to the
+// next record's offset (or the end of the stream).
+func recordSpan(buf []byte, offs []int, i int) []byte {
+	end := len(buf)
+	if i+1 < len(offs) {
+		end = offs[i+1]
+	}
+	return buf[offs[i]:end]
 }

@@ -18,8 +18,8 @@ import (
 	"hash/fnv"
 	"math/bits"
 	"math/rand"
-	"runtime"
-	"sync"
+
+	"pareto/internal/parallel"
 )
 
 // MersennePrime61 is the field modulus 2^61−1 used by the linear
@@ -213,6 +213,10 @@ func (h *Hasher) SketchInto(set []Item, dst Sketch) {
 // worker so the arena is filled in cache-friendly sequential runs.
 // Coordinate values are identical to calling Sketch on each set.
 //
+// The fan-out rides the planner's shared parallel pool: chunked with
+// dynamic scheduling (skewed records rebalance) and index-addressed
+// outputs, so the sketches are bit-identical at any worker count.
+//
 // workers ≤ 0 means GOMAXPROCS. set must be safe for concurrent calls
 // with distinct arguments (read-only corpora qualify).
 func (h *Hasher) SketchAll(n int, set func(i int) []Item, workers int) []Sketch {
@@ -224,37 +228,11 @@ func (h *Hasher) SketchAll(n int, set func(i int) []Item, workers int) []Sketch 
 		// bleeding into its neighbor's coordinates.
 		out[i] = flat[i*k : (i+1)*k : (i+1)*k]
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
+	parallel.For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			h.SketchInto(set(i), out[i])
 		}
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				h.SketchInto(set(i), out[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 
