@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"strconv"
 	"sync"
 	"time"
@@ -191,6 +192,21 @@ func (r *Report) Failures() int {
 	return n
 }
 
+// isNilKV reports whether a generically typed client is nil — either
+// the interface itself or a typed-nil pointer inside it, which a plain
+// == nil against the type parameter cannot see.
+func isNilKV(v kvstore.KV) bool {
+	if v == nil {
+		return true
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.Interface, reflect.Map, reflect.Chan, reflect.Func, reflect.Slice:
+		return rv.IsNil()
+	}
+	return false
+}
+
 // appendSketchRecord serializes (record index, sketch) for the wire,
 // appending onto buf — batch encoding packs a whole chunk of records
 // into one flat arena. The index travels as uint32; larger corpora
@@ -259,15 +275,21 @@ func decodeAssignment(buf []byte) []int {
 // server, reachable through any client handed in). master is the
 // coordinator's own connection. Worker i sketches the contiguous shard
 // i of the corpus; shards are computed internally.
-func Stratify(master *kvstore.Client, workers []*kvstore.Client, corpus pivots.Corpus, o Options) (*strata.Stratification, error) {
+//
+// The client type is generic over kvstore.KV, so existing
+// []*kvstore.Client call sites compile unchanged while a slot-routed
+// []*kvstore.ClusterClient points the identical protocol at a
+// partitioned cluster — the run's keys spread across slot owners, and
+// no shipping or barrier code changes.
+func Stratify[C kvstore.KV](master C, workers []C, corpus pivots.Corpus, o Options) (*strata.Stratification, error) {
 	st, _, err := StratifyDetailed(master, workers, corpus, o)
 	return st, err
 }
 
 // StratifyDetailed is Stratify plus a Report of which fault-recovery
 // paths fired (shard recoveries, worker failures, barrier aborts).
-func StratifyDetailed(master *kvstore.Client, workers []*kvstore.Client, corpus pivots.Corpus, o Options) (*strata.Stratification, *Report, error) {
-	if master == nil || len(workers) == 0 {
+func StratifyDetailed[C kvstore.KV](master C, workers []C, corpus pivots.Corpus, o Options) (*strata.Stratification, *Report, error) {
+	if isNilKV(master) || len(workers) == 0 {
 		return nil, nil, errors.New("distrib: need a master client and at least one worker")
 	}
 	if corpus == nil || corpus.Len() == 0 {
@@ -383,7 +405,7 @@ func StratifyDetailed(master *kvstore.Client, workers []*kvstore.Client, corpus 
 // blocked or polling worker is released promptly. stats receives the
 // distributed run's stratification profile: the sketch phase (barrier
 // wait + gather + recovery) and the centralized clustering.
-func runCoordinator(master *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, n, w, parties int, o Options, dm distribMetrics, stats *strata.StratifyStats, report *Report) (err error) {
+func runCoordinator(master kvstore.KV, corpus pivots.Corpus, hasher *sketch.Hasher, n, w, parties int, o Options, dm distribMetrics, stats *strata.StratifyStats, report *Report) (err error) {
 	b, berr := kvstore.NewBarrier(master, o.barrierName(), parties)
 	if berr != nil {
 		return berr
@@ -505,7 +527,7 @@ func runCoordinator(master *kvstore.Client, corpus pivots.Corpus, hasher *sketch
 // runWorker executes one worker's phases: sketch shard → ship (with
 // whole-shard retry) → completion marker → barrier (advisory) → poll
 // assignment.
-func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i, w, parties int, o Options, dm distribMetrics, shardAssign *[]int) error {
+func runWorker(c kvstore.KV, corpus pivots.Corpus, hasher *sketch.Hasher, i, w, parties int, o Options, dm distribMetrics, shardAssign *[]int) error {
 	n := corpus.Len()
 	lo := i * n / w
 	hi := (i + 1) * n / w
@@ -563,11 +585,11 @@ func runWorker(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, i
 // the per-record path (variadic RPUSH appends values in order), and
 // each attempt starts from scratch, which is what makes the
 // non-idempotent RPUSHes safely retryable as a unit.
-func shipShard(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, lo, hi int, key string, width, maxShip int, shipBytes *telemetry.Counter) error {
+func shipShard(c kvstore.KV, corpus pivots.Corpus, hasher *sketch.Hasher, lo, hi int, key string, width, maxShip int, shipBytes *telemetry.Counter) error {
 	if _, err := c.Del(key); err != nil {
 		return err
 	}
-	p, err := c.NewPipeline(width)
+	p, err := c.Pipe(width)
 	if err != nil {
 		return err
 	}
@@ -628,7 +650,7 @@ func shipShard(c *kvstore.Client, corpus pivots.Corpus, hasher *sketch.Hasher, l
 // pollAssignment waits for the coordinator's published assignment with
 // exponential backoff, bounded by Options.AssignWait, bailing out
 // promptly if the run's abort key appears.
-func pollAssignment(c *kvstore.Client, o Options) ([]byte, error) {
+func pollAssignment(c kvstore.KV, o Options) ([]byte, error) {
 	deadline := time.Now().Add(o.AssignWait)
 	poll := o.PollInterval
 	maxPoll := 64 * o.PollInterval

@@ -1,0 +1,285 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"pareto/internal/telemetry"
+)
+
+// AOF is an append-only command log with group commit. Every write
+// command the server applies is framed into the log in RESP (the same
+// encoding the wire uses, so replay is a ReadCommandInto loop), and
+// durability is batched: writers append and then wait on Sync, and a
+// single fsync covers every record that arrived during the previous
+// sync window instead of one fsync per command. Layered on the
+// snapshot (snapshot = compaction point, AOF = tail since the last
+// snapshot), restart recovery replays LoadSnapshotFile + ReplayFile.
+//
+// Ordering guarantee: records append in the order each connection
+// issues them (a connection's loop is serial), so per-connection
+// replay order always matches apply order. Two racing writers on
+// *different* connections hitting the same key may log in either
+// order — the same ambiguity the live engine exposes to them.
+type AOF struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	f      *os.File
+	cw     countingFileWriter
+	w      *bufio.Writer
+	seq    uint64 // last appended record
+	synced uint64 // last record known durable (fsync or snapshot)
+	err    error  // sticky I/O error: the log is dead once it fails
+
+	// syncing marks a group-commit leader mid-fsync; followers (and
+	// Reset) wait on cond instead of issuing their own fsync.
+	syncing bool
+	closed  bool
+
+	// window throttles fsyncs: consecutive group commits are at least
+	// window apart, so a continuous pipelined load costs at most one
+	// fsync per window, with every record that arrived in between
+	// riding the same barrier.
+	window   time.Duration
+	lastSync time.Time
+
+	m aofMetrics
+}
+
+type aofMetrics struct {
+	fsyncs  *telemetry.Counter
+	records *telemetry.Counter
+	bytes   *telemetry.Counter
+	waits   *telemetry.Counter // group-commit follower waits
+	resets  *telemetry.Counter // rewrites (snapshot compactions)
+}
+
+// countingFileWriter counts bytes as bufio flushes them to the file;
+// the count feeds the kv_aof_bytes_total counter at flush granularity.
+type countingFileWriter struct {
+	f *os.File
+	n *telemetry.Counter
+}
+
+func (c countingFileWriter) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// DefaultAOFSyncWindow is the default group-commit window: small
+// enough that an acknowledged write is durable within single-digit
+// milliseconds, large enough that a deep pipeline's worth of commands
+// shares one fsync.
+const DefaultAOFSyncWindow = 2 * time.Millisecond
+
+// OpenAOF opens (creating if absent) the log at path for appending.
+// window ≤ 0 selects DefaultAOFSyncWindow; reg may be nil.
+func OpenAOF(path string, window time.Duration, reg *telemetry.Registry) (*AOF, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: aof open: %w", err)
+	}
+	if window <= 0 {
+		window = DefaultAOFSyncWindow
+	}
+	a := &AOF{
+		f:      f,
+		window: window,
+		m: aofMetrics{
+			fsyncs:  reg.Counter("kv_aof_fsyncs_total"),
+			records: reg.Counter("kv_aof_records_total"),
+			bytes:   reg.Counter("kv_aof_bytes_total"),
+			waits:   reg.Counter("kv_aof_group_commit_waits_total"),
+			resets:  reg.Counter("kv_aof_rewrites_total"),
+		},
+	}
+	a.cw = countingFileWriter{f: f, n: a.m.bytes}
+	a.w = bufio.NewWriterSize(a.cw, 64<<10)
+	a.cond = sync.NewCond(&a.mu)
+	return a, nil
+}
+
+// Append frames one command into the log's buffer and returns its
+// sequence number; the record is durable only once Sync(seq) returns.
+// The argument buffers are copied into the log's buffer before Append
+// returns, so callers may recycle them immediately.
+func (a *AOF) Append(cmd string, args [][]byte) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return 0, errors.New("kvstore: aof closed")
+	}
+	if a.err != nil {
+		return 0, a.err
+	}
+	if err := WriteCommand(a.w, cmd, args...); err != nil {
+		a.err = err
+		return 0, err
+	}
+	a.seq++
+	a.m.records.Inc()
+	return a.seq, nil
+}
+
+// Sync blocks until every record up to and including seq is durable.
+// Group commit: the first waiter becomes the leader, sleeps out the
+// remainder of the sync window (batching every record that arrives
+// meanwhile), flushes, and fsyncs once; later waiters ride the same
+// fsync or the next one.
+func (a *AOF) Sync(seq uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.synced < seq {
+		if a.err != nil {
+			return a.err
+		}
+		if a.closed {
+			return errors.New("kvstore: aof closed before sync")
+		}
+		if a.syncing {
+			// Follower: a leader's fsync is in flight (or a Reset is
+			// draining one); wait for its broadcast.
+			a.m.waits.Inc()
+			a.cond.Wait()
+			continue
+		}
+		a.leaderCommitLocked()
+	}
+	return a.err
+}
+
+// leaderCommitLocked performs one group commit as the leader. Called
+// with a.mu held; releases and reacquires it around the sleep and the
+// fsync so appenders keep running.
+func (a *AOF) leaderCommitLocked() {
+	a.syncing = true
+	if a.window > 0 {
+		if d := a.window - time.Since(a.lastSync); d > 0 {
+			// Hold the fsync back to the window boundary; commands
+			// appended during the sleep join this commit.
+			a.mu.Unlock()
+			time.Sleep(d)
+			a.mu.Lock()
+		}
+	}
+	target := a.seq
+	err := a.w.Flush()
+	a.mu.Unlock()
+	// fsync outside the lock: appenders write into the bufio buffer
+	// (or, past its capacity, the file) concurrently; those bytes have
+	// seq > target and are covered by the next commit.
+	if err == nil {
+		err = a.f.Sync()
+	}
+	a.mu.Lock()
+	a.lastSync = time.Now()
+	a.syncing = false
+	a.m.fsyncs.Inc()
+	if err != nil {
+		a.err = err
+	} else if a.synced < target {
+		a.synced = target
+	}
+	a.cond.Broadcast()
+}
+
+// Reset truncates the log after a snapshot has captured everything in
+// it — the compaction step of a rewrite. Every appended record is
+// marked durable (the snapshot holds it), so pending Sync calls
+// return. The caller must guarantee the snapshot ordering (the
+// server's persistMu write lock does).
+func (a *AOF) Reset() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.syncing {
+		a.cond.Wait() // drain an in-flight group commit first
+	}
+	if a.closed {
+		return errors.New("kvstore: aof closed")
+	}
+	// Discard buffered frames (the snapshot supersedes them) and
+	// truncate the file.
+	a.w.Reset(a.cw)
+	if err := a.f.Truncate(0); err != nil {
+		a.err = err
+		return fmt.Errorf("kvstore: aof truncate: %w", err)
+	}
+	if _, err := a.f.Seek(0, io.SeekStart); err != nil {
+		a.err = err
+		return fmt.Errorf("kvstore: aof seek: %w", err)
+	}
+	a.synced = a.seq
+	a.err = nil
+	a.m.resets.Inc()
+	a.cond.Broadcast()
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the log.
+func (a *AOF) Close() error {
+	a.mu.Lock()
+	for a.syncing {
+		a.cond.Wait()
+	}
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	err := a.w.Flush()
+	if err == nil {
+		err = a.f.Sync()
+	}
+	if err == nil {
+		a.synced = a.seq
+	}
+	cerr := a.f.Close()
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("kvstore: aof close: %w", err)
+	}
+	if cerr != nil {
+		return fmt.Errorf("kvstore: aof close: %w", cerr)
+	}
+	return nil
+}
+
+// ReplayAOF applies every complete command in the log at path to the
+// engine, in order, stopping cleanly at a truncated tail (a record cut
+// off mid-write by a crash loses only itself — it was never
+// acknowledged, because acknowledgment waits for fsync). Returns the
+// number of commands applied. A missing file replays zero commands
+// and returns os.ErrNotExist wrapped for the caller to ignore.
+func ReplayAOF(path string, e *Engine) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	var cb CommandBuffer
+	n := 0
+	for {
+		cmd, args, err := ReadCommandInto(br, &cb, MaxBulkLen)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				// Clean end, or a record truncated mid-payload: every
+				// complete record before it has been applied.
+				return n, nil
+			}
+			return n, fmt.Errorf("kvstore: aof replay at record %d: %w", n+1, err)
+		}
+		if rep := e.Do(cmd, args...); rep.Type == ErrorReply {
+			return n, fmt.Errorf("kvstore: aof replay at record %d: %s", n+1, rep.Str)
+		}
+		n++
+	}
+}

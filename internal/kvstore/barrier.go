@@ -22,7 +22,7 @@ import (
 // timeout — the escape hatch a coordinator uses when it detects dead
 // workers and takes over their shards.
 type Barrier struct {
-	client  *Client
+	client  KV
 	name    string
 	parties int
 	gen     int
@@ -39,9 +39,11 @@ type Barrier struct {
 }
 
 // NewBarrier creates a barrier for the given party count coordinated
-// through the store behind client. All parties must use the same name
-// and count.
-func NewBarrier(client *Client, name string, parties int) (*Barrier, error) {
+// through the store behind client — a single *Client or a
+// *ClusterClient (INCR routes to the counter key's slot owner, so all
+// parties naturally meet at one store). All parties must use the same
+// name and count.
+func NewBarrier(client KV, name string, parties int) (*Barrier, error) {
 	if parties < 1 {
 		return nil, fmt.Errorf("kvstore: barrier parties %d, need ≥ 1", parties)
 	}

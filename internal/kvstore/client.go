@@ -95,6 +95,40 @@ func (o *Options) normalize() {
 // idempotent unit, e.g. DEL + re-push a whole list).
 var ErrNotRetryable = errors.New("kvstore: command not retryable")
 
+// KV is the store-client surface shared by *Client (one store) and
+// *ClusterClient (a slot-routed pool over many stores). Everything
+// above the wire — distrib's shipping paths, the partitioner's stores,
+// the barrier — is written against it, so a single-store deployment
+// and a hash-slot cluster interchange without call-site changes.
+type KV interface {
+	Get(key string) ([]byte, error)
+	Set(key string, val []byte) error
+	MSet(keys []string, vals [][]byte) error
+	MGet(keys ...string) ([][]byte, error)
+	Del(keys ...string) (int64, error)
+	Incr(key string) (int64, error)
+	RPush(key string, vals ...[]byte) (int64, error)
+	LRange(key string, start, stop int64) ([][]byte, error)
+	LRangeChunked(key string, window int64, fn func(batch [][]byte) error) error
+	LLen(key string) (int64, error)
+	Ping() error
+	Do(cmd string, args ...[]byte) (Reply, error)
+	Pipe(width int) (Pipe, error)
+	Close() error
+}
+
+// Pipe is the pipelining surface behind KV: a width-bounded command
+// batcher whose Finish returns every reply in send order. *Pipeline
+// implements it over one connection; *ClusterPipeline fans the same
+// ordering guarantee out across slot owners.
+type Pipe interface {
+	Expect(total int)
+	Send(cmd string, args ...[]byte) error
+	Finish() ([]Reply, error)
+	FinishInto(dst []Reply) ([]Reply, error)
+	Reuse(dst []Reply)
+}
+
 // idempotent lists the commands safe to blindly re-send: re-executing
 // them converges to the same store state and reply semantics.
 var idempotent = map[string]bool{
@@ -571,6 +605,16 @@ func (c *Client) NewPipeline(width int) (*Pipeline, error) {
 		return nil, fmt.Errorf("kvstore: pipeline width %d, need ≥ 1", width)
 	}
 	return &Pipeline{c: c, width: width}, nil
+}
+
+// Pipe is NewPipeline behind the KV interface. The explicit nil-error
+// guard keeps a typed-nil *Pipeline out of the interface value.
+func (c *Client) Pipe(width int) (Pipe, error) {
+	p, err := c.NewPipeline(width)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Expect hints the total number of commands this pipeline will carry,

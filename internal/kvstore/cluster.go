@@ -1,0 +1,633 @@
+package kvstore
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"pareto/internal/telemetry"
+)
+
+// ClusterClient routes commands across a slot-partitioned set of
+// kvstored processes: key → hash slot → owning store, with one pooled
+// *Client per store and MOVED redirects chased and cached. It
+// implements KV, so everything written against a single store — the
+// distrib shipping paths, the partitioner, the barrier — points at a
+// cluster unchanged.
+//
+// The slot table is primed from any reachable seed via CLUSTER SLOTS
+// and repaired lazily: a MOVED reply rewrites the one slot it names, a
+// missing owner triggers a full refresh. Multi-key commands (MSET,
+// MGET, DEL) are split by owner and merged back in argument order.
+type ClusterClient struct {
+	mu      sync.Mutex
+	timeout time.Duration
+	opts    Options
+	conns   map[string]*Client
+	owner   [NumSlots]string
+	seeds   []string
+
+	moved *telemetry.Counter // client-side MOVED redirects chased
+}
+
+// maxRedirects bounds a doKey MOVED chase; a table more than a few
+// hops stale means the cluster map is cyclic garbage.
+const maxRedirects = 4
+
+// DialCluster connects to a slot-partitioned cluster through its
+// seeds: the first reachable seed's CLUSTER SLOTS primes the slot
+// table, and per-store connections are dialed on demand with the same
+// timeout and Options a single-store DialOptions would use.
+func DialCluster(seeds []string, timeout time.Duration, opts Options) (*ClusterClient, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("kvstore: cluster dial with no seeds")
+	}
+	cc := &ClusterClient{
+		timeout: timeout,
+		opts:    opts,
+		conns:   make(map[string]*Client),
+		seeds:   append([]string(nil), seeds...),
+		moved:   opts.Telemetry.Counter("kv_cluster_client_moved_total"),
+	}
+	if err := cc.refresh(); err != nil {
+		cc.Close()
+		return nil, err
+	}
+	return cc, nil
+}
+
+// refresh re-primes the slot table from the first reachable node
+// (known connections first, then seeds).
+func (cc *ClusterClient) refresh() error {
+	cc.mu.Lock()
+	addrs := make([]string, 0, len(cc.conns)+len(cc.seeds))
+	for a := range cc.conns {
+		addrs = append(addrs, a)
+	}
+	addrs = append(addrs, cc.seeds...)
+	cc.mu.Unlock()
+	var lastErr error
+	for _, addr := range addrs {
+		c, err := cc.clientFor(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rep, err := c.Do("CLUSTER", []byte("SLOTS"))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := rep.Err(); err != nil {
+			lastErr = err
+			continue
+		}
+		ranges, err := parseSlotsReply(rep)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cc.mu.Lock()
+		cc.owner = [NumSlots]string{}
+		for _, r := range ranges {
+			for s := r.Lo; s <= r.Hi; s++ {
+				cc.owner[s] = r.Addr
+			}
+		}
+		cc.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("kvstore: cluster slots unavailable from any node: %w", lastErr)
+}
+
+// parseSlotsReply decodes a CLUSTER SLOTS array of [lo, hi, addr]
+// triples.
+func parseSlotsReply(rep Reply) ([]SlotRange, error) {
+	if rep.Type != Array {
+		return nil, fmt.Errorf("kvstore: CLUSTER SLOTS reply is %v, want array", rep.Type)
+	}
+	out := make([]SlotRange, 0, len(rep.Array))
+	for _, el := range rep.Array {
+		if el.Type != Array || len(el.Array) != 3 ||
+			el.Array[0].Type != Integer || el.Array[1].Type != Integer ||
+			el.Array[2].Type != BulkString {
+			return nil, fmt.Errorf("kvstore: malformed CLUSTER SLOTS entry")
+		}
+		out = append(out, SlotRange{
+			Lo:   int(el.Array[0].Int),
+			Hi:   int(el.Array[1].Int),
+			Addr: string(el.Array[2].Bulk),
+		})
+	}
+	return out, nil
+}
+
+// Slots returns the client's current view of the slot map as maximal
+// contiguous ranges.
+func (cc *ClusterClient) Slots() []SlotRange {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	t := slotTable{owner: cc.owner}
+	return t.ranges()
+}
+
+// clientFor returns (dialing on demand) the pooled connection to addr.
+func (cc *ClusterClient) clientFor(addr string) (*Client, error) {
+	cc.mu.Lock()
+	c, ok := cc.conns[addr]
+	cc.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	// Dial outside the lock: a dead node's timeout must not stall
+	// routing to live ones.
+	fresh, err := DialOptions(addr, cc.timeout, cc.opts)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if c, ok := cc.conns[addr]; ok { // raced: keep the winner
+		fresh.Close()
+		return c, nil
+	}
+	cc.conns[addr] = fresh
+	return fresh, nil
+}
+
+func (cc *ClusterClient) ownerOf(slot int) string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.owner[slot]
+}
+
+func (cc *ClusterClient) setOwner(slot int, addr string) {
+	cc.mu.Lock()
+	cc.owner[slot] = addr
+	cc.mu.Unlock()
+}
+
+// anyClient returns a connection to any cluster node (for keyless
+// commands), preferring the owner of slot 0's neighborhood.
+func (cc *ClusterClient) anyClient() (*Client, error) {
+	cc.mu.Lock()
+	var addr string
+	for _, a := range cc.owner {
+		if a != "" {
+			addr = a
+			break
+		}
+	}
+	cc.mu.Unlock()
+	if addr == "" {
+		if len(cc.seeds) == 0 {
+			return nil, fmt.Errorf("kvstore: no cluster nodes known")
+		}
+		addr = cc.seeds[0]
+	}
+	return cc.clientFor(addr)
+}
+
+// doKey routes one single-slot command to its owner, chasing MOVED
+// redirects (each one repairs the table entry it names) up to
+// maxRedirects hops.
+func (cc *ClusterClient) doKey(key, cmd string, args [][]byte) (Reply, error) {
+	slot := SlotForKey(key)
+	addr := cc.ownerOf(slot)
+	for hop := 0; hop <= maxRedirects; hop++ {
+		if addr == "" {
+			if err := cc.refresh(); err != nil {
+				return Reply{}, err
+			}
+			if addr = cc.ownerOf(slot); addr == "" {
+				return Reply{}, fmt.Errorf("kvstore: hash slot %d unassigned", slot)
+			}
+		}
+		c, err := cc.clientFor(addr)
+		if err != nil {
+			return Reply{}, err
+		}
+		rep, err := c.Do(cmd, args...)
+		if err != nil {
+			return Reply{}, err
+		}
+		if s, to, ok := parseMoved(rep); ok {
+			cc.moved.Inc()
+			cc.setOwner(s, to)
+			addr = to
+			continue
+		}
+		return rep, nil
+	}
+	return Reply{}, fmt.Errorf("kvstore: slot %d: more than %d MOVED redirects", slot, maxRedirects)
+}
+
+// Do routes by the command's first key; keyless commands go to an
+// arbitrary node.
+func (cc *ClusterClient) Do(cmd string, args ...[]byte) (Reply, error) {
+	id := lookupCmd(cmd)
+	if first := firstKeyArg(id); first >= 0 && len(args) > first {
+		return cc.doKey(string(args[first]), cmd, args)
+	}
+	c, err := cc.anyClient()
+	if err != nil {
+		return Reply{}, err
+	}
+	return c.Do(cmd, args...)
+}
+
+// Get fetches a string key; ErrNil if absent.
+func (cc *ClusterClient) Get(key string) ([]byte, error) {
+	rep, err := cc.doKey(key, "GET", [][]byte{[]byte(key)})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	if rep.Type == NullBulk {
+		return nil, ErrNil
+	}
+	return rep.Bulk, nil
+}
+
+// Set stores a string key.
+func (cc *ClusterClient) Set(key string, val []byte) error {
+	rep, err := cc.doKey(key, "SET", [][]byte{[]byte(key), val})
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// Incr atomically increments a counter key on its owning store.
+func (cc *ClusterClient) Incr(key string) (int64, error) {
+	rep, err := cc.doKey(key, "INCR", [][]byte{[]byte(key)})
+	if err != nil {
+		return 0, err
+	}
+	if err := rep.Err(); err != nil {
+		return 0, err
+	}
+	return rep.Int, nil
+}
+
+// RPush appends values to a list on its owning store.
+func (cc *ClusterClient) RPush(key string, vals ...[]byte) (int64, error) {
+	args := make([][]byte, 0, len(vals)+1)
+	args = append(args, []byte(key))
+	args = append(args, vals...)
+	rep, err := cc.doKey(key, "RPUSH", args)
+	if err != nil {
+		return 0, err
+	}
+	if err := rep.Err(); err != nil {
+		return 0, err
+	}
+	return rep.Int, nil
+}
+
+// LRange fetches list elements in [start, stop] from the key's owner.
+func (cc *ClusterClient) LRange(key string, start, stop int64) ([][]byte, error) {
+	rep, err := cc.doKey(key, "LRANGE", [][]byte{
+		[]byte(key),
+		[]byte(strconv.FormatInt(start, 10)),
+		[]byte(strconv.FormatInt(stop, 10)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(rep.Array))
+	for i, el := range rep.Array {
+		out[i] = el.Bulk
+	}
+	return out, nil
+}
+
+// LRangeChunked streams a list in bounded windows, as Client's.
+func (cc *ClusterClient) LRangeChunked(key string, window int64, fn func(batch [][]byte) error) error {
+	if window < 1 {
+		return fmt.Errorf("kvstore: lrange window %d, need ≥ 1", window)
+	}
+	for start := int64(0); ; start += window {
+		batch, err := cc.LRange(key, start, start+window-1)
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := fn(batch); err != nil {
+			return err
+		}
+		if int64(len(batch)) < window {
+			return nil
+		}
+	}
+}
+
+// LLen returns a list's length from the key's owner.
+func (cc *ClusterClient) LLen(key string) (int64, error) {
+	rep, err := cc.doKey(key, "LLEN", [][]byte{[]byte(key)})
+	if err != nil {
+		return 0, err
+	}
+	if err := rep.Err(); err != nil {
+		return 0, err
+	}
+	return rep.Int, nil
+}
+
+// MSet splits the batch by slot owner and issues one MSET per store.
+// Atomicity is per store, not cluster-wide — same as issuing the
+// groups yourself.
+func (cc *ClusterClient) MSet(keys []string, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("kvstore: mset with %d keys, %d values", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	groups, err := cc.groupByOwner(keys)
+	if err != nil {
+		return err
+	}
+	for addr, idx := range groups {
+		c, err := cc.clientFor(addr)
+		if err != nil {
+			return err
+		}
+		gk := make([]string, len(idx))
+		gv := make([][]byte, len(idx))
+		for i, j := range idx {
+			gk[i], gv[i] = keys[j], vals[j]
+		}
+		if err := c.MSet(gk, gv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MGet splits the fetch by slot owner and merges values back into
+// argument order; a missing key yields a nil entry.
+func (cc *ClusterClient) MGet(keys ...string) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	groups, err := cc.groupByOwner(keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(keys))
+	for addr, idx := range groups {
+		c, err := cc.clientFor(addr)
+		if err != nil {
+			return nil, err
+		}
+		gk := make([]string, len(idx))
+		for i, j := range idx {
+			gk[i] = keys[j]
+		}
+		vals, err := c.MGet(gk...)
+		if err != nil {
+			return nil, err
+		}
+		for i, j := range idx {
+			out[j] = vals[i]
+		}
+	}
+	return out, nil
+}
+
+// Del removes keys across their owners, returning how many existed.
+func (cc *ClusterClient) Del(keys ...string) (int64, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	groups, err := cc.groupByOwner(keys)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for addr, idx := range groups {
+		c, err := cc.clientFor(addr)
+		if err != nil {
+			return n, err
+		}
+		gk := make([]string, len(idx))
+		for i, j := range idx {
+			gk[i] = keys[j]
+		}
+		m, err := c.Del(gk...)
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// groupByOwner maps owner address → indices into keys, refreshing the
+// table once if any slot is unassigned.
+func (cc *ClusterClient) groupByOwner(keys []string) (map[string][]int, error) {
+	for attempt := 0; ; attempt++ {
+		groups := make(map[string][]int)
+		stale := false
+		for i, k := range keys {
+			addr := cc.ownerOf(SlotForKey(k))
+			if addr == "" {
+				stale = true
+				break
+			}
+			groups[addr] = append(groups[addr], i)
+		}
+		if !stale {
+			return groups, nil
+		}
+		if attempt > 0 {
+			return nil, fmt.Errorf("kvstore: hash slot unassigned after refresh")
+		}
+		if err := cc.refresh(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Ping round-trips every known node.
+func (cc *ClusterClient) Ping() error {
+	pinged := false
+	for _, r := range cc.Slots() {
+		c, err := cc.clientFor(r.Addr)
+		if err != nil {
+			return err
+		}
+		if err := c.Ping(); err != nil {
+			return err
+		}
+		pinged = true
+	}
+	if !pinged {
+		c, err := cc.anyClient()
+		if err != nil {
+			return err
+		}
+		return c.Ping()
+	}
+	return nil
+}
+
+// Close closes every pooled connection.
+func (cc *ClusterClient) Close() error {
+	cc.mu.Lock()
+	conns := cc.conns
+	cc.conns = make(map[string]*Client)
+	cc.mu.Unlock()
+	var err error
+	for _, c := range conns {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Pipe returns a cluster pipeline: commands are routed to per-owner
+// pipelines as they are sent, and Finish merges every reply back into
+// global send order.
+func (cc *ClusterClient) Pipe(width int) (Pipe, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("kvstore: pipeline width %d, need ≥ 1", width)
+	}
+	return &ClusterPipeline{cc: cc, width: width, pipes: make(map[string]*Pipeline)}, nil
+}
+
+// ClusterPipeline fans a pipelined batch out across slot owners while
+// preserving reply order: each command is enqueued on its owner's
+// pipeline and the owner is recorded in a send-order ledger; Finish
+// collects each node's replies (in that node's send order) and merges
+// them back by the ledger. A MOVED reply in the results repairs the
+// slot table for the next batch; the command itself is not re-executed
+// — the caller sees the redirect error and re-issues the batch, the
+// same contract as a broken-connection pipeline retry.
+type ClusterPipeline struct {
+	cc     *ClusterClient
+	width  int
+	pipes  map[string]*Pipeline
+	order  []string // owner addr per command, in send order
+	hint   int
+	merged []Reply // reusable merge buffer (Reuse)
+}
+
+// Expect hints the batch's total command count; each owner pipeline is
+// seeded with the full hint (an upper bound — regrowth avoided at the
+// cost of over-allocation proportional to node count).
+func (cp *ClusterPipeline) Expect(total int) {
+	cp.hint = total
+	for _, p := range cp.pipes {
+		p.Expect(total)
+	}
+	if total > cap(cp.order) {
+		grown := make([]string, len(cp.order), total)
+		copy(grown, cp.order)
+		cp.order = grown
+	}
+}
+
+// Send routes one command to its key's owner pipeline. Keyless
+// commands are rejected — there is no single node whose reply could
+// take a deterministic position in the merged order.
+func (cp *ClusterPipeline) Send(cmd string, args ...[]byte) error {
+	id := lookupCmd(cmd)
+	first := firstKeyArg(id)
+	if first < 0 || len(args) <= first {
+		return fmt.Errorf("kvstore: cluster pipeline cannot route keyless command %s", cmd)
+	}
+	slot := slotForKeyBytes(args[first])
+	addr := cp.cc.ownerOf(slot)
+	if addr == "" {
+		if err := cp.cc.refresh(); err != nil {
+			return err
+		}
+		if addr = cp.cc.ownerOf(slot); addr == "" {
+			return fmt.Errorf("kvstore: hash slot %d unassigned", slot)
+		}
+	}
+	p, ok := cp.pipes[addr]
+	if !ok {
+		c, err := cp.cc.clientFor(addr)
+		if err != nil {
+			return err
+		}
+		if p, err = c.NewPipeline(cp.width); err != nil {
+			return err
+		}
+		if cp.hint > 0 {
+			p.Expect(cp.hint)
+		}
+		cp.pipes[addr] = p
+	}
+	if err := p.Send(cmd, args...); err != nil {
+		return err
+	}
+	cp.order = append(cp.order, addr)
+	return nil
+}
+
+// Finish drains every owner pipeline and merges the replies back into
+// global send order, reusing a Reuse-seeded merge buffer if present.
+func (cp *ClusterPipeline) Finish() ([]Reply, error) {
+	out := cp.merged
+	cp.merged = nil
+	return cp.FinishInto(out)
+}
+
+// FinishInto is Finish appending into dst, reusing its capacity.
+func (cp *ClusterPipeline) FinishInto(dst []Reply) ([]Reply, error) {
+	results := make(map[string][]Reply, len(cp.pipes))
+	var firstErr error
+	for addr, p := range cp.pipes {
+		reps, err := p.Finish()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results[addr] = reps
+	}
+	out := dst[:0]
+	cursor := make(map[string]int, len(results))
+	for _, addr := range cp.order {
+		reps := results[addr]
+		i := cursor[addr]
+		if i >= len(reps) {
+			// A node's pipeline died mid-batch: its tail is gone.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("kvstore: cluster pipeline lost replies from %s", addr)
+			}
+			break
+		}
+		if s, to, ok := parseMoved(reps[i]); ok {
+			cp.cc.moved.Inc()
+			cp.cc.setOwner(s, to)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("kvstore: pipelined command redirected (MOVED %d %s); re-issue the batch", s, to)
+			}
+		}
+		out = append(out, reps[i])
+		cursor[addr] = i + 1
+	}
+	cp.order = cp.order[:0]
+	// Ownership matches Pipeline.Finish: the returned slice belongs to
+	// the caller; it only comes back to us through an explicit Reuse.
+	cp.merged = nil
+	return out, firstErr
+}
+
+// Reuse seeds the merge buffer with dst[:0] for the next batch.
+func (cp *ClusterPipeline) Reuse(dst []Reply) {
+	cp.merged = dst[:0]
+	cp.order = cp.order[:0]
+}

@@ -1,0 +1,158 @@
+package kvstore
+
+// Command dispatch. The wire hands the server a command name whose
+// case is whatever the client chose; dispatching through
+// strings.ToUpper would allocate for every non-uppercase spelling on
+// the hot path. Instead every command name is resolved once into a
+// small integer cmdID by case-folding into a stack buffer and
+// switching on it — the compiler turns `switch string(buf)` against
+// constant cases into allocation-free comparisons — and both the
+// engine and the server's telemetry classification dispatch on the ID.
+
+// cmdID identifies one wire command (or cmdNone for an unknown name).
+type cmdID uint8
+
+const (
+	cmdNone cmdID = iota
+	cmdPing
+	cmdEcho
+	cmdSet
+	cmdGet
+	cmdMSet
+	cmdMGet
+	cmdDel
+	cmdExists
+	cmdIncr
+	cmdIncrBy
+	cmdAppend
+	cmdStrlen
+	cmdRPush
+	cmdLPush
+	cmdLLen
+	cmdLIndex
+	cmdLRange
+	cmdFlushDB
+	cmdFlushAll
+	cmdDBSize
+	// Server-context commands: the engine treats them as unknown, the
+	// server intercepts them before engine dispatch.
+	cmdInfo
+	cmdSave
+	cmdBGRewriteAOF
+	cmdCluster
+	numCmdIDs
+)
+
+// maxCmdNameLen bounds the fold buffer; the longest command name is
+// BGREWRITEAOF (12 bytes).
+const maxCmdNameLen = 16
+
+// lookupCmd resolves a command name of any case to its cmdID without
+// allocating. Unknown names (and names longer than any known command)
+// map to cmdNone.
+func lookupCmd(cmd string) cmdID {
+	if len(cmd) > maxCmdNameLen {
+		return cmdNone
+	}
+	var buf [maxCmdNameLen]byte
+	for i := 0; i < len(cmd); i++ {
+		c := cmd[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	switch string(buf[:len(cmd)]) {
+	case "GET":
+		return cmdGet
+	case "SET":
+		return cmdSet
+	case "MGET":
+		return cmdMGet
+	case "MSET":
+		return cmdMSet
+	case "DEL":
+		return cmdDel
+	case "EXISTS":
+		return cmdExists
+	case "INCR":
+		return cmdIncr
+	case "INCRBY":
+		return cmdIncrBy
+	case "APPEND":
+		return cmdAppend
+	case "STRLEN":
+		return cmdStrlen
+	case "RPUSH":
+		return cmdRPush
+	case "LPUSH":
+		return cmdLPush
+	case "LLEN":
+		return cmdLLen
+	case "LINDEX":
+		return cmdLIndex
+	case "LRANGE":
+		return cmdLRange
+	case "PING":
+		return cmdPing
+	case "ECHO":
+		return cmdEcho
+	case "FLUSHDB":
+		return cmdFlushDB
+	case "FLUSHALL":
+		return cmdFlushAll
+	case "DBSIZE":
+		return cmdDBSize
+	case "INFO":
+		return cmdInfo
+	case "SAVE":
+		return cmdSave
+	case "BGREWRITEAOF":
+		return cmdBGRewriteAOF
+	case "CLUSTER":
+		return cmdCluster
+	}
+	return cmdNone
+}
+
+// cmdWrites reports whether a command mutates the engine — the set the
+// append-only log must record for replay to reconstruct the store.
+func cmdWrites(id cmdID) bool {
+	switch id {
+	case cmdSet, cmdMSet, cmdDel, cmdIncr, cmdIncrBy, cmdAppend,
+		cmdRPush, cmdLPush, cmdFlushDB, cmdFlushAll:
+		return true
+	}
+	return false
+}
+
+// firstKeyArg returns the index of the command's first key argument,
+// or -1 for keyless commands (PING, DBSIZE, FLUSH*, INFO, …). For
+// multi-key commands this is the routing key; allKeyArgs enumerates
+// the rest.
+func firstKeyArg(id cmdID) int {
+	switch id {
+	case cmdGet, cmdSet, cmdDel, cmdExists, cmdIncr, cmdIncrBy,
+		cmdAppend, cmdStrlen, cmdRPush, cmdLPush, cmdLLen, cmdLIndex,
+		cmdLRange, cmdMGet, cmdMSet:
+		return 0
+	}
+	return -1
+}
+
+// keyArgStride describes how a command's arguments enumerate keys:
+// (first, stride, count=all remaining). stride 0 means exactly one key
+// at the first position; 1 means every argument is a key (DEL, EXISTS,
+// MGET); 2 means every other argument starting at first (MSET).
+func keyArgStride(id cmdID) (first, stride int) {
+	switch id {
+	case cmdDel, cmdExists, cmdMGet:
+		return 0, 1
+	case cmdMSet:
+		return 0, 2
+	case cmdGet, cmdSet, cmdIncr, cmdIncrBy, cmdAppend, cmdStrlen,
+		cmdRPush, cmdLPush, cmdLLen, cmdLIndex, cmdLRange:
+		return 0, 0
+	}
+	return -1, 0
+}

@@ -1,0 +1,154 @@
+package kvstore
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestLookupCmdFoldsCase(t *testing.T) {
+	cases := map[string]cmdID{
+		"GET": cmdGet, "get": cmdGet, "GeT": cmdGet,
+		"SET": cmdSet, "set": cmdSet,
+		"MSET": cmdMSet, "mget": cmdMGet,
+		"INCRBY": cmdIncrBy, "incrby": cmdIncrBy,
+		"BGREWRITEAOF": cmdBGRewriteAOF, "bgrewriteaof": cmdBGRewriteAOF,
+		"CLUSTER": cmdCluster, "cluster": cmdCluster,
+		"FLUSHALL": cmdFlushAll, "flushall": cmdFlushAll,
+		"nope":                             cmdNone,
+		"":                                 cmdNone,
+		strings.Repeat("G", maxCmdNameLen): cmdNone, // too long, no panic
+		"GETT":                             cmdNone, // prefix of nothing
+	}
+	for cmd, want := range cases {
+		if got := lookupCmd(cmd); got != want {
+			t.Errorf("lookupCmd(%q) = %v, want %v", cmd, got, want)
+		}
+	}
+}
+
+// The dispatch path must not allocate for case folding: the seed's
+// strings.ToUpper(cmd) cost one allocation per command from any
+// lowercase client, on every single operation. This is the regression
+// test that keeps it dead.
+func TestEngineDoLowercaseNoAlloc(t *testing.T) {
+	e := NewEngine()
+	e.Do("SET", []byte("allockey"), []byte("v"))
+	e.Do("RPUSH", []byte("alloclist"), []byte("a"))
+
+	key := []byte("allockey")
+	missing := []byte("allocmissing")
+	list := []byte("alloclist")
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"exists lowercase", func() { e.Do("exists", key) }},
+		{"llen lowercase", func() { e.Do("llen", list) }},
+		{"get missing lowercase", func() { e.Do("get", missing) }},
+		{"exists mixed case", func() { e.Do("ExIsTs", key) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(200, tc.fn); n != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+func TestNewEngineShardsRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{5, 8},
+		{16, 16},
+		{100, 128},
+		{1024, 1024},
+		{5000, 1024}, // capped
+	}
+	for _, tc := range cases {
+		if got := NewEngineShards(tc.in).NumShards(); got != tc.want {
+			t.Errorf("NewEngineShards(%d) = %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNewEngineShardsDefaultScalesWithProcs(t *testing.T) {
+	n := NewEngineShards(0).NumShards()
+	if n&(n-1) != 0 {
+		t.Errorf("default shard count %d is not a power of two", n)
+	}
+	if n < minDefaultShards {
+		t.Errorf("default shard count %d below floor %d", n, minDefaultShards)
+	}
+	if procs := runtime.GOMAXPROCS(0); n < 2*procs && n < maxShards {
+		t.Errorf("default shard count %d does not scale with GOMAXPROCS=%d", n, procs)
+	}
+	if NewEngine().NumShards() != n {
+		t.Error("NewEngine and NewEngineShards(0) disagree on the default")
+	}
+}
+
+func TestShardingPreservesSemantics(t *testing.T) {
+	// The same workload against 1 shard and many shards must be
+	// indistinguishable.
+	single := NewEngineShards(1)
+	many := NewEngineShards(64)
+	for _, e := range []*Engine{single, many} {
+		for i := 0; i < 200; i++ {
+			k := []byte{byte('a' + i%26), byte('0' + i%10)}
+			e.Do("SET", k, []byte{byte(i)})
+			e.Do("INCR", append([]byte("n:"), k...))
+		}
+	}
+	if single.Size() != many.Size() {
+		t.Fatalf("sizes diverge: %d vs %d", single.Size(), many.Size())
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte{byte('a' + i%26), byte('0' + i%10)}
+		a, b := single.Do("GET", k), many.Do("GET", k)
+		if string(a.Bulk) != string(b.Bulk) {
+			t.Fatalf("key %s: %q vs %q", k, a.Bulk, b.Bulk)
+		}
+	}
+}
+
+func TestKeyArgStride(t *testing.T) {
+	cases := []struct {
+		cmd           string
+		first, stride int
+	}{
+		{"GET", 0, 0},
+		{"SET", 0, 0},
+		{"DEL", 0, 1},
+		{"MGET", 0, 1},
+		{"EXISTS", 0, 1},
+		{"MSET", 0, 2},
+		{"PING", -1, 0},
+		{"INFO", -1, 0},
+		{"CLUSTER", -1, 0},
+		{"FLUSHALL", -1, 0},
+	}
+	for _, tc := range cases {
+		first, stride := keyArgStride(lookupCmd(tc.cmd))
+		if first != tc.first || stride != tc.stride {
+			t.Errorf("keyArgStride(%s) = (%d, %d), want (%d, %d)",
+				tc.cmd, first, stride, tc.first, tc.stride)
+		}
+	}
+}
+
+func TestCmdWritesClassification(t *testing.T) {
+	writes := []string{"SET", "MSET", "DEL", "INCR", "INCRBY", "APPEND", "RPUSH", "LPUSH", "FLUSHDB", "FLUSHALL"}
+	reads := []string{"GET", "MGET", "EXISTS", "STRLEN", "LRANGE", "LLEN", "PING", "ECHO", "DBSIZE", "INFO", "SAVE", "CLUSTER"}
+	for _, c := range writes {
+		if !cmdWrites(lookupCmd(c)) {
+			t.Errorf("%s not classified as a write — it would escape the AOF", c)
+		}
+	}
+	for _, c := range reads {
+		if cmdWrites(lookupCmd(c)) {
+			t.Errorf("%s classified as a write — it would bloat the AOF", c)
+		}
+	}
+}

@@ -1,8 +1,8 @@
 package kvstore
 
 import (
+	"runtime"
 	"strconv"
-	"strings"
 	"sync"
 )
 
@@ -19,10 +19,18 @@ import (
 // an argument (PING/ECHO) alias it and must be consumed before the
 // caller recycles its buffer.
 type Engine struct {
-	shards [numShards]shard
+	shards []shard
+	mask   uint32
 }
 
-const numShards = 16
+// Shard-count bounds: the default scales with GOMAXPROCS but never
+// below the seed's fixed 16 (so single-core deployments keep the same
+// lock granularity) and never above 1024 (beyond which the per-shard
+// map overhead buys nothing).
+const (
+	minDefaultShards = 16
+	maxShards        = 1024
+)
 
 type shard struct {
 	mu      sync.RWMutex
@@ -30,9 +38,27 @@ type shard struct {
 	lists   map[string][][]byte
 }
 
-// NewEngine creates an empty engine.
-func NewEngine() *Engine {
-	e := &Engine{}
+// NewEngine creates an empty engine with the default shard count.
+func NewEngine() *Engine { return NewEngineShards(0) }
+
+// NewEngineShards creates an empty engine with n shards, rounded up to
+// a power of two so shard selection is a mask, not a modulo. n ≤ 0
+// selects the default: the smallest power of two ≥ 2×GOMAXPROCS,
+// floored at 16 — enough shards that GOMAXPROCS writer goroutines
+// rarely collide on one lock, which is what lets SET/GET throughput
+// scale with cores.
+func NewEngineShards(n int) *Engine {
+	if n <= 0 {
+		n = 2 * runtime.GOMAXPROCS(0)
+		if n < minDefaultShards {
+			n = minDefaultShards
+		}
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	n = ceilPow2(n)
+	e := &Engine{shards: make([]shard, n), mask: uint32(n - 1)}
 	for i := range e.shards {
 		e.shards[i].strings = make(map[string][]byte)
 		e.shards[i].lists = make(map[string][][]byte)
@@ -40,14 +66,27 @@ func NewEngine() *Engine {
 	return e
 }
 
+// NumShards returns the engine's shard count (always a power of two).
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// ceilPow2 rounds n up to the next power of two (n ≥ 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 func (e *Engine) shardFor(key string) *shard {
-	// FNV-1a over the key selects the shard.
+	// FNV-1a over the key selects the shard; the power-of-two shard
+	// count makes selection a single AND instead of a modulo.
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return &e.shards[h%numShards]
+	return &e.shards[h&e.mask]
 }
 
 // Common reply constructors.
@@ -66,30 +105,38 @@ func notInteger() Reply           { return errReply("ERR value is not an integer
 func unknownCmd(cmd string) Reply { return errReply("ERR unknown command '" + cmd + "'") }
 
 // Do executes one command against the engine and returns its reply.
-// Command names are case-insensitive, as in Redis.
+// Command names are case-insensitive, as in Redis; the lookup folds
+// case without allocating, so a lowercase client costs nothing extra.
 func (e *Engine) Do(cmd string, args ...[]byte) Reply {
-	switch strings.ToUpper(cmd) {
-	case "PING":
+	return e.doID(lookupCmd(cmd), cmd, args)
+}
+
+// doID executes a pre-resolved command. The server resolves the cmdID
+// once per command and shares it between dispatch, telemetry
+// classification, cluster-slot checks, and AOF logging.
+func (e *Engine) doID(id cmdID, cmd string, args [][]byte) Reply {
+	switch id {
+	case cmdPing:
 		if len(args) == 1 {
 			return bulkReply(args[0])
 		}
 		return Reply{Type: SimpleString, Str: "PONG"}
-	case "ECHO":
+	case cmdEcho:
 		if len(args) != 1 {
 			return wrongArgs("echo")
 		}
 		return bulkReply(args[0])
-	case "SET":
+	case cmdSet:
 		if len(args) != 2 {
 			return wrongArgs("set")
 		}
 		return e.set(string(args[0]), args[1])
-	case "GET":
+	case cmdGet:
 		if len(args) != 1 {
 			return wrongArgs("get")
 		}
 		return e.get(string(args[0]))
-	case "MSET":
+	case cmdMSet:
 		if len(args) == 0 || len(args)%2 != 0 {
 			return wrongArgs("mset")
 		}
@@ -97,7 +144,7 @@ func (e *Engine) Do(cmd string, args ...[]byte) Reply {
 			e.set(string(args[i]), args[i+1])
 		}
 		return okReply()
-	case "MGET":
+	case cmdMGet:
 		if len(args) == 0 {
 			return wrongArgs("mget")
 		}
@@ -106,7 +153,7 @@ func (e *Engine) Do(cmd string, args ...[]byte) Reply {
 			out[i] = e.mgetOne(string(k))
 		}
 		return Reply{Type: Array, Array: out}
-	case "DEL":
+	case cmdDel:
 		if len(args) == 0 {
 			return wrongArgs("del")
 		}
@@ -115,7 +162,7 @@ func (e *Engine) Do(cmd string, args ...[]byte) Reply {
 			n += e.del(string(k))
 		}
 		return intReply(n)
-	case "EXISTS":
+	case cmdExists:
 		if len(args) == 0 {
 			return wrongArgs("exists")
 		}
@@ -124,12 +171,12 @@ func (e *Engine) Do(cmd string, args ...[]byte) Reply {
 			n += e.exists(string(k))
 		}
 		return intReply(n)
-	case "INCR":
+	case cmdIncr:
 		if len(args) != 1 {
 			return wrongArgs("incr")
 		}
 		return e.incrBy(string(args[0]), 1)
-	case "INCRBY":
+	case cmdIncrBy:
 		if len(args) != 2 {
 			return wrongArgs("incrby")
 		}
@@ -138,32 +185,32 @@ func (e *Engine) Do(cmd string, args ...[]byte) Reply {
 			return notInteger()
 		}
 		return e.incrBy(string(args[0]), d)
-	case "APPEND":
+	case cmdAppend:
 		if len(args) != 2 {
 			return wrongArgs("append")
 		}
 		return e.append(string(args[0]), args[1])
-	case "STRLEN":
+	case cmdStrlen:
 		if len(args) != 1 {
 			return wrongArgs("strlen")
 		}
 		return e.strlen(string(args[0]))
-	case "RPUSH":
+	case cmdRPush:
 		if len(args) < 2 {
 			return wrongArgs("rpush")
 		}
 		return e.rpush(string(args[0]), args[1:])
-	case "LPUSH":
+	case cmdLPush:
 		if len(args) < 2 {
 			return wrongArgs("lpush")
 		}
 		return e.lpush(string(args[0]), args[1:])
-	case "LLEN":
+	case cmdLLen:
 		if len(args) != 1 {
 			return wrongArgs("llen")
 		}
 		return e.llen(string(args[0]))
-	case "LINDEX":
+	case cmdLIndex:
 		if len(args) != 2 {
 			return wrongArgs("lindex")
 		}
@@ -172,7 +219,7 @@ func (e *Engine) Do(cmd string, args ...[]byte) Reply {
 			return notInteger()
 		}
 		return e.lindex(string(args[0]), i)
-	case "LRANGE":
+	case cmdLRange:
 		if len(args) != 3 {
 			return wrongArgs("lrange")
 		}
@@ -182,12 +229,15 @@ func (e *Engine) Do(cmd string, args ...[]byte) Reply {
 			return notInteger()
 		}
 		return e.lrange(string(args[0]), start, stop)
-	case "FLUSHDB", "FLUSHALL":
+	case cmdFlushDB, cmdFlushAll:
 		e.Flush()
 		return okReply()
-	case "DBSIZE":
+	case cmdDBSize:
 		return intReply(e.Size())
 	default:
+		// cmdNone, and the server-context commands (INFO, SAVE,
+		// BGREWRITEAOF, CLUSTER) the server intercepts before engine
+		// dispatch.
 		return unknownCmd(cmd)
 	}
 }

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package kvstore
+
+import "net"
+
+// listenN on platforms without a portable SO_REUSEPORT path: one
+// listener, which ListenN shares across n accept goroutines. The
+// accept queue is single but the accept loops still parallelize the
+// post-accept work (wrapper, bookkeeping, goroutine spawn).
+func listenN(addr string, n int) ([]net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return []net.Listener{ln}, nil
+}

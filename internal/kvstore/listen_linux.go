@@ -1,0 +1,62 @@
+//go:build linux
+
+package kvstore
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT on Linux; the syscall package predates
+// the option and never grew the constant.
+const soReusePort = 0xf
+
+// listenN binds n TCP listeners to one address with SO_REUSEPORT, so
+// the kernel hashes incoming connections across n independent accept
+// queues — the multi-core accept path. A ":0" address is resolved by
+// the first bind and reused for the rest. If the reuseport bind fails
+// outright the caller falls back to a single ordinary listener shared
+// by n accept goroutines.
+func listenN(addr string, n int) ([]net.Listener, error) {
+	if n <= 1 {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{ln}, nil
+	}
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		if err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	lns := make([]net.Listener, 0, n)
+	bind := addr
+	for i := 0; i < n; i++ {
+		ln, err := lc.Listen(context.Background(), "tcp", bind)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			if i > 0 {
+				// Reuseport worked once then failed (port raced away,
+				// exotic netns): degrade to the shared-listener shape.
+				ln, err = net.Listen("tcp", addr)
+				if err == nil {
+					return []net.Listener{ln}, nil
+				}
+			}
+			return nil, err
+		}
+		lns = append(lns, ln)
+		if i == 0 {
+			bind = ln.Addr().String()
+		}
+	}
+	return lns, nil
+}

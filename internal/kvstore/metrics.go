@@ -101,6 +101,56 @@ func cmdClass(cmd string) int {
 	return clsOther
 }
 
+// classOfID maps a resolved cmdID to its telemetry class — the server
+// loop's classification path, case-insensitive for free because
+// lookupCmd already folded the name. BGREWRITEAOF counts with SAVE
+// (both are persistence rewrites); CLUSTER lands in "other".
+func classOfID(id cmdID) int {
+	switch id {
+	case cmdGet:
+		return clsGet
+	case cmdSet:
+		return clsSet
+	case cmdMGet:
+		return clsMGet
+	case cmdMSet:
+		return clsMSet
+	case cmdDel:
+		return clsDel
+	case cmdExists:
+		return clsExists
+	case cmdIncr, cmdIncrBy:
+		return clsIncr
+	case cmdAppend:
+		return clsAppend
+	case cmdStrlen:
+		return clsStrlen
+	case cmdRPush:
+		return clsRPush
+	case cmdLPush:
+		return clsLPush
+	case cmdLLen:
+		return clsLLen
+	case cmdLIndex:
+		return clsLIndex
+	case cmdLRange:
+		return clsLRange
+	case cmdPing:
+		return clsPing
+	case cmdEcho:
+		return clsEcho
+	case cmdFlushDB, cmdFlushAll:
+		return clsFlush
+	case cmdDBSize:
+		return clsDBSize
+	case cmdInfo:
+		return clsInfo
+	case cmdSave, cmdBGRewriteAOF:
+		return clsSave
+	}
+	return clsOther
+}
+
 // serverMetrics holds the shared (atomic) ends of the server's
 // instrumentation, pre-resolved at SetTelemetry time.
 type serverMetrics struct {
@@ -113,6 +163,8 @@ type serverMetrics struct {
 	connsActive *telemetry.Gauge
 	latency     *telemetry.Histogram // batch-mean ns per command
 	batchSize   *telemetry.Histogram // commands per flush batch
+	moved       *telemetry.Counter   // MOVED redirects answered
+	clusterDown *telemetry.Counter   // commands refused: slot unassigned
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -128,6 +180,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		connsActive: reg.Gauge("kv_server_connections_active"),
 		latency:     reg.Histogram("kv_server_command_latency_ns", telemetry.LatencyBuckets()),
 		batchSize:   reg.Histogram("kv_server_batch_commands", telemetry.DepthBuckets()),
+		moved:       reg.Counter("kv_cluster_moved_total"),
+		clusterDown: reg.Counter("kv_cluster_down_total"),
 	}
 	for i, name := range cmdClassNames {
 		m.cmds[i] = reg.Counter(`kv_server_commands_total{cmd="` + name + `"}`)

@@ -521,8 +521,14 @@ func internCommand(b []byte) string {
 		return "ECHO"
 	case "DBSIZE":
 		return "DBSIZE"
+	case "INFO":
+		return "INFO"
 	case "SAVE":
 		return "SAVE"
+	case "BGREWRITEAOF":
+		return "BGREWRITEAOF"
+	case "CLUSTER":
+		return "CLUSTER"
 	case "FLUSHDB":
 		return "FLUSHDB"
 	case "FLUSHALL":

@@ -1,0 +1,224 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// goldenReplyBytes renders replies through the golden WriteReply
+// encoder (the framing contract interop_test pins against real Redis).
+func goldenReplyBytes(t *testing.T, replies ...Reply) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	for _, r := range replies {
+		if err := WriteReply(bw, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// respWriter must produce byte-identical framing to WriteReply for
+// every reply shape — the golden encoder is the compatibility contract
+// (interop_test pins it against real Redis clients).
+func TestRESPWriterMatchesWriteReply(t *testing.T) {
+	big := bytes.Repeat([]byte("Z"), respZeroCopyMin+100) // forces the zero-copy path
+	replies := []Reply{
+		okReply(),
+		{Type: SimpleString, Str: "PONG"},
+		errReply("ERR boom"),
+		intReply(0),
+		intReply(-42),
+		intReply(1 << 40),
+		nilReply(),
+		bulkReply(nil),
+		bulkReply([]byte("")),
+		bulkReply([]byte("short")),
+		bulkReply(big),
+		{Type: Array, Array: []Reply{intReply(1), bulkReply(big), nilReply()}},
+		{Type: Array, Array: nil},
+	}
+	want := goldenReplyBytes(t, replies...)
+	for _, forceCopy := range []bool{false, true} {
+		var got bytes.Buffer
+		rw := newRESPWriter(&got)
+		for _, r := range replies {
+			rw.writeReply(r, forceCopy)
+		}
+		n, err := rw.flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(got.Len()) {
+			t.Errorf("forceCopy=%v: flush reported %d bytes, wrote %d", forceCopy, n, got.Len())
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("forceCopy=%v: writer output diverges from WriteReply\n got %d bytes\nwant %d bytes",
+				forceCopy, got.Len(), len(want))
+		}
+	}
+}
+
+func TestRESPWriterInterleavedSmallAndLarge(t *testing.T) {
+	// Alternate below/above the zero-copy threshold so the segment list
+	// is exercised with spans on both sides of every boundary.
+	var replies []Reply
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			replies = append(replies, bulkReply([]byte(fmt.Sprintf("small-%d", i))))
+		} else {
+			replies = append(replies, bulkReply(bytes.Repeat([]byte{byte('A' + i%26)}, respZeroCopyMin+i)))
+		}
+	}
+	want := goldenReplyBytes(t, replies...)
+	var got bytes.Buffer
+	rw := newRESPWriter(&got)
+	for _, r := range replies {
+		rw.writeReply(r, false)
+	}
+	if _, err := rw.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("interleaved writev output diverges from WriteReply")
+	}
+	// The writer must be reusable after flush.
+	got.Reset()
+	rw.writeReply(okReply(), false)
+	if _, err := rw.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), goldenReplyBytes(t, okReply())) {
+		t.Error("writer not reusable after flush")
+	}
+}
+
+func TestRESPWriterFlushEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	rw := newRESPWriter(&buf)
+	n, err := rw.flush()
+	if err != nil || n != 0 || buf.Len() != 0 {
+		t.Errorf("empty flush = (%d, %v), wrote %d bytes", n, err, buf.Len())
+	}
+}
+
+// End-to-end: replies big enough for the zero-copy writev path must
+// arrive byte-intact through a real server connection, interleaved
+// with small replies in one pipelined batch.
+func TestServerLargeBulkThroughWritev(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialTest(t, addr)
+
+	const elems = 20
+	want := make([][]byte, elems)
+	for i := range want {
+		want[i] = bytes.Repeat([]byte{byte('a' + i)}, respZeroCopyMin*2+i)
+		if _, err := c.RPush("biglist", want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := c.NewPipeline(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("LRANGE", []byte("biglist"), []byte("0"), []byte("-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("PING"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("LRANGE", []byte("biglist"), []byte("5"), []byte("9")); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("%d replies, want 3", len(reps))
+	}
+	if len(reps[0].Array) != elems {
+		t.Fatalf("full LRANGE returned %d elements, want %d", len(reps[0].Array), elems)
+	}
+	for i, el := range reps[0].Array {
+		if !bytes.Equal(el.Bulk, want[i]) {
+			t.Fatalf("element %d corrupted through writev path (len %d, want %d)",
+				i, len(el.Bulk), len(want[i]))
+		}
+	}
+	if reps[1].Str != "PONG" {
+		t.Errorf("interleaved PING = %+v", reps[1])
+	}
+	for i, el := range reps[2].Array {
+		if !bytes.Equal(el.Bulk, want[5+i]) {
+			t.Fatalf("windowed element %d corrupted", i)
+		}
+	}
+}
+
+// N accept loops must all serve: with ListenN(addr, 4), many
+// concurrent connections all complete a write/read round trip.
+func TestServerListenNServesAllLoops(t *testing.T) {
+	srv := NewServer(nil)
+	addr, err := srv.ListenN("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const conns = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr, 2*time.Second)
+			if err != nil {
+				errs <- fmt.Errorf("conn %d dial: %w", i, err)
+				return
+			}
+			defer c.Close()
+			key := fmt.Sprintf("ln:%d", i)
+			if err := c.Set(key, []byte(key)); err != nil {
+				errs <- fmt.Errorf("conn %d set: %w", i, err)
+				return
+			}
+			got, err := c.Get(key)
+			if err != nil || string(got) != key {
+				errs <- fmt.Errorf("conn %d get = %q, %v", i, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := srv.Engine().Size(); got != conns {
+		t.Errorf("engine holds %d keys, want %d", got, conns)
+	}
+}
+
+func TestServerListenNClampsBadCount(t *testing.T) {
+	// n < 1 clamps to a single accept loop rather than failing: the
+	// degenerate configuration is still a working server.
+	srv := NewServer(nil)
+	addr, err := srv.ListenN("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := dialTest(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Error(err)
+	}
+}

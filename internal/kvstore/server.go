@@ -10,27 +10,40 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"pareto/internal/telemetry"
 )
 
 // Server exposes an Engine over TCP using the RESP protocol, one
-// goroutine per connection, with the write side buffered so pipelined
-// command batches are answered in single flushes.
+// goroutine per connection, with pipelined reply batches coalesced
+// into writev-style flushes. It optionally layers durability (snapshot
+// + group-commit AOF) and hash-slot cluster membership on top of the
+// engine.
 type Server struct {
 	engine *Engine
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
 
 	snapshotPath string
 	wrapConn     func(net.Conn) net.Conn
 
 	telemetry *telemetry.Registry
 	metrics   *serverMetrics
+
+	// persistMu orders commands against snapshot rewrites: the command
+	// path holds it shared across engine-apply + AOF-append, a rewrite
+	// (SAVE, BGREWRITEAOF, Close) holds it exclusive across
+	// snapshot-save + AOF-reset, so the snapshot+log pair always
+	// reconstructs exactly the applied command sequence.
+	persistMu sync.RWMutex
+	aof       *AOF
+
+	cluster *clusterConfig
 }
 
 // NewServer wraps an engine; a nil engine gets a fresh one.
@@ -47,7 +60,8 @@ func (s *Server) Engine() *Engine { return s.engine }
 
 // EnableSnapshot configures persistence: an existing snapshot at path
 // is loaded immediately, and the SAVE command (and Close) write back
-// to it. Must be called before Listen.
+// to it. Must be called before Listen (and before EnableAOF, so the
+// snapshot loads before the log tail replays over it).
 func (s *Server) EnableSnapshot(path string) error {
 	s.mu.Lock()
 	s.snapshotPath = path
@@ -57,6 +71,64 @@ func (s *Server) EnableSnapshot(path string) error {
 		return nil
 	}
 	return err
+}
+
+// EnableAOF configures the append-only command log at path: the
+// existing log tail is replayed into the engine immediately (call
+// after EnableSnapshot — snapshot first, then the tail since it), and
+// every subsequent write command is logged and group-commit fsynced
+// before its reply batch is flushed, so an acknowledged write is
+// durable. window ≤ 0 selects DefaultAOFSyncWindow. Must be called
+// before Listen, and after SetTelemetry if AOF counters are wanted.
+func (s *Server) EnableAOF(path string, window time.Duration) error {
+	s.mu.Lock()
+	reg := s.telemetry
+	s.mu.Unlock()
+	if _, err := ReplayAOF(path, s.engine); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	a, err := OpenAOF(path, window, reg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.aof = a
+	s.mu.Unlock()
+	return nil
+}
+
+// AOF returns the server's append-only log, or nil when EnableAOF was
+// never called (useful for white-box durability tests).
+func (s *Server) AOF() *AOF {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aof
+}
+
+// SetClusterSlots enables hash-slot cluster mode: the server owns the
+// slots assigned to self (its advertised address) in ranges, answers
+// MOVED redirects for keys hashing elsewhere, CLUSTERDOWN for
+// unassigned slots, and serves the full map via CLUSTER SLOTS. Must be
+// called before Listen.
+func (s *Server) SetClusterSlots(self string, ranges []SlotRange) error {
+	table, err := newSlotTable(ranges)
+	if err != nil {
+		return err
+	}
+	if self == "" {
+		return errors.New("kvstore: cluster self address required")
+	}
+	served := 0
+	for _, owner := range table.owner {
+		if owner == self {
+			served++
+		}
+	}
+	s.mu.Lock()
+	s.cluster = &clusterConfig{self: self, table: table}
+	s.telemetry.Gauge("kv_cluster_slots_served").Set(int64(served))
+	s.mu.Unlock()
+	return nil
 }
 
 // SetConnWrapper installs a wrapper applied to every subsequently
@@ -93,57 +165,105 @@ func (s *Server) infoReply() Reply {
 }
 
 // handleServerCommand intercepts commands that need server context
-// (persistence, telemetry); ok=false means the engine should handle
-// the command.
-func (s *Server) handleServerCommand(cmd string) (Reply, bool) {
-	if len(cmd) != 4 {
-		return Reply{}, false
-	}
-	if strings.EqualFold(cmd, "INFO") {
+// (persistence, telemetry, cluster metadata); ok=false means the
+// engine should handle the command.
+func (s *Server) handleServerCommand(id cmdID, args [][]byte) (Reply, bool) {
+	switch id {
+	case cmdInfo:
 		return s.infoReply(), true
+	case cmdSave, cmdBGRewriteAOF:
+		// Both compact persistence: snapshot the engine, then reset the
+		// AOF the snapshot now supersedes. BGREWRITEAOF runs in the
+		// foreground here — the engine is an in-memory map, so the
+		// "background" distinction buys nothing.
+		return s.rewritePersistence(), true
+	case cmdCluster:
+		s.mu.Lock()
+		cl := s.cluster
+		s.mu.Unlock()
+		if cl == nil {
+			return errReply("ERR cluster mode not enabled"), true
+		}
+		if len(args) == 1 && strings.EqualFold(string(args[0]), "SLOTS") {
+			return cl.slotsReply(), true
+		}
+		return errReply("ERR unknown CLUSTER subcommand"), true
 	}
-	if !strings.EqualFold(cmd, "SAVE") {
-		return Reply{}, false
-	}
+	return Reply{}, false
+}
+
+// rewritePersistence is SAVE/BGREWRITEAOF: under the exclusive
+// persistence lock (no command can apply+log concurrently), write the
+// snapshot and truncate the log it supersedes.
+func (s *Server) rewritePersistence() Reply {
 	s.mu.Lock()
 	path := s.snapshotPath
+	aof := s.aof
 	s.mu.Unlock()
 	if path == "" {
-		return errReply("ERR snapshots not configured"), true
+		return errReply("ERR snapshots not configured")
 	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
 	if err := s.engine.SaveSnapshotFile(path); err != nil {
-		return errReply("ERR " + err.Error()), true
+		return errReply("ERR " + err.Error())
 	}
-	return okReply(), true
+	if aof != nil {
+		if err := aof.Reset(); err != nil {
+			return errReply("ERR " + err.Error())
+		}
+	}
+	return okReply()
 }
 
 // Listen binds the address (e.g. "127.0.0.1:0") and starts accepting
 // in a background goroutine. It returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
+	return s.ListenN(addr, 1)
+}
+
+// ListenN binds n listeners to the same address (SO_REUSEPORT where
+// the platform supports it, so the kernel load-balances incoming
+// connections across n independent accept queues; elsewhere n accept
+// goroutines share one listener) and starts an accept loop per
+// listener slot. It returns the bound address.
+func (s *Server) ListenN(addr string, n int) (string, error) {
+	if n < 1 {
+		n = 1
+	}
+	lns, err := listenN(addr, n)
 	if err != nil {
 		return "", fmt.Errorf("kvstore: listen %s: %w", addr, err)
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		for _, ln := range lns {
+			ln.Close()
+		}
 		return "", errors.New("kvstore: server already closed")
 	}
-	s.listener = ln
+	s.listeners = append(s.listeners, lns...)
+	reg := s.telemetry
 	s.mu.Unlock()
-	s.wg.Add(1)
-	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
+	// n accept loops even when the platform only gave one listener:
+	// loop i draws from listener i%len(lns).
+	for i := 0; i < n; i++ {
+		acc := reg.Counter(fmt.Sprintf(`kv_server_accepts_total{listener="%d"}`, i))
+		s.wg.Add(1)
+		go s.acceptLoop(lns[i%len(lns)], acc)
+	}
+	return lns[0].Addr().String(), nil
 }
 
-func (s *Server) acceptLoop(ln net.Listener) {
+func (s *Server) acceptLoop(ln net.Listener, accepts *telemetry.Counter) {
 	defer s.wg.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		accepts.Inc()
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -168,15 +288,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	// Instrumented connections read/write through a byte-counting
-	// wrapper and keep goroutine-local command counters in stats,
-	// flushed to the shared registry at batch boundaries (below) and on
-	// teardown. stats == nil is the telemetry-off fast path.
+	// Instrumented connections read through a byte-counting wrapper and
+	// keep goroutine-local command counters in stats, flushed to the
+	// shared registry at batch boundaries (below) and on teardown.
+	// stats == nil is the telemetry-off fast path. Writes bypass the
+	// wrapper — the reply writer needs the real conn for writev — and
+	// are counted from the flush return value instead.
 	var stats *connStats
-	ioConn := conn
+	readConn := conn
 	if m := s.metrics; m != nil {
 		cc := &countingConn{Conn: conn}
-		ioConn = cc
+		readConn = cc
 		stats = &connStats{m: m, cc: cc}
 		m.connsTotal.Inc()
 		m.connsActive.Add(1)
@@ -185,13 +307,39 @@ func (s *Server) serveConn(conn net.Conn) {
 			m.connsActive.Add(-1)
 		}()
 	}
-	r := bufio.NewReaderSize(ioConn, 64<<10)
-	w := bufio.NewWriterSize(ioConn, 64<<10)
+	r := bufio.NewReaderSize(readConn, 64<<10)
+	rw := newRESPWriter(conn)
+	s.mu.Lock()
+	aof := s.aof
+	cluster := s.cluster
+	s.mu.Unlock()
+
+	// pendingSeq is the highest AOF record this connection has appended
+	// but not yet synced; the group-commit barrier runs once per reply
+	// flush, so a pipelined batch of writes shares one fsync wait.
+	var pendingSeq uint64
+	flushReplies := func() error {
+		if pendingSeq > 0 {
+			err := aof.Sync(pendingSeq)
+			pendingSeq = 0
+			if err != nil {
+				return err
+			}
+		}
+		n, err := rw.flush()
+		if stats != nil {
+			stats.cc.out += n
+			stats.flush()
+		}
+		return err
+	}
+
 	// One command arena per connection: arguments parsed by
 	// ReadCommandInto alias cb and are recycled every iteration. The
-	// engine copies anything it stores at its boundary (see engine.go),
-	// and replies that alias the arena (PING/ECHO) are framed into w
-	// before the next read, so nothing outlives its arena generation.
+	// engine copies anything it stores at its boundary (see engine.go);
+	// replies that alias the arena (PING/ECHO) are force-copied into the
+	// reply writer's own buffer before the next read, so nothing
+	// outlives its arena generation.
 	var cb CommandBuffer
 	for {
 		cmd, args, err := ReadCommandInto(r, &cb, MaxBulkLen)
@@ -203,39 +351,73 @@ func (s *Server) serveConn(conn net.Conn) {
 				stats.m.parseErrors.Inc()
 			}
 			// Malformed input: answer with an error if possible, drop.
-			_ = WriteReply(w, errReply("ERR "+err.Error()))
-			_ = w.Flush()
+			rw.writeReply(errReply("ERR "+err.Error()), true)
+			_ = flushReplies()
 			return
 		}
 		if stats != nil {
 			stats.begin()
 		}
-		reply, handled := s.handleServerCommand(cmd)
+		id := lookupCmd(cmd)
+		var reply Reply
+		handled := false
+		if cluster != nil {
+			if reply, handled = cluster.checkSlots(id, args); handled && stats != nil {
+				if strings.HasPrefix(reply.Str, "MOVED") {
+					stats.m.moved.Inc()
+				} else {
+					stats.m.clusterDown.Inc()
+				}
+			}
+		}
 		if !handled {
-			reply = s.engine.Do(cmd, args...)
+			reply, handled = s.handleServerCommand(id, args)
+		}
+		if !handled {
+			if aof != nil && cmdWrites(id) {
+				// Shared persistence lock across apply + append: a
+				// rewrite can never snapshot between the two and then
+				// double-apply the record on restart.
+				s.persistMu.RLock()
+				reply = s.engine.doID(id, cmd, args)
+				if reply.Type != ErrorReply {
+					seq, aerr := aof.Append(cmd, args)
+					if aerr != nil {
+						// Engine applied but the log is dead: fail the
+						// command so the client never counts it durable.
+						reply = errReply("ERR aof append: " + aerr.Error())
+					} else {
+						pendingSeq = seq
+					}
+				}
+				s.persistMu.RUnlock()
+			} else {
+				reply = s.engine.doID(id, cmd, args)
+			}
 		}
 		if stats != nil {
-			stats.observe(cmdClass(cmd), reply.Type == ErrorReply)
+			stats.observe(classOfID(id), reply.Type == ErrorReply)
 		}
-		if err := WriteReply(w, reply); err != nil {
-			return
-		}
-		// Coalesce reply writes: flush only when no further command is
-		// already buffered, so a pipelined batch read in one bufio fill
-		// is answered with one syscall, not one per command.
-		if r.Buffered() == 0 {
-			if err := w.Flush(); err != nil {
+		// PING/ECHO replies alias the parse arena, recycled on the next
+		// ReadCommandInto — copy them; everything else may ride
+		// zero-copy into the writev batch.
+		rw.writeReply(reply, id == cmdPing || id == cmdEcho)
+		// Coalesce reply writes: flush when no further command is
+		// already buffered (a pipelined batch read in one bufio fill is
+		// answered with one gather-write) or when the pending batch hits
+		// the high-water mark.
+		if r.Buffered() == 0 || rw.pending() >= respFlushHighWater {
+			if err := flushReplies(); err != nil {
 				return
-			}
-			if stats != nil {
-				stats.flush()
 			}
 		}
 	}
 }
 
-// Close stops accepting, closes every connection, and waits for the
-// connection goroutines to drain.
+// Close stops accepting, closes every connection, waits for the
+// connection goroutines to drain, then persists: snapshot (when
+// configured) and, once the snapshot holds everything, AOF reset +
+// close.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -243,20 +425,38 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	ln := s.listener
+	lns := s.listeners
 	snapshotPath := s.snapshotPath
+	aof := s.aof
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	var err error
-	if ln != nil {
-		err = ln.Close()
+	for _, ln := range lns {
+		if cerr := ln.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	s.wg.Wait()
+	s.persistMu.Lock()
 	if snapshotPath != "" {
-		if serr := s.engine.SaveSnapshotFile(snapshotPath); serr != nil && err == nil {
-			err = serr
+		if serr := s.engine.SaveSnapshotFile(snapshotPath); serr != nil {
+			if err == nil {
+				err = serr
+			}
+		} else if aof != nil {
+			// Snapshot saved: the log is redundant, truncate it so
+			// restart replays nothing twice.
+			if rerr := aof.Reset(); rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+	}
+	s.persistMu.Unlock()
+	if aof != nil {
+		if cerr := aof.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
 	return err

@@ -148,8 +148,9 @@ const readWindow = 4096
 // batched through pipelining and chunked variadic RPUSH (many records
 // per command, bounded by payload bytes).
 type KVStore struct {
-	// clients[j] connects to the store instance hosting partition j.
-	clients []*kvstore.Client
+	// clients[j] connects to the store instance hosting partition j —
+	// single-store *kvstore.Client or slot-routed *kvstore.ClusterClient.
+	clients []kvstore.KV
 	// width is the pipeline width for bulk writes.
 	width int
 	// keyPrefix namespaces partition keys.
@@ -159,6 +160,12 @@ type KVStore struct {
 // NewKVStore builds a store over per-partition clients. width is the
 // pipeline width (≥1); the paper batches up to a preset width.
 func NewKVStore(clients []*kvstore.Client, width int, keyPrefix string) (*KVStore, error) {
+	return NewKVStoreKV(asKVs(clients), width, keyPrefix)
+}
+
+// NewKVStoreKV is NewKVStore over any KV implementations — the entry
+// point for pointing partition placement at a hash-slot cluster.
+func NewKVStoreKV(clients []kvstore.KV, width int, keyPrefix string) (*KVStore, error) {
 	if len(clients) == 0 {
 		return nil, errors.New("partitioner: no kv clients")
 	}
@@ -171,11 +178,20 @@ func NewKVStore(clients []*kvstore.Client, width int, keyPrefix string) (*KVStor
 	return &KVStore{clients: clients, width: width, keyPrefix: keyPrefix}, nil
 }
 
+// asKVs lifts concrete clients into the KV interface slice.
+func asKVs(clients []*kvstore.Client) []kvstore.KV {
+	out := make([]kvstore.KV, len(clients))
+	for i, c := range clients {
+		out[i] = c
+	}
+	return out
+}
+
 func (k *KVStore) key(id int) string {
 	return k.keyPrefix + ":" + strconv.Itoa(id)
 }
 
-func (k *KVStore) clientFor(id int) (*kvstore.Client, error) {
+func (k *KVStore) clientFor(id int) (kvstore.KV, error) {
 	if id < 0 {
 		return nil, fmt.Errorf("partitioner: partition id %d", id)
 	}
@@ -195,7 +211,7 @@ func (k *KVStore) WritePartition(id int, records [][]byte) error {
 	if _, err := c.Del(k.key(id)); err != nil {
 		return fmt.Errorf("partitioner: clearing partition %d: %w", id, err)
 	}
-	p, err := c.NewPipeline(k.width)
+	p, err := c.Pipe(k.width)
 	if err != nil {
 		return err
 	}
@@ -266,12 +282,17 @@ func (k *KVStore) ReadPartition(id int) ([][]byte, error) {
 // the blob is self-delimiting and a partition round-trips in O(1)
 // commands — and a whole placement in O(stores) commands via MSET.
 type KVBlobStore struct {
-	clients   []*kvstore.Client
+	clients   []kvstore.KV
 	keyPrefix string
 }
 
 // NewKVBlobStore builds a blob-mode store over per-partition clients.
 func NewKVBlobStore(clients []*kvstore.Client, keyPrefix string) (*KVBlobStore, error) {
+	return NewKVBlobStoreKV(asKVs(clients), keyPrefix)
+}
+
+// NewKVBlobStoreKV is NewKVBlobStore over any KV implementations.
+func NewKVBlobStoreKV(clients []kvstore.KV, keyPrefix string) (*KVBlobStore, error) {
 	if len(clients) == 0 {
 		return nil, errors.New("partitioner: no kv clients")
 	}
@@ -285,7 +306,7 @@ func (k *KVBlobStore) key(id int) string {
 	return k.keyPrefix + ":" + strconv.Itoa(id)
 }
 
-func (k *KVBlobStore) clientFor(id int) (*kvstore.Client, error) {
+func (k *KVBlobStore) clientFor(id int) (kvstore.KV, error) {
 	if id < 0 {
 		return nil, fmt.Errorf("partitioner: partition id %d", id)
 	}
