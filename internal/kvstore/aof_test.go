@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -225,6 +226,205 @@ func TestAOFAckedWritesSurviveCrash(t *testing.T) {
 	}
 }
 
+// After one unclean crash leaves a torn tail record, a restarted
+// server must truncate the torn bytes before appending — otherwise
+// every post-crash acked write lands behind unparseable garbage and is
+// lost (or corrupted) on the *next* restart. This drives the full
+// crash → restart → write → restart chain.
+func TestAOFTornTailTruncatedOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node.aof")
+
+	// Lifetime 1 ends in a crash mid-append: 10 acked records plus a
+	// record cut off partway through its payload.
+	writeAOFRecords(t, path, 10)
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tornTail = "*3\r\n$3\r\nSET\r\n$9\r\ntorn-"
+	intact := int64(len(img))
+	img = append(img, tornTail...)
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lifetime 2: restart replays the complete prefix, truncates the
+	// torn tail, and acks new writes.
+	srv := NewServer(nil)
+	if err := srv.EnableAOF(path, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != intact {
+		t.Fatalf("aof size after restart = %d, want torn tail truncated to %d", fi.Size(), intact)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialTest(t, addr)
+	for i := 0; i < 5; i++ {
+		if err := c.Set(fmt.Sprintf("post%d", i), []byte("after-crash")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	if err := srv.Close(); err != nil { // no snapshot configured: log kept intact
+		t.Fatal(err)
+	}
+
+	// Lifetime 3: the log must replay end-to-end without a protocol
+	// error — the torn record did not poison the bytes behind it.
+	e := NewEngine()
+	n, err := ReplayAOF(path, e)
+	if err != nil {
+		t.Fatalf("replay after append-past-torn-tail: %v", err)
+	}
+	if n != 15 {
+		t.Fatalf("replayed %d records, want 15", n)
+	}
+	for i := 0; i < 10; i++ {
+		if rep := e.Do("GET", []byte(fmt.Sprintf("k%d", i))); rep.Type != BulkString {
+			t.Fatalf("pre-crash k%d lost", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if rep := e.Do("GET", []byte(fmt.Sprintf("post%d", i))); string(rep.Bulk) != "after-crash" {
+			t.Fatalf("post-crash post%d = %q after replay", i, rep.Bulk)
+		}
+	}
+}
+
+// A rewrite that crashes between the snapshot rename and the log
+// truncate must not double-apply the log on restart: the snapshot
+// embeds the AOF mark it covers, and replay resumes past it. INCR and
+// RPUSH are the sentinels because they are not idempotent.
+func TestAOFRewriteCrashWindowNoDoubleApply(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "node.pkvs")
+	path := filepath.Join(dir, "node.aof")
+
+	e := NewEngine()
+	a, err := OpenAOF(path, time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	apply := func(cmd string, args ...string) { // the server's apply+log pair
+		t.Helper()
+		bs := make([][]byte, len(args))
+		for i, s := range args {
+			bs[i] = []byte(s)
+		}
+		if rep := e.Do(cmd, bs...); rep.Type == ErrorReply {
+			t.Fatalf("%s: %s", cmd, rep.Str)
+		}
+		if last, err = a.Append(cmd, bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		apply("INCR", "ctr")
+	}
+	apply("RPUSH", "l", "x")
+
+	// Rewrite reaches the snapshot rename, then "crashes" before Reset:
+	// the full log is still on disk next to a snapshot containing it.
+	mark, err := a.DurableMark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveSnapshotFileMark(snap, mark); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine()
+	mark2, err := e2.LoadSnapshotFileMark(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mark2 != mark {
+		t.Fatalf("snapshot round-tripped mark %+v, want %+v", mark2, mark)
+	}
+	n, _, err := ReplayAOFSince(path, e2, mark2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("replayed %d records the snapshot already contains", n)
+	}
+	if rep := e2.Do("GET", []byte("ctr")); string(rep.Bulk) != "5" {
+		t.Fatalf("ctr = %q after crash-window recovery, want 5 (double-applied?)", rep.Bulk)
+	}
+	if rep := e2.Do("LRANGE", []byte("l"), []byte("0"), []byte("-1")); len(rep.Array) != 1 {
+		t.Fatalf("list has %d elements after crash-window recovery, want 1", len(rep.Array))
+	}
+
+	// The rewrite completes this time: Reset stamps a new generation,
+	// so the old snapshot's mark no longer matches and only the new
+	// tail replays.
+	if err := a.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	apply("INCR", "ctr") // live engine: ctr = 6
+	if err := a.Sync(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e3 := NewEngine()
+	mark3, err := e3.LoadSnapshotFileMark(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3, _, err := ReplayAOFSince(path, e3, mark3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 != 1 {
+		t.Fatalf("replayed %d records from the new generation, want 1", n3)
+	}
+	if rep := e3.Do("GET", []byte("ctr")); string(rep.Bulk) != "6" {
+		t.Fatalf("ctr = %q after post-rewrite recovery, want 6", rep.Bulk)
+	}
+}
+
+// Sync's contract: a record that is already durable reports success
+// even after the log later fails — the sticky error belongs to the
+// records that actually lost durability, not to reply batches whose
+// writes are safely on disk.
+func TestAOFSyncDurableDespiteLaterError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.aof")
+	a, err := OpenAOF(path, time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := a.Append("SET", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sync(seq); err != nil {
+		t.Fatal(err)
+	}
+	// The log dies after the fsync.
+	a.mu.Lock()
+	a.err = errors.New("disk gone")
+	a.mu.Unlock()
+	if err := a.Sync(seq); err != nil {
+		t.Errorf("Sync(%d) on an already-durable record = %v, want nil", seq, err)
+	}
+	if _, err := a.Append("SET", [][]byte{[]byte("k2"), []byte("v2")}); err == nil {
+		t.Error("Append on a dead log succeeded")
+	}
+	if err := a.Sync(seq + 1); err == nil {
+		t.Error("Sync past the failure point must surface the error")
+	}
+}
+
 // Snapshot + AOF restart: a server lifetime that mixes snapshotted and
 // AOF-tail state must come back byte-for-byte (engine contents, not
 // file bytes — map iteration order makes snapshot images nondeterministic).
@@ -254,8 +454,8 @@ func TestServerSnapshotPlusAOFRestart(t *testing.T) {
 	if rep, err := c.Do("BGREWRITEAOF"); err != nil || rep.Err() != nil {
 		t.Fatalf("BGREWRITEAOF: %v %v", err, rep.Err())
 	}
-	if fi, err := os.Stat(aof); err != nil || fi.Size() != 0 {
-		t.Fatalf("aof after rewrite: size=%d err=%v, want empty", fi.Size(), err)
+	if fi, err := os.Stat(aof); err != nil || fi.Size() != int64(aofHeaderLen) {
+		t.Fatalf("aof after rewrite: size=%d err=%v, want header-only (%d)", fi.Size(), err, aofHeaderLen)
 	}
 	// Phase 2: more writes land in the AOF tail only.
 	for i := 0; i < 30; i++ {

@@ -22,6 +22,7 @@ type respWriter struct {
 	arena    []byte
 	segs     []respSeg
 	curStart int // arena offset where the open span began
+	extBytes int // running total of referenced payload bytes
 
 	// zmin is the smallest bulk payload worth referencing instead of
 	// copying: below it, the copy is cheaper than an extra iovec entry.
@@ -103,19 +104,16 @@ func (w *respWriter) extend(b []byte) {
 	w.segs = append(w.segs, respSeg{start: w.curStart, end: len(w.arena)})
 	w.segs = append(w.segs, respSeg{ext: b})
 	w.curStart = len(w.arena)
+	w.extBytes += len(b)
 }
 
-// pending reports the batched byte count awaiting Flush.
+// pending reports the batched byte count awaiting Flush in O(1) — the
+// server consults it after every command, so walking the segment list
+// here would make a deep pipeline quadratic. Arena spans partition
+// [0, len(arena)), so arena length plus the referenced-payload total
+// is the whole batch.
 func (w *respWriter) pending() int {
-	n := len(w.arena) - w.curStart
-	for _, s := range w.segs {
-		if s.ext != nil {
-			n += len(s.ext)
-		} else {
-			n += s.end - s.start
-		}
-	}
-	return n
+	return len(w.arena) + w.extBytes
 }
 
 // Flush writes the whole pending batch and resets. The segment list is
@@ -156,5 +154,6 @@ func (w *respWriter) reset() {
 	w.arena = w.arena[:0]
 	w.segs = w.segs[:0]
 	w.curStart = 0
+	w.extBytes = 0
 	w.bufs = w.bufs[:0]
 }

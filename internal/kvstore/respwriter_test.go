@@ -101,6 +101,42 @@ func TestRESPWriterInterleavedSmallAndLarge(t *testing.T) {
 	}
 }
 
+// pending() must agree exactly with the bytes a flush writes — it is
+// maintained as a running counter (O(1) per query; the server asks
+// after every command) rather than recomputed from the segment list.
+func TestRESPWriterPendingCounter(t *testing.T) {
+	var sink bytes.Buffer
+	rw := newRESPWriter(&sink)
+	big := bytes.Repeat([]byte("z"), respZeroCopyMin*4) // zero-copy path
+	for round := 0; round < 3; round++ {                // counter must survive reuse
+		if got := rw.pending(); got != 0 {
+			t.Fatalf("round %d: pending = %d before any reply, want 0", round, got)
+		}
+		replies := []Reply{
+			okReply(),
+			bulkReply(big),
+			intReply(42),
+			bulkReply([]byte("small")),
+			{Type: Array, Array: []Reply{bulkReply(big), nilReply()}},
+		}
+		for _, r := range replies {
+			rw.writeReply(r, false)
+		}
+		want := rw.pending()
+		sink.Reset()
+		n, err := rw.flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(want) != n || n != int64(sink.Len()) {
+			t.Fatalf("round %d: pending = %d, flush wrote %d (%d in sink)", round, want, n, sink.Len())
+		}
+		if got := rw.pending(); got != 0 {
+			t.Fatalf("round %d: pending = %d after flush, want 0", round, got)
+		}
+	}
+}
+
 func TestRESPWriterFlushEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	rw := newRESPWriter(&buf)

@@ -42,6 +42,10 @@ type Server struct {
 	// reconstructs exactly the applied command sequence.
 	persistMu sync.RWMutex
 	aof       *AOF
+	// snapMark is the AOF watermark the loaded snapshot carried:
+	// EnableAOF replays only the log tail past it, so records the
+	// snapshot already contains are never double-applied.
+	snapMark AOFMark
 
 	cluster *clusterConfig
 }
@@ -66,11 +70,17 @@ func (s *Server) EnableSnapshot(path string) error {
 	s.mu.Lock()
 	s.snapshotPath = path
 	s.mu.Unlock()
-	err := s.engine.LoadSnapshotFile(path)
-	if err != nil && errors.Is(err, os.ErrNotExist) {
-		return nil
+	mark, err := s.engine.LoadSnapshotFileMark(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
 	}
-	return err
+	s.mu.Lock()
+	s.snapMark = mark
+	s.mu.Unlock()
+	return nil
 }
 
 // EnableAOF configures the append-only command log at path: the
@@ -83,9 +93,19 @@ func (s *Server) EnableSnapshot(path string) error {
 func (s *Server) EnableAOF(path string, window time.Duration) error {
 	s.mu.Lock()
 	reg := s.telemetry
+	mark := s.snapMark
 	s.mu.Unlock()
-	if _, err := ReplayAOF(path, s.engine); err != nil && !errors.Is(err, os.ErrNotExist) {
-		return err
+	_, end, err := ReplayAOFSince(path, s.engine, mark)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	} else if err := os.Truncate(path, end.Off); err != nil {
+		// aof-load-truncated: a crash can tear the last record
+		// mid-write; drop the torn bytes (they were never acknowledged)
+		// before reopening for append, so new records never land behind
+		// an unparseable tail that would poison the next replay.
+		return fmt.Errorf("kvstore: aof truncate tail: %w", err)
 	}
 	a, err := OpenAOF(path, window, reg)
 	if err != nil {
@@ -193,8 +213,13 @@ func (s *Server) handleServerCommand(id cmdID, args [][]byte) (Reply, bool) {
 }
 
 // rewritePersistence is SAVE/BGREWRITEAOF: under the exclusive
-// persistence lock (no command can apply+log concurrently), write the
-// snapshot and truncate the log it supersedes.
+// persistence lock (no command can apply+log concurrently), make the
+// log durable and note its mark, write the snapshot embedding that
+// mark (fsynced before its rename lands), then truncate the log the
+// snapshot supersedes. A crash anywhere in the sequence recovers
+// cleanly: before the rename the old snapshot + full log replay;
+// after the rename but before the truncate, the mark makes replay
+// skip every record the new snapshot already holds.
 func (s *Server) rewritePersistence() Reply {
 	s.mu.Lock()
 	path := s.snapshotPath
@@ -205,7 +230,15 @@ func (s *Server) rewritePersistence() Reply {
 	}
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
-	if err := s.engine.SaveSnapshotFile(path); err != nil {
+	var mark AOFMark
+	if aof != nil {
+		m, err := aof.DurableMark()
+		if err != nil {
+			return errReply("ERR " + err.Error())
+		}
+		mark = m
+	}
+	if err := s.engine.SaveSnapshotFileMark(path, mark); err != nil {
 		return errReply("ERR " + err.Error())
 	}
 	if aof != nil {
@@ -441,13 +474,24 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	s.persistMu.Lock()
 	if snapshotPath != "" {
-		if serr := s.engine.SaveSnapshotFile(snapshotPath); serr != nil {
+		var mark AOFMark
+		var merr error
+		if aof != nil {
+			mark, merr = aof.DurableMark()
+		}
+		if merr != nil {
+			// Couldn't make the log durable: keep it intact (don't
+			// reset) so restart replays it over the old snapshot.
+			if err == nil {
+				err = merr
+			}
+		} else if serr := s.engine.SaveSnapshotFileMark(snapshotPath, mark); serr != nil {
 			if err == nil {
 				err = serr
 			}
 		} else if aof != nil {
-			// Snapshot saved: the log is redundant, truncate it so
-			// restart replays nothing twice.
+			// Snapshot saved and durable: the log is redundant,
+			// truncate it so restart replays nothing twice.
 			if rerr := aof.Reset(); rerr != nil && err == nil {
 				err = rerr
 			}

@@ -16,8 +16,13 @@ import (
 // throughout and versioned.
 
 const (
-	snapshotMagic   = "PKVS"
-	snapshotVersion = 1
+	snapshotMagic = "PKVS"
+	// Version 2 adds a 16-byte AOF watermark (generation id + byte
+	// offset) after the version byte: the mark of the log position this
+	// snapshot supersedes, so restart replay skips records the snapshot
+	// already contains. Version 1 images (no mark) still load.
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1
 	// Value kind tags.
 	kindString byte = 1
 	kindList   byte = 2
@@ -32,11 +37,24 @@ var ErrBadSnapshot = errors.New("kvstore: bad snapshot")
 // time, matching Redis's relaxed BGSAVE semantics under concurrent
 // writers).
 func (e *Engine) WriteSnapshot(w io.Writer) error {
+	return e.WriteSnapshotMark(w, AOFMark{})
+}
+
+// WriteSnapshotMark is WriteSnapshot with an embedded AOF watermark:
+// the (generation, offset) position of the command log this snapshot
+// supersedes. Engines persisting without an AOF pass the zero mark.
+func (e *Engine) WriteSnapshotMark(w io.Writer, mark AOFMark) error {
 	bw := bufio.NewWriterSize(w, 64<<10)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
 	}
 	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+	var markBuf [16]byte
+	binary.LittleEndian.PutUint64(markBuf[:8], mark.Gen)
+	binary.LittleEndian.PutUint64(markBuf[8:], uint64(mark.Off))
+	if _, err := bw.Write(markBuf[:]); err != nil {
 		return err
 	}
 	writeBytes := func(b []byte) error {
@@ -94,20 +112,39 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 
 // ReadSnapshot replaces the engine's contents with the image from r.
 func (e *Engine) ReadSnapshot(r io.Reader) error {
+	_, err := e.ReadSnapshotMark(r)
+	return err
+}
+
+// ReadSnapshotMark is ReadSnapshot returning the AOF watermark the
+// image carries (the zero mark for version-1 images and for snapshots
+// written without an AOF).
+func (e *Engine) ReadSnapshotMark(r io.Reader) (AOFMark, error) {
+	var mark AOFMark
 	br := bufio.NewReaderSize(r, 64<<10)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return fmt.Errorf("%w: short magic: %v", ErrBadSnapshot, err)
+		return mark, fmt.Errorf("%w: short magic: %v", ErrBadSnapshot, err)
 	}
 	if string(magic) != snapshotMagic {
-		return fmt.Errorf("%w: magic %q", ErrBadSnapshot, magic)
+		return mark, fmt.Errorf("%w: magic %q", ErrBadSnapshot, magic)
 	}
 	ver, err := br.ReadByte()
 	if err != nil {
-		return fmt.Errorf("%w: missing version", ErrBadSnapshot)
+		return mark, fmt.Errorf("%w: missing version", ErrBadSnapshot)
 	}
-	if ver != snapshotVersion {
-		return fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, ver)
+	switch ver {
+	case snapshotVersionV1:
+		// No watermark field: the zero mark (replay the whole log).
+	case snapshotVersion:
+		var markBuf [16]byte
+		if _, err := io.ReadFull(br, markBuf[:]); err != nil {
+			return mark, fmt.Errorf("%w: truncated aof mark: %v", ErrBadSnapshot, err)
+		}
+		mark.Gen = binary.LittleEndian.Uint64(markBuf[:8])
+		mark.Off = int64(binary.LittleEndian.Uint64(markBuf[8:]))
+	default:
+		return mark, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, ver)
 	}
 	readBytes := func() ([]byte, error) {
 		var lenBuf [4]byte
@@ -124,60 +161,74 @@ func (e *Engine) ReadSnapshot(r io.Reader) error {
 	for {
 		kind, err := br.ReadByte()
 		if errors.Is(err, io.EOF) {
-			return nil
+			return mark, nil
 		}
 		if err != nil {
-			return err
+			return mark, err
 		}
 		key, err := readBytes()
 		if err != nil {
-			return fmt.Errorf("%w: truncated key: %v", ErrBadSnapshot, err)
+			return mark, fmt.Errorf("%w: truncated key: %v", ErrBadSnapshot, err)
 		}
 		switch kind {
 		case kindString:
 			val, err := readBytes()
 			if err != nil {
-				return fmt.Errorf("%w: truncated value: %v", ErrBadSnapshot, err)
+				return mark, fmt.Errorf("%w: truncated value: %v", ErrBadSnapshot, err)
 			}
 			if rep := e.Do("SET", key, val); rep.Type == ErrorReply {
-				return fmt.Errorf("%w: %s", ErrBadSnapshot, rep.Str)
+				return mark, fmt.Errorf("%w: %s", ErrBadSnapshot, rep.Str)
 			}
 		case kindList:
 			var nBuf [4]byte
 			if _, err := io.ReadFull(br, nBuf[:]); err != nil {
-				return fmt.Errorf("%w: truncated list header: %v", ErrBadSnapshot, err)
+				return mark, fmt.Errorf("%w: truncated list header: %v", ErrBadSnapshot, err)
 			}
 			n := binary.LittleEndian.Uint32(nBuf[:])
 			if n > maxArrayLen {
-				return fmt.Errorf("%w: list of %d elements", ErrBadSnapshot, n)
+				return mark, fmt.Errorf("%w: list of %d elements", ErrBadSnapshot, n)
 			}
 			for j := uint32(0); j < n; j++ {
 				el, err := readBytes()
 				if err != nil {
-					return fmt.Errorf("%w: truncated list element: %v", ErrBadSnapshot, err)
+					return mark, fmt.Errorf("%w: truncated list element: %v", ErrBadSnapshot, err)
 				}
 				if rep := e.Do("RPUSH", key, el); rep.Type == ErrorReply {
-					return fmt.Errorf("%w: %s", ErrBadSnapshot, rep.Str)
+					return mark, fmt.Errorf("%w: %s", ErrBadSnapshot, rep.Str)
 				}
 			}
 		default:
-			return fmt.Errorf("%w: unknown kind %d", ErrBadSnapshot, kind)
+			return mark, fmt.Errorf("%w: unknown kind %d", ErrBadSnapshot, kind)
 		}
 	}
 }
 
 // SaveSnapshotFile atomically writes the snapshot to path
-// (write-to-temp + rename).
+// (write-to-temp + fsync + rename + directory fsync).
 func (e *Engine) SaveSnapshotFile(path string) error {
+	return e.SaveSnapshotFileMark(path, AOFMark{})
+}
+
+// SaveSnapshotFileMark is SaveSnapshotFile with an embedded AOF
+// watermark. The image is fsynced before the rename and the directory
+// after it: callers truncate the AOF the moment this returns, so the
+// rename must never become durable ahead of the bytes it points at —
+// otherwise a power cut could leave an empty log and a missing
+// snapshot.
+func (e *Engine) SaveSnapshotFileMark(path string, mark AOFMark) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".pkvs-*")
 	if err != nil {
 		return fmt.Errorf("kvstore: snapshot: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := e.WriteSnapshot(tmp); err != nil {
+	if err := e.WriteSnapshotMark(tmp, mark); err != nil {
 		tmp.Close()
 		return fmt.Errorf("kvstore: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("kvstore: snapshot sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("kvstore: snapshot: %w", err)
@@ -185,16 +236,37 @@ func (e *Engine) SaveSnapshotFile(path string) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("kvstore: snapshot: %w", err)
 	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry inside it is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("kvstore: snapshot dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("kvstore: snapshot dir sync: %w", err)
+	}
 	return nil
 }
 
 // LoadSnapshotFile loads a snapshot from path; a missing file leaves
 // the engine empty and returns os.ErrNotExist.
 func (e *Engine) LoadSnapshotFile(path string) error {
+	_, err := e.LoadSnapshotFileMark(path)
+	return err
+}
+
+// LoadSnapshotFileMark is LoadSnapshotFile returning the AOF watermark
+// the image carries, for the caller to hand to ReplayAOFSince.
+func (e *Engine) LoadSnapshotFileMark(path string) (AOFMark, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return AOFMark{}, err
 	}
 	defer f.Close()
-	return e.ReadSnapshot(f)
+	return e.ReadSnapshotMark(f)
 }
