@@ -1,12 +1,15 @@
 package distrib
 
 import (
+	"encoding/json"
+	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
 
 	"pareto/internal/kvstore"
 	"pareto/internal/strata"
+	"pareto/internal/telemetry"
 )
 
 // startSlotCluster stands up n slot-partitioned kvstore servers (an
@@ -83,6 +86,152 @@ func TestDistributedOverSlotCluster(t *testing.T) {
 		if !reflect.DeepEqual(dist.Members[s], central.Members[s]) {
 			t.Fatalf("stratum %d members differ", s)
 		}
+	}
+}
+
+// The distributed stratifier must also be indifferent to *which*
+// process serves a slot range: after a primary is crashed and a replica
+// auto-promoted in its place, a run over the reshaped cluster must
+// still be bit-identical to the centralized stratification — failover
+// changes topology, never data or routing semantics.
+func TestDistributedAfterFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover test")
+	}
+	corpus := testCorpus(t, 0.0006)
+	const n = 3
+	addrs := make([]string, n)
+	servers := make([]*kvstore.Server, n)
+	for i := range servers {
+		srv := kvstore.NewServer(nil)
+		if i == 0 {
+			// Node 0 will be crashed; only it needs the record log a
+			// replica can stream from.
+			if err := srv.EnableAOF(filepath.Join(t.TempDir(), "p0.aof"), time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		servers[i] = srv
+		addrs[i] = addr
+	}
+	ranges := kvstore.SplitSlots(addrs)
+	for i, srv := range servers {
+		if err := srv.SetClusterSlots(addrs[i], ranges); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replica := kvstore.NewServer(nil)
+	raddr, err := replica.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { replica.Close() })
+	if err := replica.SetClusterSlots(raddr, ranges); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.StartReplicaOf(addrs[0], kvstore.ReplicaOptions{
+		SelfAddr: raddr, StreamTimeout: 500 * time.Millisecond,
+		RetryBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until node 0 advertises its replica, so the watchdog client
+	// dialed next learns the failover candidate from its first refresh.
+	pc, err := kvstore.Dial(addrs[0], time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	attached := func() bool {
+		rep, err := pc.Do("REPLINFO")
+		if err != nil || rep.Err() != nil {
+			return false
+		}
+		var info struct {
+			Replicas []struct {
+				Addr string `json:"addr"`
+			} `json:"replicas"`
+		}
+		if json.Unmarshal(rep.Bulk, &info) != nil {
+			return false
+		}
+		return len(info.Replicas) == 1 && info.Replicas[0].Addr == raddr
+	}
+	for deadline := time.Now().Add(5 * time.Second); !attached(); {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never attached to node 0")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	reg := telemetry.NewRegistry()
+	watchdog, err := kvstore.DialClusterOptions(addrs, time.Second, kvstore.ClusterOptions{
+		Client:         kvstore.Options{OpTimeout: 500 * time.Millisecond, Telemetry: reg},
+		HeartbeatEvery: 20 * time.Millisecond,
+		FailAfter:      80 * time.Millisecond,
+		ProbeTimeout:   200 * time.Millisecond,
+		AutoFailover:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { watchdog.Close() })
+
+	servers[0].Kill()
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if reg.Snapshot().Counters["kv_cluster_client_failovers_total"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("automatic failover never happened")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	seeds := []string{addrs[1], addrs[2], raddr}
+	dial := func() *kvstore.ClusterClient {
+		cc, err := kvstore.DialClusterOptions(seeds, time.Second, kvstore.ClusterOptions{
+			Client:        faultOpts(3),
+			RouteDeadline: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cc.Close() })
+		return cc
+	}
+	master := dial()
+	workers := make([]*kvstore.ClusterClient, 4)
+	for i := range workers {
+		workers[i] = dial()
+	}
+	opts := Options{
+		SketchWidth: 24,
+		Cluster:     strata.Config{K: 6, L: 3, Seed: 11},
+		Seed:        5,
+	}
+	dist, err := Stratify(master, workers, corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := strata.Stratify(corpus, strata.StratifierConfig{
+		SketchWidth: 24,
+		Cluster:     strata.Config{K: 6, L: 3, Seed: 11},
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist.Assign, central.Assign) {
+		t.Fatal("post-failover distributed assignment differs from centralized")
+	}
+	if !reflect.DeepEqual(dist.WeightTotals, central.WeightTotals) {
+		t.Fatal("weight totals differ")
 	}
 }
 

@@ -44,9 +44,12 @@ type AOF struct {
 	f      *os.File
 	cw     countingFileWriter
 	w      *bufio.Writer
+	path   string // log file path (replication feeders open their own read fd)
 	gen    uint64 // generation id from the file header
 	seq    uint64 // last appended record
 	synced uint64 // last record known durable (fsync or snapshot)
+	off    int64  // byte offset past the last appended record (file + bufio)
+	durOff int64  // byte offset covered by the last durability event
 	err    error  // sticky I/O error: the log is dead once it fails
 
 	// syncing marks a group-commit leader mid-fsync; followers (and
@@ -70,6 +73,8 @@ type aofMetrics struct {
 	bytes   *telemetry.Counter
 	waits   *telemetry.Counter // group-commit follower waits
 	resets  *telemetry.Counter // rewrites (snapshot compactions)
+	errors  *telemetry.Counter // sticky-error trips
+	sick    *telemetry.Gauge   // 1 while the log carries a sticky error
 }
 
 // countingFileWriter counts bytes as bufio flushes them to the file;
@@ -176,9 +181,17 @@ func OpenAOF(path string, window time.Duration, reg *telemetry.Registry) (*AOF, 
 	if window <= 0 {
 		window = DefaultAOFSyncWindow
 	}
+	fi, err = f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: aof open: %w", err)
+	}
 	a := &AOF{
 		f:      f,
+		path:   path,
 		gen:    gen,
+		off:    fi.Size(),
+		durOff: fi.Size(),
 		window: window,
 		m: aofMetrics{
 			fsyncs:  reg.Counter("kv_aof_fsyncs_total"),
@@ -186,12 +199,53 @@ func OpenAOF(path string, window time.Duration, reg *telemetry.Registry) (*AOF, 
 			bytes:   reg.Counter("kv_aof_bytes_total"),
 			waits:   reg.Counter("kv_aof_group_commit_waits_total"),
 			resets:  reg.Counter("kv_aof_rewrites_total"),
+			errors:  reg.Counter("kv_aof_errors_total"),
+			sick:    reg.Gauge("kv_aof_error"),
 		},
 	}
 	a.cw = countingFileWriter{f: f, n: a.m.bytes}
 	a.w = bufio.NewWriterSize(a.cw, 64<<10)
 	a.cond = sync.NewCond(&a.mu)
 	return a, nil
+}
+
+// setErrLocked records a sticky I/O error and propagates it to the
+// kv_aof_error gauge (and error counter), so dashboards see a sick
+// disk the moment it fails instead of only the clients whose commands
+// happened to hit it. Reset clears the gauge with the error.
+func (a *AOF) setErrLocked(err error) {
+	if a.err == nil {
+		a.m.errors.Inc()
+		a.m.sick.Set(1)
+	}
+	a.err = err
+}
+
+// respCmdLen is the exact RESP-encoded size of one command frame — the
+// byte-offset bookkeeping behind the replication stream, cheaper than
+// measuring the buffered writer around every Append.
+func respCmdLen(cmd string, args [][]byte) int64 {
+	n := 1 + digits(int64(1+len(args))) + 2 // *<n>\r\n
+	n += bulkFrameLen(len(cmd))
+	for _, arg := range args {
+		n += bulkFrameLen(len(arg))
+	}
+	return int64(n)
+}
+
+// bulkFrameLen is the encoded size of one bulk frame: $<len>\r\n<payload>\r\n.
+func bulkFrameLen(payload int) int {
+	return 1 + digits(int64(payload)) + 2 + payload + 2
+}
+
+// digits counts the base-10 digits of a non-negative integer.
+func digits(v int64) int {
+	n := 1
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
 }
 
 // Append frames one command into the log's buffer and returns its
@@ -208,13 +262,37 @@ func (a *AOF) Append(cmd string, args [][]byte) (uint64, error) {
 		return 0, a.err
 	}
 	if err := WriteCommand(a.w, cmd, args...); err != nil {
-		a.err = err
+		a.setErrLocked(err)
 		return 0, err
 	}
 	a.seq++
+	a.off += respCmdLen(cmd, args)
 	a.m.records.Inc()
 	return a.seq, nil
 }
+
+// Mark returns the log's generation and the byte offset past the last
+// appended (not necessarily durable) record — the watermark a
+// replication full sync pairs with a point-in-time engine snapshot.
+func (a *AOF) Mark() AOFMark {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AOFMark{Gen: a.gen, Off: a.off}
+}
+
+// DurablePos returns the generation and byte offset known durable (the
+// last fsync or snapshot compaction). Replication feeders stream file
+// bytes only up to this position, so a replica never applies a record
+// the primary could still lose.
+func (a *AOF) DurablePos() (gen uint64, off int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gen, a.durOff
+}
+
+// Path returns the log's file path; replication feeders open their own
+// read-only descriptors against it.
+func (a *AOF) Path() string { return a.path }
 
 // Sync blocks until every record up to and including seq is durable.
 // Group commit: the first waiter becomes the leader, sleeps out the
@@ -262,6 +340,7 @@ func (a *AOF) leaderCommitLocked() {
 		}
 	}
 	target := a.seq
+	targetOff := a.off
 	err := a.w.Flush()
 	a.mu.Unlock()
 	// fsync outside the lock: appenders write into the bufio buffer
@@ -275,9 +354,14 @@ func (a *AOF) leaderCommitLocked() {
 	a.syncing = false
 	a.m.fsyncs.Inc()
 	if err != nil {
-		a.err = err
-	} else if a.synced < target {
-		a.synced = target
+		a.setErrLocked(err)
+	} else {
+		if a.synced < target {
+			a.synced = target
+		}
+		if a.durOff < targetOff {
+			a.durOff = targetOff
+		}
 	}
 	a.cond.Broadcast()
 }
@@ -304,19 +388,21 @@ func (a *AOF) DurableMark() (AOFMark, error) {
 	// persistence lock means no appender is running, and rewrites are
 	// rare.
 	if err := a.w.Flush(); err != nil {
-		a.err = err
+		a.setErrLocked(err)
 		return AOFMark{}, err
 	}
 	if err := a.f.Sync(); err != nil {
-		a.err = err
+		a.setErrLocked(err)
 		return AOFMark{}, err
 	}
 	fi, err := a.f.Stat()
 	if err != nil {
-		a.err = err
+		a.setErrLocked(err)
 		return AOFMark{}, err
 	}
 	a.synced = a.seq
+	a.off = fi.Size()
+	a.durOff = fi.Size()
 	a.m.fsyncs.Inc()
 	a.cond.Broadcast()
 	return AOFMark{Gen: a.gen, Off: fi.Size()}, nil
@@ -351,25 +437,28 @@ func (a *AOF) Reset() error {
 	// with no records at all).
 	a.w.Reset(a.cw)
 	if err := a.f.Truncate(0); err != nil {
-		a.err = err
+		a.setErrLocked(err)
 		return fmt.Errorf("kvstore: aof truncate: %w", err)
 	}
 	if _, err := a.f.Seek(0, io.SeekStart); err != nil {
-		a.err = err
+		a.setErrLocked(err)
 		return fmt.Errorf("kvstore: aof seek: %w", err)
 	}
 	hdr := encodeAOFHeader(gen)
 	if _, err := a.f.Write(hdr[:]); err != nil {
-		a.err = err
+		a.setErrLocked(err)
 		return fmt.Errorf("kvstore: aof header: %w", err)
 	}
 	if err := a.f.Sync(); err != nil {
-		a.err = err
+		a.setErrLocked(err)
 		return fmt.Errorf("kvstore: aof header sync: %w", err)
 	}
 	a.gen = gen
 	a.synced = a.seq
+	a.off = int64(aofHeaderLen)
+	a.durOff = int64(aofHeaderLen)
 	a.err = nil
+	a.m.sick.Set(0)
 	a.m.resets.Inc()
 	a.cond.Broadcast()
 	return nil
@@ -403,6 +492,22 @@ func (a *AOF) Close() error {
 		return fmt.Errorf("kvstore: aof close: %w", cerr)
 	}
 	return nil
+}
+
+// abandon closes the log file without flushing or syncing — the crash
+// half of Server.Kill. Records still buffered (never fsynced, so never
+// acknowledged) are lost, exactly as a real crash would lose them;
+// everything a group commit covered stays on disk.
+func (a *AOF) abandon() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.f.Close()
+	a.cond.Broadcast()
+	a.mu.Unlock()
 }
 
 // ReplayAOF applies every complete command in the log at path to the

@@ -40,6 +40,15 @@ const (
 	cmdSave
 	cmdBGRewriteAOF
 	cmdCluster
+	// Replication commands: REPLSYNC turns a connection into a
+	// replication stream, REPLICAOF/REPLTAKEOVER switch roles, REPLINFO
+	// introspects; REPLPING/REPLACK are stream-internal frames.
+	cmdReplSync
+	cmdReplPing
+	cmdReplAck
+	cmdReplInfo
+	cmdReplTakeover
+	cmdReplicaOf
 	numCmdIDs
 )
 
@@ -111,6 +120,18 @@ func lookupCmd(cmd string) cmdID {
 		return cmdBGRewriteAOF
 	case "CLUSTER":
 		return cmdCluster
+	case "REPLSYNC":
+		return cmdReplSync
+	case "REPLPING":
+		return cmdReplPing
+	case "REPLACK":
+		return cmdReplAck
+	case "REPLINFO":
+		return cmdReplInfo
+	case "REPLTAKEOVER":
+		return cmdReplTakeover
+	case "REPLICAOF":
+		return cmdReplicaOf
 	}
 	return cmdNone
 }

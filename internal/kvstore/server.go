@@ -10,6 +10,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pareto/internal/telemetry"
@@ -48,6 +49,17 @@ type Server struct {
 	snapMark AOFMark
 
 	cluster *clusterConfig
+
+	// Replication state. role flips between primary and replica
+	// (StartReplicaOf / PromoteToPrimary) and is checked lock-free per
+	// command for read-only dispatch; hub is the primary side's replica
+	// registry and ack ledger; replica is the replica side's session.
+	role      atomic.Int32 // replRole
+	hub       *replHub
+	replica   *replicaSession
+	promoteMu sync.Mutex
+	replCfg   ReplicationConfig
+	replm     *replMetrics
 }
 
 // NewServer wraps an engine; a nil engine gets a fresh one.
@@ -55,7 +67,12 @@ func NewServer(engine *Engine) *Server {
 	if engine == nil {
 		engine = NewEngine()
 	}
-	return &Server{engine: engine, conns: make(map[net.Conn]struct{})}
+	s := &Server{engine: engine, conns: make(map[net.Conn]struct{})}
+	s.hub = newReplHub()
+	s.replm = newReplMetrics(nil)
+	s.hub.m = s.replm
+	s.replCfg.normalize()
+	return s
 }
 
 // Engine returns the underlying storage engine (useful for embedding
@@ -144,8 +161,10 @@ func (s *Server) SetClusterSlots(self string, ranges []SlotRange) error {
 			served++
 		}
 	}
+	cfg := &clusterConfig{self: self}
+	cfg.table.Store(table)
 	s.mu.Lock()
-	s.cluster = &clusterConfig{self: self, table: table}
+	s.cluster = cfg
 	s.telemetry.Gauge("kv_cluster_slots_served").Set(int64(served))
 	s.mu.Unlock()
 	return nil
@@ -170,7 +189,52 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 	s.mu.Lock()
 	s.telemetry = reg
 	s.metrics = newServerMetrics(reg)
+	s.replm = newReplMetrics(reg)
+	s.hub.m = s.replm
 	s.mu.Unlock()
+}
+
+// SetReplication tunes the primary side of replication (semi-sync ack
+// gating, feeder heartbeat/poll cadence). Must be called before Listen.
+func (s *Server) SetReplication(cfg ReplicationConfig) {
+	cfg.normalize()
+	s.mu.Lock()
+	s.replCfg = cfg
+	s.mu.Unlock()
+}
+
+func (s *Server) replConfig() ReplicationConfig {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replCfg
+}
+
+func (s *Server) replMetricsRef() *replMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replm
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// updateSlotsServed re-derives the kv_cluster_slots_served gauge after
+// a table swap (promotion, CLUSTER REASSIGN).
+func (s *Server) updateSlotsServed(cl *clusterConfig) {
+	served := 0
+	t := cl.table.Load()
+	for _, owner := range t.owner {
+		if owner == cl.self {
+			served++
+		}
+	}
+	s.mu.Lock()
+	reg := s.telemetry
+	s.mu.Unlock()
+	reg.Gauge("kv_cluster_slots_served").Set(int64(served))
 }
 
 // infoReply renders the telemetry snapshot as a JSON bulk string.
@@ -205,9 +269,67 @@ func (s *Server) handleServerCommand(id cmdID, args [][]byte) (Reply, bool) {
 			return errReply("ERR cluster mode not enabled"), true
 		}
 		if len(args) == 1 && strings.EqualFold(string(args[0]), "SLOTS") {
-			return cl.slotsReply(), true
+			return cl.slotsReply(s.hub.addrs()), true
+		}
+		if len(args) == 3 && strings.EqualFold(string(args[0]), "REASSIGN") {
+			// CLUSTER REASSIGN <from> <to>: rewrite every slot owned by
+			// from to to — how failover convergence reaches the nodes
+			// that were not part of the promotion itself.
+			from, to := string(args[1]), string(args[2])
+			if from == "" || to == "" || from == to {
+				return errReply("ERR bad REASSIGN addresses"), true
+			}
+			var n int
+			for {
+				old := cl.table.Load()
+				nt, moved := old.reassign(from, to)
+				if moved == 0 {
+					break
+				}
+				if cl.table.CompareAndSwap(old, nt) {
+					n = moved
+					break
+				}
+			}
+			s.updateSlotsServed(cl)
+			return intReply(int64(n)), true
 		}
 		return errReply("ERR unknown CLUSTER subcommand"), true
+	case cmdReplInfo:
+		return s.replInfoReply(), true
+	case cmdReplTakeover:
+		moved, err := s.PromoteToPrimary(true)
+		if err != nil {
+			return errReply("ERR " + err.Error()), true
+		}
+		return intReply(int64(moved)), true
+	case cmdReplicaOf:
+		if len(args) == 2 && strings.EqualFold(string(args[0]), "NO") &&
+			strings.EqualFold(string(args[1]), "ONE") {
+			if _, err := s.PromoteToPrimary(false); err != nil {
+				return errReply("ERR " + err.Error()), true
+			}
+			return okReply(), true
+		}
+		var addr string
+		switch len(args) {
+		case 1:
+			addr = string(args[0])
+		case 2:
+			addr = string(args[0]) + ":" + string(args[1])
+		default:
+			return errReply("ERR usage: REPLICAOF <host:port> | NO ONE"), true
+		}
+		var self string
+		s.mu.Lock()
+		if s.cluster != nil {
+			self = s.cluster.self
+		}
+		s.mu.Unlock()
+		if err := s.StartReplicaOf(addr, ReplicaOptions{SelfAddr: self}); err != nil {
+			return errReply("ERR " + err.Error()), true
+		}
+		return okReply(), true
 	}
 	return Reply{}, false
 }
@@ -345,6 +467,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.mu.Lock()
 	aof := s.aof
 	cluster := s.cluster
+	replCfg := s.replCfg
 	s.mu.Unlock()
 
 	// pendingSeq is the highest AOF record this connection has appended
@@ -357,6 +480,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			pendingSeq = 0
 			if err != nil {
 				return err
+			}
+			if replCfg.MinAckReplicas > 0 {
+				// Semi-sync gate: the batch is durable locally; now hold
+				// the acks until enough replicas have applied through the
+				// durable offset, so an acked write survives losing this
+				// node. On timeout the connection fails — the client
+				// never saw an ack for the batch.
+				gen, off := aof.DurablePos()
+				if werr := s.hub.waitAcked(gen, off, replCfg.MinAckReplicas, replCfg.AckTimeout); werr != nil {
+					s.replm.ackTimeouts.Inc()
+					return werr
+				}
 			}
 		}
 		n, err := rw.flush()
@@ -392,6 +527,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			stats.begin()
 		}
 		id := lookupCmd(cmd)
+		if id == cmdReplSync {
+			// The connection becomes a replication stream: flush anything
+			// pipelined ahead of the handshake, then hand the conn (and
+			// its read buffer) to the feeder until the stream dies.
+			if err := flushReplies(); err != nil {
+				return
+			}
+			s.serveReplSync(conn, r, args)
+			return
+		}
 		var reply Reply
 		handled := false
 		if cluster != nil {
@@ -402,6 +547,12 @@ func (s *Server) serveConn(conn net.Conn) {
 					stats.m.clusterDown.Inc()
 				}
 			}
+		}
+		if !handled && cmdWrites(id) && s.role.Load() == int32(roleReplica) {
+			// Replicas apply writes only from the replication stream; a
+			// client write here would silently diverge from the primary.
+			reply = errReply("READONLY You can't write against a read only replica.")
+			handled = true
 		}
 		if !handled {
 			reply, handled = s.handleServerCommand(id, args)
@@ -461,6 +612,7 @@ func (s *Server) Close() error {
 	lns := s.listeners
 	snapshotPath := s.snapshotPath
 	aof := s.aof
+	rs := s.replica
 	for c := range s.conns {
 		c.Close()
 	}
@@ -470,6 +622,10 @@ func (s *Server) Close() error {
 		if cerr := ln.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
+	}
+	if rs != nil {
+		rs.shutdown()
+		rs.wg.Wait()
 	}
 	s.wg.Wait()
 	s.persistMu.Lock()
@@ -504,4 +660,37 @@ func (s *Server) Close() error {
 		}
 	}
 	return err
+}
+
+// Kill tears the server down like a crash: listeners and connections
+// close and goroutines drain, but nothing is flushed or persisted — the
+// AOF keeps exactly the bytes group commit already made durable, the
+// snapshot stays untouched, and buffered un-fsynced records (whose
+// writes were never acknowledged) vanish. Chaos tests use it to assert
+// acked-write durability across failover.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lns := s.listeners
+	aof := s.aof
+	rs := s.replica
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	if aof != nil {
+		aof.abandon()
+	}
+	if rs != nil {
+		rs.shutdown()
+		rs.wg.Wait()
+	}
+	s.wg.Wait()
 }
