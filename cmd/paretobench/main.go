@@ -6,6 +6,8 @@
 //	paretobench -exp fig3            # one artifact at the small scale
 //	paretobench -exp all -scale paper
 //	paretobench -exp fig3 -snapshot telemetry.json
+//	paretobench -frontier -frontier-nodes 64 -frontier-alphas 41
+//	paretobench -frontier -frontier-exact -serve :8080
 //
 // Each experiment prints an aligned text table with one row per
 // (strategy, partition count) or per α point; see DESIGN.md §4 for the
@@ -13,16 +15,25 @@
 // the run is instrumented and the final telemetry snapshot — plan-stage
 // spans, per-node busy time and green/dirty energy gauges — is written
 // to the given file as JSON ("-" for stdout).
+//
+// -frontier switches to the warm-started frontier enumerator: it
+// prints the dominance-filtered Pareto frontier over a paper-shaped
+// cluster of -frontier-nodes nodes, with warm/cold solve statistics.
+// With -serve the same enumeration is also exported over HTTP at
+// /frontier alongside the telemetry endpoints.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"text/tabwriter"
 	"time"
 
 	"pareto/internal/bench"
+	"pareto/internal/frontier"
 	"pareto/internal/telemetry"
 )
 
@@ -32,11 +43,25 @@ func main() {
 		scale    = flag.String("scale", "small", "dataset scale: small | paper")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		snapshot = flag.String("snapshot", "", "write the final telemetry snapshot as JSON to this file (\"-\" = stdout)")
+
+		frontierMode = flag.Bool("frontier", false, "enumerate the time/energy Pareto frontier instead of running experiments")
+		fNodes       = flag.Int("frontier-nodes", 64, "frontier: number of paper-shaped nodes")
+		fAlphas      = flag.Int("frontier-alphas", 41, "frontier: α samples for the sweep")
+		fExact       = flag.Bool("frontier-exact", false, "frontier: exact breakpoint bisection instead of α sampling")
+		fTotal       = flag.Int("frontier-total", 1_000_000, "frontier: total data units to partition")
+		serve        = flag.String("serve", "", "serve /frontier and telemetry on this address (e.g. :8080) after printing")
 	)
 	flag.Parse()
 	if *list {
 		for _, id := range bench.Experiments() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *frontierMode {
+		if err := runFrontier(*fNodes, *fTotal, *fAlphas, *fExact, *serve); err != nil {
+			fmt.Fprintf(os.Stderr, "paretobench: frontier: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -74,6 +99,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runFrontier enumerates and prints the Pareto frontier for a
+// paper-shaped cluster, then optionally serves it over HTTP.
+func runFrontier(nodes, total, alphas int, exact bool, addr string) error {
+	models := frontier.PaperModels(nodes)
+	reg := telemetry.NewRegistry()
+	cfg := frontier.Config{Alphas: frontier.UniformAlphas(alphas), Telemetry: reg}
+
+	start := time.Now()
+	var (
+		res *frontier.Result
+		err error
+	)
+	if exact {
+		res, err = frontier.Exact(models, total, cfg)
+	} else {
+		res, err = frontier.Sweep(models, total, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	mode := "sweep"
+	if exact {
+		mode = "exact bisection"
+	}
+	fmt.Printf("=== frontier (%s, %d nodes, %d units) ===\n", mode, nodes, total)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "α\tmakespan s\tdirty J\twarm\tpivots\t")
+	for _, p := range res.Frontier() {
+		warm := "cold"
+		if p.Warm {
+			warm = "warm"
+		}
+		fmt.Fprintf(tw, "%.6g\t%.4f\t%.1f\t%s\t%d\t\n", p.Alpha, p.Makespan, p.DirtyEnergy, warm, p.Pivots)
+	}
+	tw.Flush()
+	st := res.Stats
+	fmt.Printf("%d points (%d dominated pruned) · %d solves (%d warm) · %d pivots (%d warm) · %.1f ms\n",
+		len(res.Frontier()), st.Dominated, st.Solves, st.WarmSolves, st.Pivots, st.WarmPivots,
+		float64(elapsed.Microseconds())/1000)
+
+	if addr != "" {
+		mux := reg.Handler()
+		frontier.Mount(mux, frontier.NewService(
+			frontier.StaticSource{Nodes: models, Total: total},
+			frontier.Config{Telemetry: reg},
+		))
+		fmt.Printf("serving /frontier and /metrics on %s\n", addr)
+		return http.ListenAndServe(addr, mux)
+	}
+	return nil
 }
 
 // writeSnapshot dumps the run's accumulated telemetry as JSON.

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+
+	"pareto/internal/frontier"
+	"pareto/internal/opt"
+)
+
+// FrontierModels makes *Plan a frontier.ModelSource: a built plan's
+// profiled node models and its total record count (the sum of its
+// partition sizes) are exactly the inputs a frontier enumeration
+// needs. Mount a frontier.Service over the plan to let operators pick
+// a different time/energy operating point after planning:
+//
+//	svc := frontier.NewService(plan, frontier.Config{Telemetry: reg})
+//	frontier.Mount(mux, svc)
+func (p *Plan) FrontierModels() ([]opt.NodeModel, int, error) {
+	if p == nil || len(p.Models) == 0 {
+		return nil, 0, errors.New("core: plan has no profiled models (baseline strategy?)")
+	}
+	total := 0
+	for _, s := range p.Sizes {
+		total += s
+	}
+	if total <= 0 {
+		return nil, 0, errors.New("core: plan has no placed records")
+	}
+	return p.Models, total, nil
+}
+
+// FrontierFromPlan enumerates the Pareto frontier over the plan's
+// profiled models with warm-started α sweeps (or exact breakpoint
+// bisection when cfg requests it via Exact on the returned call —
+// callers wanting bisection should use frontier.Exact directly). The
+// plan itself is one point on this frontier, at the α it was built
+// with.
+func FrontierFromPlan(plan *Plan, cfg frontier.Config) (*frontier.Result, error) {
+	nodes, total, err := plan.FrontierModels()
+	if err != nil {
+		return nil, err
+	}
+	return frontier.Sweep(nodes, total, cfg)
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"pareto/internal/frontier"
+)
+
+func TestFrontierFromPlan(t *testing.T) {
+	corpus, cl := testSetup(t)
+	plan, err := BuildPlan(corpus, cl, linearProfile(corpus), Config{
+		Strategy: HetEnergyAware,
+		Alpha:    0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, total, err := plan.FrontierModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != cl.P() {
+		t.Fatalf("%d models for %d nodes", len(nodes), cl.P())
+	}
+	wantTotal := 0
+	for _, s := range plan.Sizes {
+		wantTotal += s
+	}
+	if total != wantTotal {
+		t.Fatalf("total %d, want Σsizes %d", total, wantTotal)
+	}
+
+	res, err := FrontierFromPlan(plan, frontier.Config{Alphas: frontier.UniformAlphas(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("frontier has %d points", len(res.Points))
+	}
+	// The built plan's α must land on (or between) frontier samples: its
+	// makespan can't beat the pure-time end, nor its dirty energy the
+	// pure-energy end.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if plan.Optimized.DirtyEnergy < first.DirtyEnergy-1e-6 {
+		t.Errorf("plan dirty energy %v beats the α=0 frontier end %v",
+			plan.Optimized.DirtyEnergy, first.DirtyEnergy)
+	}
+	if plan.Optimized.Makespan < last.Makespan-1e-9 {
+		t.Errorf("plan makespan %v beats the α=1 frontier end %v",
+			plan.Optimized.Makespan, last.Makespan)
+	}
+}
+
+func TestFrontierFromPlanBaseline(t *testing.T) {
+	corpus, cl := testSetup(t)
+	plan, err := BuildPlan(corpus, cl, nil, Config{Strategy: Stratified})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FrontierFromPlan(plan, frontier.Config{}); err == nil {
+		t.Fatal("baseline plan has no models; FrontierFromPlan must refuse")
+	}
+	var nilPlan *Plan
+	if _, _, err := nilPlan.FrontierModels(); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}

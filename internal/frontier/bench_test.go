@@ -1,0 +1,56 @@
+package frontier
+
+import (
+	"testing"
+
+	"pareto/internal/opt"
+)
+
+// benchNodes/benchAlphas pin the benchmark scale the EXPERIMENTS.md
+// warm-vs-cold table reports: 64 profiled nodes, 41-sample α ladder.
+const benchNodes = 64
+
+func benchAlphas() []float64 { return denseAlphas() }
+
+// BenchmarkFrontier compares warm-started sweep enumeration against
+// the cold per-α solve path on the same inputs. warm64x41/serial is
+// the headline number: one solver chain re-solving 41 objectives;
+// cold64x41 rebuilds and re-solves the LP from scratch at every α.
+func BenchmarkFrontier(b *testing.B) {
+	nodes := PaperModels(benchNodes)
+	total := 1_000_000
+	alphas := benchAlphas()
+
+	b.Run("warm64x41/serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Sweep(nodes, total, Config{Alphas: alphas, Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm64x41/parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Sweep(nodes, total, Config{Alphas: alphas}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold64x41", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.Frontier(nodes, total, alphas); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Exact(nodes, total, Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,560 @@
+// Package frontier enumerates the time/dirty-energy Pareto frontier
+// (paper §IV, Figures 5–6) as a first-class subsystem: warm-started
+// α-sweeps, exact breakpoint bisection, and N-dimensional dominance
+// filtering over an extensible objective vector, exposed to callers as
+// a library, an HTTP service (service.go), and `paretobench -frontier`.
+//
+// # Why warm starts
+//
+// Every frontier sample solves the same sizing LP under a different
+// objective — the constraint set (per-node time models, Σx = N) does
+// not depend on α. internal/lp retains the slab tableau and optimal
+// basis across solves, so moving to the next α is a primal-simplex
+// re-optimization from the previous vertex: a handful of pivots
+// instead of a full two-phase solve. Sweep chains re-solves within
+// each worker's contiguous α range; at 64 nodes × 41 α values the
+// warm sweep is >5× faster than cold solving (BenchmarkFrontier).
+//
+// # Determinism and cold equivalence
+//
+// The lp solver extracts solutions from the basis *set* against the
+// original constraint rows, so a warm re-solve is bit-identical to a
+// cold solve that reaches the same basis, and plans are recomputed
+// from rounded integer sizes. Sweep output is therefore deep-equal to
+// opt.Frontier and Exact to opt.ExactFrontier, at any worker count —
+// pinned by TestSweepEquivalentToColdFrontier under -race.
+//
+// # Non-convexity
+//
+// Scalarization only reaches the convex hull of the frontier, and the
+// bi-objective workload-distribution results in PAPERS.md show real
+// profiles are non-convex — so the sweep enumerates and
+// dominance-filters rather than assuming convexity, and the objective
+// vector is open-ended (Axis) so callers can rank plans on dimensions
+// the LP never saw (total node-seconds, peak partition share, total
+// energy under a power model).
+package frontier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pareto/internal/lp"
+	"pareto/internal/opt"
+	"pareto/internal/parallel"
+	"pareto/internal/telemetry"
+)
+
+// Axis is one dimension of the extended objective vector: a name for
+// reporting and an evaluator over the solved plan. Lower is better on
+// every axis (costs, not utilities).
+type Axis struct {
+	Name string
+	Eval func(nodes []opt.NodeModel, p *opt.Plan) float64
+}
+
+// MakespanAxis is the plan's predicted makespan (seconds).
+func MakespanAxis() Axis {
+	return Axis{Name: "makespan_s", Eval: func(_ []opt.NodeModel, p *opt.Plan) float64 {
+		return p.Makespan
+	}}
+}
+
+// DirtyEnergyAxis is the plan's predicted dirty energy (joules).
+func DirtyEnergyAxis() Axis {
+	return Axis{Name: "dirty_energy_j", Eval: func(_ []opt.NodeModel, p *opt.Plan) float64 {
+		return p.DirtyEnergy
+	}}
+}
+
+// NodeSecondsAxis is total busy node-seconds Σ f_i(x_i) over loaded
+// nodes — the "bill" for the plan, distinct from the makespan: a plan
+// that spreads work to meet a deadline can burn strictly more compute
+// than a consolidated one. This is the default third dimension.
+func NodeSecondsAxis() Axis {
+	return Axis{Name: "node_seconds", Eval: func(nodes []opt.NodeModel, p *opt.Plan) float64 {
+		var s float64
+		for i, n := range nodes {
+			if p.Sizes[i] <= 0 {
+				continue
+			}
+			s += n.Time.Predict(float64(p.Sizes[i]))
+		}
+		return s
+	}}
+}
+
+// PeakShareAxis is the largest partition's share of the total — a
+// skew/robustness axis (1/p is perfectly balanced, 1.0 is fully
+// consolidated).
+func PeakShareAxis() Axis {
+	return Axis{Name: "peak_share", Eval: func(_ []opt.NodeModel, p *opt.Plan) float64 {
+		total, peak := 0, 0
+		for _, s := range p.Sizes {
+			total += s
+			if s > peak {
+				peak = s
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(peak) / float64(total)
+	}}
+}
+
+// TotalEnergyAxis is total (dirty + green) energy in joules under
+// per-node full-power draws, watts[i] being node i's total power.
+func TotalEnergyAxis(watts []float64) Axis {
+	return Axis{Name: "total_energy_j", Eval: func(nodes []opt.NodeModel, p *opt.Plan) float64 {
+		var e float64
+		for i, n := range nodes {
+			if p.Sizes[i] <= 0 || i >= len(watts) {
+				continue
+			}
+			e += watts[i] * n.Time.Predict(float64(p.Sizes[i]))
+		}
+		return e
+	}}
+}
+
+// DefaultAxes is the standard objective vector: makespan, dirty
+// energy, and total node-seconds.
+func DefaultAxes() []Axis {
+	return []Axis{MakespanAxis(), DirtyEnergyAxis(), NodeSecondsAxis()}
+}
+
+// DominatesVec reports whether objective vector a Pareto-dominates b:
+// no worse on every axis, strictly better on at least one, with the
+// same absolute tolerance discipline as opt.Dominates.
+func DominatesVec(a, b []float64) bool {
+	const tol = 1e-9
+	if len(a) != len(b) {
+		return false
+	}
+	better := false
+	for i := range a {
+		if a[i] > b[i]+tol {
+			return false
+		}
+		if a[i] < b[i]-tol {
+			better = true
+		}
+	}
+	return better
+}
+
+// Point is one frontier sample: the classic 2-D FrontierPoint plus the
+// extended objective vector and solve provenance.
+type Point struct {
+	opt.FrontierPoint
+	// Objectives holds one value per configured Axis, in axis order.
+	Objectives []float64
+	// Warm reports whether the sample's LP solve reused a retained
+	// basis.
+	Warm bool
+	// Pivots is the simplex pivot count this sample cost.
+	Pivots int
+	// Dominated marks samples pruned by N-dimensional dominance
+	// filtering; they remain in Result.Points (the 2-D frontier
+	// contract is unchanged) but are excluded from Result.Frontier().
+	Dominated bool
+}
+
+// Stats aggregates solve effort across one enumeration.
+type Stats struct {
+	// Solves is the number of LP solves performed.
+	Solves int
+	// WarmSolves counts solves that reused a retained basis.
+	WarmSolves int
+	// Pivots is the total simplex pivot count across all solves.
+	Pivots int
+	// WarmPivots is the pivot count spent in warm re-solves only.
+	WarmPivots int
+	// Breakpoints is the number of distinct frontier points found.
+	Breakpoints int
+	// Dominated is the number of samples pruned by dominance filtering.
+	Dominated int
+	// Elapsed is the wall-clock enumeration time.
+	Elapsed time.Duration
+}
+
+// Config parameterizes Sweep and Exact. The zero value is usable:
+// DefaultAlphaSweep α values, GOMAXPROCS workers, DefaultAxes.
+type Config struct {
+	// Alphas are the scalarization weights to sample (Sweep only).
+	// Empty means opt.DefaultAlphaSweep. Order is irrelevant: results
+	// are canonical (ascending α).
+	Alphas []float64
+	// Workers bounds enumeration parallelism; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// Axes is the objective vector for dominance filtering; empty
+	// means DefaultAxes.
+	Axes []Axis
+	// Constraints are passed through to the sizing LP.
+	Constraints opt.Constraints
+	// Tol is the point-coincidence tolerance: dedup for Sweep (default
+	// 1e-9, matching opt.Frontier) and breakpoint convergence for
+	// Exact (default 1e-6, matching opt.ExactFrontier).
+	Tol float64
+	// Telemetry receives frontier_* metrics when non-nil.
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) axes() []Axis {
+	if len(c.Axes) == 0 {
+		return DefaultAxes()
+	}
+	return c.Axes
+}
+
+// Result is a dominance-filtered frontier enumeration.
+type Result struct {
+	// Points is the canonical point list (ascending α, adjacent
+	// duplicates collapsed), including dominated samples with their
+	// flag set — the embedded FrontierPoints are exactly what the cold
+	// opt.Frontier / opt.ExactFrontier paths produce.
+	Points []Point
+	// Stats is the solve-effort accounting.
+	Stats Stats
+}
+
+// Frontier returns the non-dominated points only.
+func (r *Result) Frontier() []Point {
+	out := make([]Point, 0, len(r.Points))
+	for _, p := range r.Points {
+		if !p.Dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// chain is one worker's warm-start chain: a lazily built solver whose
+// basis carries from one α to the next, plus its solve accounting.
+type chain struct {
+	nodes []opt.NodeModel
+	total int
+	cons  opt.Constraints
+	s     *lp.Solver
+
+	solves, warm, pivots, warmPivots int
+}
+
+// solve returns the sizing plan at α, warm-starting from the chain's
+// previous solve when one exists.
+func (c *chain) solve(alpha float64) (*opt.Plan, *lp.Solution, error) {
+	if c.s == nil {
+		prob, err := opt.SizingLP(c.nodes, c.total, alpha, c.cons)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.s = prob.NewSolver()
+	}
+	sol, err := c.s.ReSolve(opt.SizingObjective(c.nodes, c.total, alpha))
+	if err != nil {
+		return nil, nil, fmt.Errorf("frontier: solve at alpha %v: %w", alpha, err)
+	}
+	c.solves++
+	c.pivots += sol.Iterations
+	if sol.Warm {
+		c.warm++
+		c.warmPivots += sol.Iterations
+	}
+	x := opt.UnitsFromShares(sol.X[:len(c.nodes)], c.total)
+	return opt.PlanFromX(c.nodes, c.total, alpha, x), sol, nil
+}
+
+func (c *chain) addTo(st *Stats) {
+	st.Solves += c.solves
+	st.WarmSolves += c.warm
+	st.Pivots += c.pivots
+	st.WarmPivots += c.warmPivots
+}
+
+func validateSweep(nodes []opt.NodeModel, total int, cfg Config) (alphas []float64, cons opt.Constraints, err error) {
+	if len(nodes) == 0 {
+		return nil, cons, errors.New("frontier: no nodes")
+	}
+	if total <= 0 {
+		return nil, cons, fmt.Errorf("frontier: total data units %d, need ≥ 1", total)
+	}
+	alphas = cfg.Alphas
+	if len(alphas) == 0 {
+		alphas = opt.DefaultAlphaSweep()
+	}
+	sorted := make([]float64, len(alphas))
+	copy(sorted, alphas)
+	sort.Float64s(sorted)
+	// Drop exact duplicates and validate range.
+	out := sorted[:0]
+	for i, a := range sorted {
+		if a < 0 || a > 1 || math.IsNaN(a) {
+			return nil, cons, fmt.Errorf("frontier: alpha %v out of [0,1]", a)
+		}
+		if i > 0 && a == sorted[i-1] {
+			continue
+		}
+		out = append(out, a)
+	}
+	cons = cfg.Constraints
+	if cons.MinSize < 0 {
+		return nil, cons, fmt.Errorf("frontier: negative MinSize %v", cons.MinSize)
+	}
+	// Mirror OptimizeWithConstraints' cap so results match the cold path.
+	if cap := float64(total) / float64(len(nodes)); cons.MinSize > cap {
+		cons.MinSize = cap
+	}
+	return out, cons, nil
+}
+
+// Sweep samples the frontier at cfg.Alphas with warm-started solves
+// chained inside each worker's contiguous α range, then canonicalizes
+// (ascending α, adjacent duplicates collapsed — the opt.Frontier
+// contract) and dominance-filters over cfg.Axes. The embedded
+// FrontierPoints are bit-identical to cold opt.Frontier output at any
+// worker count.
+func Sweep(nodes []opt.NodeModel, total int, cfg Config) (*Result, error) {
+	start := time.Now()
+	alphas, cons, err := validateSweep(nodes, total, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	axes := cfg.axes()
+
+	n := len(alphas)
+	pts := make([]Point, n)
+	// parallel.ForErr hands each chunk [lo,hi) to one worker goroutine.
+	// A fresh chain per chunk keeps the warm-start sequence (cold at
+	// alphas[lo], warm for the rest) deterministic for a given (n,
+	// workers) split, and bit-identity with cold solves makes the
+	// assembled points independent of the split entirely.
+	chainAt := make([]*chain, n) // chunk-start slot → its chain, for stats
+	_, err = parallel.ForErr(n, cfg.Workers, func(lo, hi int) error {
+		c := &chain{nodes: nodes, total: total, cons: cons}
+		chainAt[lo] = c
+		for i := lo; i < hi; i++ {
+			plan, sol, err := c.solve(alphas[i])
+			if err != nil {
+				return err
+			}
+			pts[i] = newPoint(nodes, alphas[i], plan, sol, axes)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Points: canonicalize(pts, tol)}
+	for _, c := range chainAt {
+		if c != nil {
+			c.addTo(&res.Stats)
+		}
+	}
+	finish(res, nodes, axes, start, cfg.Telemetry, "sweep")
+	return res, nil
+}
+
+func newPoint(nodes []opt.NodeModel, alpha float64, plan *opt.Plan, sol *lp.Solution, axes []Axis) Point {
+	pt := Point{
+		FrontierPoint: opt.FrontierPoint{
+			Alpha:       alpha,
+			Makespan:    plan.Makespan,
+			DirtyEnergy: plan.DirtyEnergy,
+			Plan:        plan,
+		},
+		Warm:   sol.Warm,
+		Pivots: sol.Iterations,
+	}
+	pt.Objectives = make([]float64, len(axes))
+	for k, ax := range axes {
+		pt.Objectives[k] = ax.Eval(nodes, plan)
+	}
+	return pt
+}
+
+// canonicalize applies the opt.CanonicalizeFrontier contract to
+// extended points: ascending α (inputs are pre-sorted for Sweep,
+// in-order for Exact), adjacent objective-space duplicates collapsed
+// to their lowest-α representative.
+func canonicalize(pts []Point, tol float64) []Point {
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Alpha < pts[j].Alpha })
+	out := pts[:0:len(pts)]
+	for _, p := range pts {
+		if len(out) == 0 || !opt.SamePoint(out[len(out)-1].FrontierPoint, p.FrontierPoint, tol) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// finish runs dominance filtering, fills derived stats, and emits
+// telemetry.
+func finish(res *Result, nodes []opt.NodeModel, axes []Axis, start time.Time, reg *telemetry.Registry, kind string) {
+	dominated := 0
+	for i := range res.Points {
+		for j := range res.Points {
+			if i != j && DominatesVec(res.Points[j].Objectives, res.Points[i].Objectives) {
+				res.Points[i].Dominated = true
+				dominated++
+				break
+			}
+		}
+	}
+	res.Stats.Dominated = dominated
+	res.Stats.Breakpoints = len(res.Points) - dominated
+	res.Stats.Elapsed = time.Since(start)
+
+	if reg != nil {
+		reg.Counter("frontier_" + kind + "s_total").Inc()
+		reg.Counter("frontier_solves_total").Add(int64(res.Stats.Solves))
+		reg.Counter("frontier_warm_solves_total").Add(int64(res.Stats.WarmSolves))
+		reg.Counter("frontier_pivots_total").Add(int64(res.Stats.Pivots))
+		reg.Counter("frontier_breakpoints_total").Add(int64(res.Stats.Breakpoints))
+		reg.Counter("frontier_dominated_total").Add(int64(dominated))
+		reg.Histogram("frontier_enumeration_ns", telemetry.LatencyBuckets()).
+			Observe(res.Stats.Elapsed.Nanoseconds())
+	}
+}
+
+// exactMaxDepth mirrors opt's bisection depth budget: the 1e-9 α-width
+// floor converges first from [0,1], so exhaustion means an incomplete
+// frontier and is surfaced via opt.ErrTruncated.
+const exactMaxDepth = 40
+
+// Exact enumerates every distinct frontier vertex by recursive α
+// bisection (the opt.ExactFrontier algorithm) with warm-started
+// solves: the recursion carries a solver chain down its in-order
+// walk, and when cfg.Workers > 1 the top levels of the recursion tree
+// fork into goroutines, each subtree chaining its own solver. Spawn
+// depth is a pure function of Workers, so chains — and therefore
+// Stats — are deterministic, and bit-identity makes the points
+// deep-equal to cold opt.ExactFrontier regardless of parallelism.
+func Exact(nodes []opt.NodeModel, total int, cfg Config) (*Result, error) {
+	start := time.Now()
+	_, cons, err := validateSweep(nodes, total, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	axes := cfg.axes()
+
+	// Spawn goroutines only in the top ⌈log2(workers)⌉ levels.
+	workers := parallel.Workers(1<<20, cfg.Workers)
+	spawnDepth := 0
+	for 1<<spawnDepth < workers {
+		spawnDepth++
+	}
+
+	root := &chain{nodes: nodes, total: total, cons: cons}
+	solve := func(c *chain, alpha float64) (Point, error) {
+		plan, sol, err := c.solve(alpha)
+		if err != nil {
+			return Point{}, err
+		}
+		return newPoint(nodes, alpha, plan, sol, axes), nil
+	}
+	lo, err := solve(root, 0)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := solve(root, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	same := func(a, b Point) bool { return opt.SamePoint(a.FrontierPoint, b.FrontierPoint, tol) }
+	// rec returns the points strictly inside (a, b), in α order.
+	var rec func(c *chain, a, b Point, depth int) subResult
+	rec = func(c *chain, a, b Point, depth int) subResult {
+		if same(a, b) || b.Alpha-a.Alpha < 1e-9 {
+			return subResult{}
+		}
+		if depth > exactMaxDepth {
+			return subResult{truncated: true}
+		}
+		mid, err := solve(c, (a.Alpha+b.Alpha)/2)
+		if err != nil {
+			return subResult{err: err}
+		}
+		var left subResult
+		if depth < spawnDepth {
+			// Fork the left half onto its own goroutine with a fresh
+			// chain; the right half continues on this chain inline.
+			lc := &chain{nodes: nodes, total: total, cons: cons}
+			done := make(chan subResult, 1)
+			go func() {
+				sr := rec(lc, a, mid, depth+1)
+				sr.chains = append(sr.chains, lc)
+				done <- sr
+			}()
+			right := rec(c, mid, b, depth+1)
+			left = <-done
+			return mergeSub(left, mid, right, same, a, b)
+		}
+		left = rec(c, a, mid, depth+1)
+		right := rec(c, mid, b, depth+1)
+		return mergeSub(left, mid, right, same, a, b)
+	}
+	sub := rec(root, lo, hi, 0)
+	if sub.err != nil {
+		return nil, sub.err
+	}
+
+	pts := make([]Point, 0, len(sub.pts)+2)
+	pts = append(pts, lo)
+	pts = append(pts, sub.pts...)
+	if !same(lo, hi) {
+		pts = append(pts, hi)
+	}
+	res := &Result{Points: canonicalize(pts, tol)}
+	root.addTo(&res.Stats)
+	for _, c := range sub.chains {
+		c.addTo(&res.Stats)
+	}
+	finish(res, nodes, axes, start, cfg.Telemetry, "exact")
+	if sub.truncated {
+		return res, fmt.Errorf("frontier: exact enumeration incomplete beyond depth %d: %w", exactMaxDepth, opt.ErrTruncated)
+	}
+	return res, nil
+}
+
+// subResult is one bisection subtree's outcome: the points strictly
+// inside its interval (in α order), the solver chains it consumed
+// (for stats), and whether any branch hit the depth budget.
+type subResult struct {
+	pts       []Point
+	chains    []*chain
+	truncated bool
+	err       error
+}
+
+// mergeSub assembles an in-order subtree result: left points, the
+// midpoint (if distinct from both interval endpoints — the
+// opt.ExactFrontier inclusion rule), then right points.
+func mergeSub(left subResult, mid Point, right subResult, same func(a, b Point) bool, a, b Point) subResult {
+	out := subResult{
+		pts:       left.pts,
+		chains:    append(left.chains, right.chains...),
+		truncated: left.truncated || right.truncated,
+		err:       left.err,
+	}
+	if out.err == nil {
+		out.err = right.err
+	}
+	if !same(mid, a) && !same(mid, b) {
+		out.pts = append(out.pts, mid)
+	}
+	out.pts = append(out.pts, right.pts...)
+	return out
+}

@@ -1,0 +1,300 @@
+package frontier
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"pareto/internal/opt"
+	"pareto/internal/sampling"
+	"pareto/internal/telemetry"
+)
+
+// denseAlphas is a 41-value ladder matching the benchmark scale: the
+// default sweep's shape (dense near 1) extended with uniform coverage.
+func denseAlphas() []float64 {
+	out := UniformAlphas(31)
+	out = append(out, 0.905, 0.95, 0.975, 0.99, 0.995, 0.999, 0.9995, 0.9999, 0.99995, 0.99999)
+	return out
+}
+
+func workerCounts() []int {
+	return []int{1, 4, runtime.NumCPU()}
+}
+
+func TestSweepEquivalentToColdFrontier(t *testing.T) {
+	// The tentpole guarantee: warm-started parallel sweeps produce
+	// FrontierPoints deep-equal (bit-identical floats included) to the
+	// cold-solve opt.Frontier path, at every worker count. Run under
+	// -race this also exercises the chunked chain scheduling.
+	for _, p := range []int{8, 16, 64} {
+		nodes := PaperModels(p)
+		total := 1_000_000
+		alphas := denseAlphas()
+		cold, err := opt.Frontier(nodes, total, alphas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts() {
+			res, err := Sweep(nodes, total, Config{Alphas: alphas, Workers: w})
+			if err != nil {
+				t.Fatalf("p=%d workers=%d: %v", p, w, err)
+			}
+			if len(res.Points) != len(cold) {
+				t.Fatalf("p=%d workers=%d: %d points, cold has %d", p, w, len(res.Points), len(cold))
+			}
+			for i := range cold {
+				if !reflect.DeepEqual(res.Points[i].FrontierPoint, cold[i]) {
+					t.Fatalf("p=%d workers=%d: point %d diverges from cold solve:\nwarm: %+v\ncold: %+v",
+						p, w, i, res.Points[i].FrontierPoint, cold[i])
+				}
+			}
+		}
+	}
+}
+
+func TestExactEquivalentToColdExactFrontier(t *testing.T) {
+	for _, p := range []int{8, 16} {
+		nodes := PaperModels(p)
+		total := 500_000
+		cold, err := opt.ExactFrontier(nodes, total, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts() {
+			res, err := Exact(nodes, total, Config{Workers: w})
+			if err != nil {
+				t.Fatalf("p=%d workers=%d: %v", p, w, err)
+			}
+			if len(res.Points) != len(cold) {
+				t.Fatalf("p=%d workers=%d: %d points, cold has %d", p, w, len(res.Points), len(cold))
+			}
+			for i := range cold {
+				if !reflect.DeepEqual(res.Points[i].FrontierPoint, cold[i]) {
+					t.Fatalf("p=%d workers=%d: point %d diverges from cold bisection:\nwarm: %+v\ncold: %+v",
+						p, w, i, res.Points[i].FrontierPoint, cold[i])
+				}
+			}
+			if res.Stats.Solves < len(cold) {
+				t.Errorf("p=%d workers=%d: stats report %d solves for %d points", p, w, res.Stats.Solves, len(cold))
+			}
+		}
+	}
+}
+
+func TestSweepWarmStartsPayOff(t *testing.T) {
+	// A single-worker sweep cold-solves only the first α; everything
+	// else must ride the retained basis, and the warm pivots must be a
+	// small fraction of the total.
+	nodes := PaperModels(64)
+	res, err := Sweep(nodes, 1_000_000, Config{Alphas: denseAlphas(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Solves != len(dedupAlphas(denseAlphas())) {
+		t.Errorf("solves = %d, want one per distinct α (%d)", st.Solves, len(dedupAlphas(denseAlphas())))
+	}
+	if st.WarmSolves != st.Solves-1 {
+		t.Errorf("warm solves = %d of %d: a 1-worker chain must cold-solve exactly once", st.WarmSolves, st.Solves)
+	}
+	coldPivots := st.Pivots - st.WarmPivots
+	if st.WarmSolves > 0 && st.WarmPivots >= coldPivots*st.WarmSolves {
+		t.Errorf("warm pivots %d over %d solves vs %d cold pivots: warm starts are not cheaper",
+			st.WarmPivots, st.WarmSolves, coldPivots)
+	}
+	for i, p := range res.Points {
+		if p.Pivots < 0 {
+			t.Errorf("point %d has negative pivot count", i)
+		}
+	}
+}
+
+func dedupAlphas(alphas []float64) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, a := range alphas {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestSweepNonConvexDominancePruning(t *testing.T) {
+	// Two nodes: fast-and-dirty vs slightly-slower-and-green. On the
+	// classic (makespan, dirty energy) axes every α sample is
+	// non-dominated — α=0 has zero dirty energy. Extend the objective
+	// vector with total node-seconds and the α=0 plan (everything
+	// consolidated on the slower green node) is beaten on BOTH axes by
+	// the α=1 balance: same-or-worse makespan AND more node-seconds.
+	// The sweep must keep the sample in Points (2-D contract) but flag
+	// and exclude it from the filtered frontier.
+	nodes := []opt.NodeModel{
+		{Time: sampling.LinearFit{Slope: 0.001}, DirtyRate: 400},
+		{Time: sampling.LinearFit{Slope: 0.0011}, DirtyRate: 0},
+	}
+	axes := []Axis{MakespanAxis(), NodeSecondsAxis()}
+	res, err := Sweep(nodes, 100_000, Config{
+		Alphas:  []float64{0, 0.5, 0.9, 0.99, 0.999, 1},
+		Workers: 1,
+		Axes:    axes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero *Point
+	for i := range res.Points {
+		if res.Points[i].Alpha == 0 {
+			zero = &res.Points[i]
+		}
+	}
+	if zero == nil {
+		t.Fatal("α=0 sample missing from canonical points")
+	}
+	if zero.Plan.Sizes[1] != 100_000 {
+		t.Fatalf("α=0 must consolidate on the green node, got sizes %v", zero.Plan.Sizes)
+	}
+	if !zero.Dominated {
+		t.Fatal("α=0 consolidation must be dominance-pruned on (makespan, node_seconds)")
+	}
+	if res.Stats.Dominated < 1 {
+		t.Errorf("stats.Dominated = %d, want ≥ 1", res.Stats.Dominated)
+	}
+	for _, p := range res.Frontier() {
+		if p.Dominated {
+			t.Error("Frontier() leaked a dominated point")
+		}
+		if p.Alpha == 0 {
+			t.Error("Frontier() kept the pruned α=0 sample")
+		}
+	}
+	if len(res.Frontier())+res.Stats.Dominated != len(res.Points) {
+		t.Errorf("filtered %d + dominated %d ≠ points %d",
+			len(res.Frontier()), res.Stats.Dominated, len(res.Points))
+	}
+}
+
+func TestSweepDefaultsAndValidation(t *testing.T) {
+	nodes := PaperModels(4)
+	// Zero config: DefaultAlphaSweep, DefaultAxes.
+	res, err := Sweep(nodes, 10_000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("empty result from default sweep")
+	}
+	if got := len(res.Points[0].Objectives); got != len(DefaultAxes()) {
+		t.Errorf("objective vector has %d entries, want %d", got, len(DefaultAxes()))
+	}
+	if _, err := Sweep(nil, 100, Config{}); err == nil {
+		t.Error("nil nodes accepted")
+	}
+	if _, err := Sweep(nodes, 0, Config{}); err == nil {
+		t.Error("zero total accepted")
+	}
+	if _, err := Sweep(nodes, 100, Config{Alphas: []float64{-0.1}}); err == nil {
+		t.Error("out-of-range alpha accepted")
+	}
+	if _, err := Sweep(nodes, 100, Config{Constraints: opt.Constraints{MinSize: -1}}); err == nil {
+		t.Error("negative MinSize accepted")
+	}
+}
+
+func TestSweepWithMinSizeMatchesColdConstrainedPath(t *testing.T) {
+	nodes := PaperModels(8)
+	total := 80_000
+	cons := opt.Constraints{MinSize: 2_000}
+	res, err := Sweep(nodes, total, Config{Alphas: []float64{0.5, 0.9, 1}, Constraints: cons, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		want, err := opt.OptimizeWithConstraints(nodes, total, p.Alpha, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p.Plan, want) {
+			t.Errorf("α=%v: constrained sweep plan diverges from OptimizeWithConstraints", p.Alpha)
+		}
+		for _, s := range p.Plan.Sizes {
+			if float64(s) < cons.MinSize-1 {
+				t.Errorf("α=%v: size %d below floor %v", p.Alpha, s, cons.MinSize)
+			}
+		}
+	}
+}
+
+func TestExactDegenerateSinglePoint(t *testing.T) {
+	nodes := []opt.NodeModel{
+		{Time: sampling.LinearFit{Slope: 0.001}, DirtyRate: 100},
+		{Time: sampling.LinearFit{Slope: 0.001}, DirtyRate: 100},
+	}
+	res, err := Exact(nodes, 1000, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Errorf("degenerate frontier has %d points, want 1", len(res.Points))
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	nodes := PaperModels(8)
+	res, err := Sweep(nodes, 100_000, Config{Alphas: UniformAlphas(9), Telemetry: reg, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("frontier_sweeps_total").Value(); got != 1 {
+		t.Errorf("frontier_sweeps_total = %d, want 1", got)
+	}
+	if got := reg.Counter("frontier_solves_total").Value(); got != int64(res.Stats.Solves) {
+		t.Errorf("frontier_solves_total = %d, want %d", got, res.Stats.Solves)
+	}
+	if got := reg.Counter("frontier_warm_solves_total").Value(); got != int64(res.Stats.WarmSolves) {
+		t.Errorf("frontier_warm_solves_total = %d, want %d", got, res.Stats.WarmSolves)
+	}
+	if got := reg.Counter("frontier_pivots_total").Value(); got != int64(res.Stats.Pivots) {
+		t.Errorf("frontier_pivots_total = %d, want %d", got, res.Stats.Pivots)
+	}
+	if _, err := Exact(nodes, 100_000, Config{Telemetry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("frontier_exacts_total").Value(); got != 1 {
+		t.Errorf("frontier_exacts_total = %d, want 1", got)
+	}
+}
+
+func TestDominatesVec(t *testing.T) {
+	if !DominatesVec([]float64{1, 2, 3}, []float64{1, 2, 4}) {
+		t.Error("better-in-one no-worse-elsewhere must dominate")
+	}
+	if DominatesVec([]float64{1, 2, 3}, []float64{1, 2, 3}) {
+		t.Error("equal vectors do not dominate")
+	}
+	if DominatesVec([]float64{1, 5}, []float64{2, 4}) {
+		t.Error("trade-off vectors are incomparable")
+	}
+	if DominatesVec([]float64{1, 2}, []float64{1, 2, 3}) {
+		t.Error("length mismatch must not dominate")
+	}
+	// Sub-tolerance differences are ties.
+	if DominatesVec([]float64{1 - 1e-12, 2}, []float64{1, 2}) {
+		t.Error("sub-tolerance improvement must not dominate")
+	}
+}
+
+func TestUniformAlphas(t *testing.T) {
+	a := UniformAlphas(5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if !reflect.DeepEqual(a, want) {
+		t.Errorf("got %v, want %v", a, want)
+	}
+	if got := UniformAlphas(1); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("n<2 must clamp to the two endpoints, got %v", got)
+	}
+}
+

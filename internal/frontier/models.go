@@ -1,0 +1,47 @@
+package frontier
+
+import (
+	"pareto/internal/opt"
+	"pareto/internal/sampling"
+)
+
+// PaperModels builds p node models shaped like the paper's evaluation
+// cluster: four machine classes with relative speeds 4/3/2/1 and
+// full-power draws 440/345/250/155 W, cycled across nodes. A small
+// deterministic per-node perturbation keeps every profile distinct, so
+// the sizing LP has a unique optimal vertex at every α — the regime
+// the warm-vs-cold equivalence guarantee is exercised in (and the one
+// real profiled clusters are in: no two machines measure identically).
+func PaperModels(p int) []opt.NodeModel {
+	speeds := [4]float64{4, 3, 2, 1}
+	watts := [4]float64{440, 345, 250, 155}
+	nodes := make([]opt.NodeModel, p)
+	for i := range nodes {
+		class := i % 4
+		gen := float64(i / 4)
+		nodes[i] = opt.NodeModel{
+			Time: sampling.LinearFit{
+				Slope:     4e-6 / speeds[class] * (1 + 0.003*gen),
+				Intercept: 0.05 * float64(class) * (1 + 0.003*gen),
+			},
+			// Dirty rate ≈ 55% of full draw (the rest assumed covered by
+			// the green supply), nudged per generation.
+			DirtyRate: watts[class]*0.55 + 0.7*gen,
+		}
+	}
+	return nodes
+}
+
+// UniformAlphas returns n evenly spaced α values spanning [0, 1]
+// inclusive, ascending. n must be ≥ 2 (both endpoints); smaller
+// requests are clamped to 2.
+func UniformAlphas(n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) / float64(n-1)
+	}
+	return out
+}

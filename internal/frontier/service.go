@@ -1,0 +1,234 @@
+// HTTP surface of the frontier subsystem: GET /frontier serves the
+// dominance-filtered Pareto frontier as JSON so a caller can pick a
+// time/energy operating point at request time instead of baking α in
+// at plan time (cf. Lang et al.'s energy-efficient cluster design,
+// PAPERS.md). Mount alongside the telemetry mux:
+//
+//	mux := reg.Handler()
+//	frontier.Mount(mux, frontier.NewService(src, frontier.Config{Telemetry: reg}))
+//	http.ListenAndServe(addr, mux)
+package frontier
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pareto/internal/opt"
+)
+
+// ModelSource supplies the node models and total data-unit count the
+// service enumerates over — a static snapshot, or a live view of the
+// planner's latest profiling run.
+type ModelSource interface {
+	FrontierModels() (nodes []opt.NodeModel, total int, err error)
+}
+
+// StaticSource is a fixed ModelSource.
+type StaticSource struct {
+	Nodes []opt.NodeModel
+	Total int
+}
+
+// FrontierModels returns the static snapshot.
+func (s StaticSource) FrontierModels() ([]opt.NodeModel, int, error) {
+	return s.Nodes, s.Total, nil
+}
+
+// Service serves frontier enumerations over HTTP. Per-request query
+// parameters override the base Config:
+//
+//	alphas=N          sample N uniform α values in [0,1]
+//	alpha=a,b,c       sample an explicit α list
+//	exact=1           exact breakpoint bisection instead of sampling
+//	tol=T             coincidence/convergence tolerance
+//	workers=W         parallelism bound
+//	all=1             include dominated points (flagged) in the output
+type Service struct {
+	source ModelSource
+	cfg    Config
+}
+
+// NewService creates a frontier service over the given source. cfg
+// supplies defaults (axes, telemetry, base α sweep) that requests can
+// override.
+func NewService(source ModelSource, cfg Config) *Service {
+	return &Service{source: source, cfg: cfg}
+}
+
+// Mount registers the service at /frontier on the given mux (typically
+// the telemetry registry's Handler mux).
+func Mount(mux *http.ServeMux, s *Service) {
+	mux.Handle("/frontier", s)
+}
+
+// pointJSON is one frontier point on the wire.
+type pointJSON struct {
+	Alpha       float64   `json:"alpha"`
+	Makespan    float64   `json:"makespan_s"`
+	DirtyEnergy float64   `json:"dirty_energy_j"`
+	Objectives  []float64 `json:"objectives"`
+	Sizes       []int     `json:"sizes"`
+	Warm        bool      `json:"warm"`
+	Pivots      int       `json:"pivots"`
+	Dominated   bool      `json:"dominated,omitempty"`
+}
+
+// statsJSON mirrors Stats with wall time in milliseconds.
+type statsJSON struct {
+	Solves      int     `json:"solves"`
+	WarmSolves  int     `json:"warm_solves"`
+	Pivots      int     `json:"pivots"`
+	WarmPivots  int     `json:"warm_pivots"`
+	Breakpoints int     `json:"breakpoints"`
+	Dominated   int     `json:"dominated"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+}
+
+// responseJSON is the /frontier reply.
+type responseJSON struct {
+	Nodes     int         `json:"nodes"`
+	Total     int         `json:"total"`
+	Exact     bool        `json:"exact"`
+	Axes      []string    `json:"axes"`
+	Points    []pointJSON `json:"points"`
+	Dominated int         `json:"dominated"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Stats     statsJSON   `json:"stats"`
+}
+
+// ServeHTTP handles GET /frontier.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "frontier: GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	cfg := s.cfg
+	q := r.URL.Query()
+	exact := false
+	if v := q.Get("exact"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, "frontier: bad exact: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		exact = b
+	}
+	if v := q.Get("alphas"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 || n > 100000 {
+			http.Error(w, "frontier: alphas must be an integer in [2,100000]", http.StatusBadRequest)
+			return
+		}
+		cfg.Alphas = UniformAlphas(n)
+	}
+	if v := q.Get("alpha"); v != "" {
+		var alphas []float64
+		for _, part := range strings.Split(v, ",") {
+			a, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				http.Error(w, "frontier: bad alpha list: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			alphas = append(alphas, a)
+		}
+		cfg.Alphas = alphas
+	}
+	if v := q.Get("tol"); v != "" {
+		tol, err := strconv.ParseFloat(v, 64)
+		if err != nil || tol <= 0 || tol >= 1 {
+			http.Error(w, "frontier: tol must be in (0,1)", http.StatusBadRequest)
+			return
+		}
+		cfg.Tol = tol
+	}
+	if v := q.Get("workers"); v != "" {
+		wn, err := strconv.Atoi(v)
+		if err != nil || wn < 0 || wn > 4096 {
+			http.Error(w, "frontier: workers must be an integer in [0,4096]", http.StatusBadRequest)
+			return
+		}
+		cfg.Workers = wn
+	}
+	includeAll := false
+	if v := q.Get("all"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, "frontier: bad all: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		includeAll = b
+	}
+
+	nodes, total, err := s.source.FrontierModels()
+	if err != nil {
+		http.Error(w, "frontier: model source: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	var res *Result
+	if exact {
+		res, err = Exact(nodes, total, cfg)
+	} else {
+		res, err = Sweep(nodes, total, cfg)
+	}
+	truncated := false
+	if err != nil {
+		if !errors.Is(err, opt.ErrTruncated) {
+			status := http.StatusInternalServerError
+			if strings.Contains(err.Error(), "out of [0,1]") || strings.Contains(err.Error(), "need ≥ 1") {
+				status = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		// A truncated exact frontier is still served, flagged.
+		truncated = true
+	}
+
+	resp := responseJSON{
+		Nodes:     len(nodes),
+		Total:     total,
+		Exact:     exact,
+		Truncated: truncated,
+		Dominated: res.Stats.Dominated,
+		Stats: statsJSON{
+			Solves:      res.Stats.Solves,
+			WarmSolves:  res.Stats.WarmSolves,
+			Pivots:      res.Stats.Pivots,
+			WarmPivots:  res.Stats.WarmPivots,
+			Breakpoints: res.Stats.Breakpoints,
+			Dominated:   res.Stats.Dominated,
+			ElapsedMs:   float64(res.Stats.Elapsed.Microseconds()) / 1000,
+		},
+	}
+	for _, ax := range cfg.axes() {
+		resp.Axes = append(resp.Axes, ax.Name)
+	}
+	for _, p := range res.Points {
+		if p.Dominated && !includeAll {
+			continue
+		}
+		resp.Points = append(resp.Points, pointJSON{
+			Alpha:       p.Alpha,
+			Makespan:    p.Makespan,
+			DirtyEnergy: p.DirtyEnergy,
+			Objectives:  p.Objectives,
+			Sizes:       p.Plan.Sizes,
+			Warm:        p.Warm,
+			Pivots:      p.Pivots,
+			Dominated:   p.Dominated,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		// Headers are gone; nothing to do but note it for debugging.
+		fmt.Fprintf(w, "\n// encode error: %v\n", err)
+	}
+}

@@ -13,6 +13,17 @@
 // implementation: ≤ / = / ≥ constraints, free variables (internally
 // split into positive and negative parts), infeasibility and
 // unboundedness detection.
+//
+// # Warm starts
+//
+// Frontier enumeration solves the same constraint set under many
+// objectives (one per α). A Solver retains the slab tableau and the
+// factorized basis across solves: ReSolve swaps in a new objective and
+// re-optimizes with primal simplex from the previous optimal vertex.
+// An objective-only change preserves primal feasibility (the basic
+// solution still satisfies every constraint), so a re-solve is
+// typically a handful of pivots instead of a full two-phase run.
+// Solution reports Iterations and whether the solve was warm.
 package lp
 
 import (
@@ -121,9 +132,15 @@ type Solution struct {
 	X []float64
 	// Objective is the optimal objective value.
 	Objective float64
-	// Iterations is the number of simplex pivots performed across both
-	// phases — the planner's audit of how hard the sizing LP worked.
+	// Iterations is the number of simplex pivots performed: across both
+	// phases for a cold solve, and for the re-optimization alone on a
+	// warm ReSolve — the planner's audit of how hard the sizing LP
+	// worked.
 	Iterations int
+	// Warm is true when the solve re-optimized from a retained basis
+	// (Solver.ReSolve) instead of running two-phase simplex from
+	// scratch.
+	Warm bool
 }
 
 // eps is the pivoting and feasibility tolerance.
@@ -145,6 +162,65 @@ const refreshEvery = 64
 // pre-pass — Solve's allocation count is constant in the iteration
 // count and near-constant in problem size.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.NewSolver().Solve()
+}
+
+// Solver retains the slab tableau, the column mapping, and the current
+// basis of one Problem across solves, enabling warm-started
+// re-optimization under changing objectives (ReSolve). A Solver is not
+// safe for concurrent use; frontier sweeps run one Solver per worker.
+type Solver struct {
+	p *Problem
+
+	built bool
+	// ready marks the basis as a valid primal-feasible starting point
+	// for a warm re-solve (set after any successful solve).
+	ready bool
+
+	m, ncols, total int
+	nArt            int
+
+	// Column mapping from problem variables to solver columns.
+	posCol, negCol []int
+	slackCol       []int
+	artCol         []int
+	bcols          []int // extraction scratch: sorted basis columns
+
+	t tableau
+
+	// a0/b0 snapshot the normalized constraint rows (nonnegative RHS,
+	// slack/surplus/artificial columns in place) before any pivoting.
+	// They serve two drift-free roles: solution extraction solves
+	// A0_B·x_B = b0 with a deterministic elimination order, so two
+	// solves ending at the same optimal basis produce bit-identical
+	// solutions regardless of pivot path; and optimality certification
+	// recomputes reduced costs from the same original data
+	// (exactEntering), so the maintained tableau's accumulated float
+	// drift can cost extra pivots but never certify a suboptimal basis.
+	// Together these are the warm-started frontier sweep's
+	// cold-equivalence guarantee.
+	a0, b0 []float64
+	// sobj is the current objective mapped onto solver columns.
+	sobj []float64
+	// xcols holds per-solver-column values during extraction.
+	xcols []float64
+	// gaussA/gaussY are the m×m basis system and its RHS.
+	gaussA, gaussY []float64
+}
+
+// NewSolver creates a reusable solver for the problem's current
+// constraint set. Constraints added to the Problem after NewSolver are
+// picked up by the next cold Solve but invalidate any warm state only
+// implicitly — add all constraints before solving.
+func (p *Problem) NewSolver() *Solver {
+	return &Solver{p: p}
+}
+
+// build sizes and carves the slabs, then fills the normalized tableau
+// rows and the initial slack/artificial basis. Safe to call repeatedly:
+// slabs are allocated once and rewritten in place.
+func (s *Solver) build() {
+	p := s.p
 	m := len(p.cons)
 
 	// Pre-pass: count solver columns without allocating. Column layout:
@@ -177,43 +253,61 @@ func (p *Problem) Solve() (*Solution, error) {
 	ncols := p.numVars + nFree + nSlack
 	total := ncols + nArt
 
-	// Slab 1: all integer state. Slab 2: all float state.
-	ints := make([]int, 2*p.numVars+2*m+m)
-	posCol, ints := ints[:p.numVars], ints[p.numVars:]
-	negCol, ints := ints[:p.numVars], ints[p.numVars:]
-	slackCol, ints := ints[:m], ints[m:]
-	artCol, ints := ints[:m], ints[m:]
-	basis := ints[:m]
+	if !s.built {
+		// Slab 1: all integer state. Slab 2: all float state.
+		ints := make([]int, 2*p.numVars+2*m+m+m)
+		s.posCol, ints = ints[:p.numVars], ints[p.numVars:]
+		s.negCol, ints = ints[:p.numVars], ints[p.numVars:]
+		s.slackCol, ints = ints[:m], ints[m:]
+		s.artCol, ints = ints[:m], ints[m:]
+		basis := ints[:m]
+		s.bcols = ints[m : m+m]
 
-	floats := make([]float64, m*total+m+total+total+total)
-	a, floats := floats[:m*total], floats[m*total:]
-	bvec, floats := floats[:m], floats[m:]
-	red, floats := floats[:total], floats[total:]
-	phaseObj, floats := floats[:total], floats[total:]
-	xcols := floats[:total]
+		floats := make([]float64, 2*(m*total)+2*m+4*total+m*m+m)
+		a := floats[:m*total]
+		floats = floats[m*total:]
+		s.a0, floats = floats[:m*total], floats[m*total:]
+		bvec, floats := floats[:m], floats[m:]
+		s.b0, floats = floats[:m], floats[m:]
+		red, floats := floats[:total], floats[total:]
+		s.sobj, floats = floats[:total], floats[total:]
+		s.xcols, floats = floats[:total], floats[total:]
+		s.gaussA, floats = floats[:m*m], floats[m*m:]
+		s.gaussY = floats[:m]
+
+		s.t = tableau{m: m, stride: total, a: a, b: bvec, basis: basis, red: red}
+		s.built = true
+	} else {
+		// Rewind a previous solve: clear the matrix slab; every other
+		// slab is fully rewritten below.
+		clear(s.t.a)
+	}
+	s.m, s.ncols, s.total, s.nArt = m, ncols, total, nArt
+	s.t.n = total
+	s.t.pivots = 0
+	s.ready = false
 
 	col := 0
 	for i := 0; i < p.numVars; i++ {
-		posCol[i] = col
+		s.posCol[i] = col
 		col++
 		if p.free[i] {
-			negCol[i] = col
+			s.negCol[i] = col
 			col++
 		} else {
-			negCol[i] = -1
+			s.negCol[i] = -1
 		}
 	}
 
-	t := &tableau{m: m, n: total, stride: total, a: a, b: bvec, basis: basis, red: red}
-
+	t := &s.t
 	// Build rows directly into the flat tableau with nonnegative RHS.
-	slack, art := p.numVars + nFree, ncols
+	slack, art := p.numVars+nFree, ncols
 	for r, c := range p.cons {
 		row := t.row(r)
 		for i, v := range c.coeffs {
-			row[posCol[i]] = v
-			if negCol[i] >= 0 {
-				row[negCol[i]] = -v
+			row[s.posCol[i]] = v
+			if s.negCol[i] >= 0 {
+				row[s.negCol[i]] = -v
 			}
 		}
 		op, b := c.op, c.rhs
@@ -231,35 +325,50 @@ func (p *Problem) Solve() (*Solution, error) {
 		}
 		t.b[r] = b
 		if op == LE || op == GE {
-			slackCol[r] = slack
+			s.slackCol[r] = slack
 			slack++
 			if op == LE {
-				row[slackCol[r]] = 1
+				row[s.slackCol[r]] = 1
 			} else {
-				row[slackCol[r]] = -1
+				row[s.slackCol[r]] = -1
 			}
 		} else {
-			slackCol[r] = -1
+			s.slackCol[r] = -1
 		}
 		if op == GE || op == EQ {
-			artCol[r] = art
+			s.artCol[r] = art
 			art++
-			row[artCol[r]] = 1
-			t.basis[r] = artCol[r]
+			row[s.artCol[r]] = 1
+			t.basis[r] = s.artCol[r]
 		} else {
-			artCol[r] = -1
-			t.basis[r] = slackCol[r] // LE slack with +1 coefficient
+			s.artCol[r] = -1
+			t.basis[r] = s.slackCol[r] // LE slack with +1 coefficient
 		}
 	}
+	// Snapshot the normalized pre-pivot system for deterministic
+	// solution extraction.
+	copy(s.a0, t.a)
+	copy(s.b0, t.b)
+}
+
+// Solve runs a cold two-phase simplex solve with the problem's own
+// objective, (re)building the tableau from the constraint set. On
+// success the Solver's basis is primed for warm ReSolve calls.
+func (s *Solver) Solve() (*Solution, error) {
+	s.build()
+	t := &s.t
+	m, ncols := s.m, s.ncols
 
 	// Phase 1: minimize the sum of artificials.
-	if nArt > 0 {
+	if s.nArt > 0 {
+		phaseObj := s.sobj
+		clear(phaseObj)
 		for r := 0; r < m; r++ {
-			if artCol[r] >= 0 {
-				phaseObj[artCol[r]] = 1
+			if s.artCol[r] >= 0 {
+				phaseObj[s.artCol[r]] = 1
 			}
 		}
-		val, err := t.optimize(phaseObj)
+		val, err := t.optimize(phaseObj, nil)
 		if err != nil {
 			// Phase 1 is bounded below by 0; unboundedness means a bug,
 			// surface it as-is.
@@ -290,38 +399,287 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 
 	// Phase 2: the real objective over solver columns.
-	obj := phaseObj[:t.n]
-	for j := range obj {
-		obj[j] = 0
-	}
-	for i := 0; i < p.numVars; i++ {
-		obj[posCol[i]] += p.obj[i]
-		if negCol[i] >= 0 {
-			obj[negCol[i]] -= p.obj[i]
-		}
-	}
-	if _, err := t.optimize(obj); err != nil {
+	s.setObjective(s.p.obj)
+	if _, err := t.optimize(s.sobj[:t.n], s); err != nil {
 		return nil, err
 	}
+	s.ready = true
+	return s.extract(s.p.obj, t.pivots, false), nil
+}
 
-	// Extract solution.
-	for r, bi := range t.basis {
-		if bi >= 0 && bi < t.n {
-			xcols[bi] = t.b[r]
+// ReSolve re-optimizes with a new objective (length NumVars, problem
+// coordinates) starting from the current basis. Because only the
+// objective changes, the retained vertex stays primal-feasible and the
+// re-solve is pure phase-2 primal simplex — typically a handful of
+// pivots. Without a prior successful solve it falls back to a cold
+// solve under the given objective (Solution.Warm reports which path
+// ran). A ReSolve that returns ErrUnbounded leaves the basis feasible,
+// so later ReSolve calls with bounded objectives remain valid.
+func (s *Solver) ReSolve(objective []float64) (*Solution, error) {
+	if len(objective) != s.p.numVars {
+		return nil, fmt.Errorf("lp: ReSolve objective has %d coefficients, want %d", len(objective), s.p.numVars)
+	}
+	if !s.ready {
+		saved := s.p.obj
+		s.p.obj = objective
+		sol, err := s.Solve()
+		s.p.obj = saved
+		return sol, err
+	}
+	t := &s.t
+	s.setObjective(objective)
+	before := t.pivots
+	if _, err := t.optimize(s.sobj[:t.n], s); err != nil {
+		return nil, err
+	}
+	return s.extract(objective, t.pivots-before, true), nil
+}
+
+// Basis returns a copy of the current basis assignment (solver column
+// basic in each row), for introspection and tests.
+func (s *Solver) Basis() []int {
+	if !s.built {
+		return nil
+	}
+	out := make([]int, s.m)
+	copy(out, s.t.basis)
+	return out
+}
+
+// setObjective maps a problem-coordinate objective onto solver columns.
+func (s *Solver) setObjective(obj []float64) {
+	clear(s.sobj)
+	for i := 0; i < s.p.numVars; i++ {
+		s.sobj[s.posCol[i]] += obj[i]
+		if s.negCol[i] >= 0 {
+			s.sobj[s.negCol[i]] -= obj[i]
 		}
 	}
-	x := make([]float64, p.numVars)
-	for i := 0; i < p.numVars; i++ {
-		x[i] = xcols[posCol[i]]
-		if negCol[i] >= 0 {
-			x[i] -= xcols[negCol[i]]
+}
+
+// extract materializes the optimal solution from the current basis.
+//
+// Rather than reading the pivoted tableau's RHS — whose low-order bits
+// depend on the entire pivot history — it re-solves the m×m basis
+// system A0_B·x_B = b0 against the original normalized rows with a
+// deterministic elimination order (columns sorted ascending, partial
+// pivoting with lowest-row tie-break). The extracted solution is
+// therefore a pure function of the basis *set*: a warm re-solve and a
+// cold solve that end at the same basis yield bit-identical X. Falls
+// back to the tableau RHS if the basis system is numerically singular.
+func (s *Solver) extract(obj []float64, iters int, warm bool) *Solution {
+	t := &s.t
+	m := s.m
+	clear(s.xcols)
+	bcols := s.bcols
+	copy(bcols, t.basis)
+	// Insertion sort: deterministic, allocation-free, m is tiny.
+	for i := 1; i < m; i++ {
+		v := bcols[i]
+		j := i - 1
+		for j >= 0 && bcols[j] > v {
+			bcols[j+1] = bcols[j]
+			j--
+		}
+		bcols[j+1] = v
+	}
+	if s.solveBasisSystem() {
+		for k := 0; k < m; k++ {
+			s.xcols[bcols[k]] = s.gaussY[k]
+		}
+	} else {
+		// Singular basis matrix (degenerate float corner): fall back to
+		// the maintained tableau values.
+		for r, bi := range t.basis {
+			if bi >= 0 && bi < s.total {
+				s.xcols[bi] = t.b[r]
+			}
+		}
+	}
+	x := make([]float64, s.p.numVars)
+	for i := 0; i < s.p.numVars; i++ {
+		x[i] = s.xcols[s.posCol[i]]
+		if s.negCol[i] >= 0 {
+			x[i] -= s.xcols[s.negCol[i]]
 		}
 	}
 	objVal := 0.0
 	for i, v := range x {
-		objVal += p.obj[i] * v
+		objVal += obj[i] * v
 	}
-	return &Solution{X: x, Objective: objVal, Iterations: t.pivots}, nil
+	return &Solution{X: x, Objective: objVal, Iterations: iters, Warm: warm}
+}
+
+// solveBasisSystem solves gaussA·y = gaussY in place, where gaussA is
+// the basis matrix gathered from the original rows (columns s.bcols,
+// sorted). Gaussian elimination with partial pivoting, ties broken by
+// lowest row index — fully deterministic. Returns false on a
+// numerically singular matrix.
+func (s *Solver) solveBasisSystem() bool {
+	m := s.m
+	if m == 0 {
+		return true
+	}
+	A, y := s.gaussA, s.gaussY
+	for r := 0; r < m; r++ {
+		row := s.a0[r*s.total : r*s.total+s.total]
+		for k := 0; k < m; k++ {
+			A[r*m+k] = row[s.bcols[k]]
+		}
+		y[r] = s.b0[r]
+	}
+	for col := 0; col < m; col++ {
+		piv := -1
+		best := 1e-12
+		for r := col; r < m; r++ {
+			if v := math.Abs(A[r*m+col]); v > best {
+				best = v
+				piv = r
+			}
+		}
+		if piv < 0 {
+			return false
+		}
+		if piv != col {
+			for j := col; j < m; j++ {
+				A[col*m+j], A[piv*m+j] = A[piv*m+j], A[col*m+j]
+			}
+			y[col], y[piv] = y[piv], y[col]
+		}
+		inv := 1 / A[col*m+col]
+		for j := col; j < m; j++ {
+			A[col*m+j] *= inv
+		}
+		y[col] *= inv
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := A[r*m+col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j < m; j++ {
+				A[r*m+j] -= f * A[col*m+j]
+			}
+			y[r] -= f * y[col]
+		}
+	}
+	// y[k] is now the value of basis column bcols[k]. Reject wildly
+	// non-finite results (overflowed elimination) as singular.
+	for k := 0; k < m; k++ {
+		if math.IsNaN(y[k]) || math.IsInf(y[k], 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// exactEntering certifies optimality against the original constraint
+// data: it factorizes the current basis matrix from a0 (LU with
+// partial pivoting, lowest-row tie-break — deterministic), solves
+// Bᵀ·y = c_B for the duals, recomputes every active column's reduced
+// cost c_j − yᵀ·a0_j, and returns the Bland-smallest column that still
+// improves, or −1 when the basis is genuinely optimal (or the basis
+// matrix is numerically singular, in which case the maintained
+// tableau's verdict stands).
+//
+// The maintained tableau is B⁻¹A as accumulated over the whole pivot
+// history — including pivots from earlier warm re-solves — and its
+// low-order drift can reach the eps threshold on ill-scaled problems.
+// Certifying against a0 makes the accepted basis independent of the
+// pivot path, which is what lets a warm re-solve land on exactly the
+// basis a cold solve finds.
+func (s *Solver) exactEntering(obj []float64) int {
+	t := &s.t
+	m := s.m
+	if m == 0 {
+		return -1
+	}
+	A, perm := s.gaussA, s.bcols
+	for r := 0; r < m; r++ {
+		row := s.a0[r*s.total : r*s.total+s.total]
+		for k := 0; k < m; k++ {
+			A[r*m+k] = row[t.basis[k]]
+		}
+		perm[r] = r
+	}
+	// LU factorization P·B = L·U in place (L unit-diagonal below, U on
+	// and above the diagonal).
+	for col := 0; col < m; col++ {
+		piv := -1
+		best := 1e-12
+		for r := col; r < m; r++ {
+			if v := math.Abs(A[r*m+col]); v > best {
+				best = v
+				piv = r
+			}
+		}
+		if piv < 0 {
+			return -1
+		}
+		if piv != col {
+			for j := 0; j < m; j++ {
+				A[col*m+j], A[piv*m+j] = A[piv*m+j], A[col*m+j]
+			}
+			perm[col], perm[piv] = perm[piv], perm[col]
+		}
+		inv := 1 / A[col*m+col]
+		for r := col + 1; r < m; r++ {
+			f := A[r*m+col] * inv
+			if f == 0 {
+				continue
+			}
+			A[r*m+col] = f
+			for j := col + 1; j < m; j++ {
+				A[r*m+j] -= f * A[col*m+j]
+			}
+		}
+	}
+	// Solve Bᵀy = c_B, where c_B[k] = obj[basis[k]]. With P·B = L·U:
+	// Bᵀ = Uᵀ·Lᵀ·P, so solve Uᵀ·a = c_B (forward), Lᵀ·w = a
+	// (backward), then y[perm[r]] = w[r].
+	v := s.gaussY
+	for k := 0; k < m; k++ {
+		if bi := t.basis[k]; bi >= 0 && bi < len(obj) {
+			v[k] = obj[bi]
+		} else {
+			v[k] = 0
+		}
+	}
+	for r := 0; r < m; r++ {
+		sum := v[r]
+		for c := 0; c < r; c++ {
+			sum -= A[c*m+r] * v[c]
+		}
+		v[r] = sum / A[r*m+r]
+	}
+	for r := m - 1; r >= 0; r-- {
+		sum := v[r]
+		for c := r + 1; c < m; c++ {
+			sum -= A[c*m+r] * v[c]
+		}
+		v[r] = sum
+	}
+	y := s.xcols[:m] // xcols is free outside extract
+	for r := 0; r < m; r++ {
+		y[perm[r]] = v[r]
+	}
+	// Bland scan over active columns with drift-free reduced costs.
+	for j := 0; j < t.n; j++ {
+		var c float64
+		if j < len(obj) {
+			c = obj[j]
+		}
+		red := c
+		for r := 0; r < m; r++ {
+			red -= y[r] * s.a0[r*s.total+j]
+		}
+		if red < -eps {
+			return j
+		}
+	}
+	return -1
 }
 
 // tableau is the dense simplex state: a·x = b with a current basis.
@@ -422,10 +780,12 @@ func (t *tableau) recomputeReduced(obj []float64) float64 {
 // row update using the normalized pivot row) and rebuilt from the
 // basis every refreshEvery pivots for numerical hygiene. Optimality is
 // only ever declared after a fresh rebuild confirms no entering column
-// exists, so drift can cost extra iterations but never a wrong answer.
-// Bland's rule (smallest entering index, smallest basis index on ratio
-// ties) is preserved exactly, keeping the anti-cycling guarantee.
-func (t *tableau) optimize(obj []float64) (float64, error) {
+// exists — and, when cert is non-nil, after cert.exactEntering
+// re-certifies against the original (never-pivoted) constraint data —
+// so drift can cost extra iterations but never a wrong answer. Bland's
+// rule (smallest entering index, smallest basis index on ratio ties)
+// is preserved exactly, keeping the anti-cycling guarantee.
+func (t *tableau) optimize(obj []float64, cert *Solver) (float64, error) {
 	red := t.red[:t.n]
 	z := t.recomputeReduced(obj)
 	sinceRefresh := 0
@@ -449,6 +809,11 @@ func (t *tableau) optimize(obj []float64) (float64, error) {
 					enter = j
 					break
 				}
+			}
+			if enter < 0 && cert != nil {
+				// The maintained tableau says optimal; make the verdict
+				// drift-free before accepting it.
+				enter = cert.exactEntering(obj)
 			}
 			if enter < 0 {
 				return z, nil

@@ -149,35 +149,84 @@ func OptimizeNormalized(nodes []NodeModel, total int, alpha float64) (*Plan, err
 	return buildPlan(nodes, total, alpha, x, v), nil
 }
 
-// solveScalarized builds and solves the LP
+// tieBreakWeight is the floor on each scalarization weight. At the
+// endpoints the raw weights vanish (α=1 zeroes the energy term, α=0
+// the makespan term) and the LP develops a whole optimal face — every
+// distribution achieving the extreme value ties, and which vertex
+// simplex reports becomes pivot-path dependent. Flooring the weights
+// turns the endpoints into lexicographic objectives (min makespan,
+// then min dirty energy among the tied plans, and vice versa), which
+// generically has a unique optimum. The floor is far above the
+// solver's eps so the tie-break is decided by real reduced costs, and
+// small enough to be invisible away from the endpoints.
+const tieBreakWeight = 1e-6
+
+// scaledObjective is the scalarized objective vector over the LP's
+// p+1 variables (s_0..s_{p−1}, v), where s_i = x_i/total is node i's
+// share of the data:
 //
-//	min (α/vScale)·v + ((1−α)/eScale)·Σ k_i m_i x_i
+//	min (w_v/vScale)·v + (w_e/eScale)·Σ k_i m_i total s_i
 //
-// returning the fractional x and the achieved makespan v.
-func solveScalarized(nodes []NodeModel, total int, alpha, vScale, eScale float64, cons Constraints) ([]float64, float64, error) {
+// with w_v = max(α, tieBreakWeight), w_e = max(1−α, tieBreakWeight).
+// Both SizingObjective and the normalized path funnel through this one
+// expression so warm re-solves see bit-identical coefficients to a
+// cold build.
+func scaledObjective(nodes []NodeModel, total int, alpha, vScale, eScale float64) []float64 {
 	p := len(nodes)
+	we := math.Max(1-alpha, tieBreakWeight)
+	wv := math.Max(alpha, tieBreakWeight)
 	obj := make([]float64, p+1)
 	for i, n := range nodes {
-		obj[i] = (1 - alpha) / eScale * n.DirtyRate * n.Time.Slope
+		obj[i] = we / eScale * n.DirtyRate * n.Time.Slope * float64(total)
 	}
-	obj[p] = alpha / vScale
-	prob, err := lp.NewProblem(obj)
+	obj[p] = wv / vScale
+	return obj
+}
+
+// SizingObjective returns the scalarized objective at the given α in
+// the variable layout SizingLP uses (shares s_0..s_{p−1}, then v).
+// Frontier sweeps pass it to lp.Solver.ReSolve to move between α
+// values without rebuilding the LP.
+func SizingObjective(nodes []NodeModel, total int, alpha float64) []float64 {
+	return scaledObjective(nodes, total, alpha, 1, 1)
+}
+
+// SizingLP builds the partition-sizing LP (§III-D) at the given α over
+// *share* variables s_i = x_i/total: per-node constraints
+// m_i·total·s_i − v ≤ −c_i, optional MinSize/total floors, and
+// Σ s_i = 1. Solving in shares keeps every variable O(1) regardless of
+// the dataset size, which keeps simplex reduced costs on the same
+// scale as the solver's optimality tolerance — the property that makes
+// warm and cold solves terminate at the same vertex instead of
+// straddling a tolerance knife-edge (see internal/frontier). Use
+// UnitsFromShares to map a solution back to data units.
+//
+// The constraint set is α-independent — only the objective changes
+// between frontier samples — which is what makes the warm-start sweep
+// in internal/frontier valid.
+func SizingLP(nodes []NodeModel, total int, alpha float64, cons Constraints) (*lp.Problem, error) {
+	return buildSizingLP(nodes, total, alpha, 1, 1, cons)
+}
+
+func buildSizingLP(nodes []NodeModel, total int, alpha, vScale, eScale float64, cons Constraints) (*lp.Problem, error) {
+	p := len(nodes)
+	prob, err := lp.NewProblem(scaledObjective(nodes, total, alpha, vScale, eScale))
 	if err != nil {
-		return nil, 0, fmt.Errorf("opt: %w", err)
+		return nil, fmt.Errorf("opt: %w", err)
 	}
 	for i, n := range nodes {
-		// m_i·x_i − v ≤ −c_i
+		// m_i·total·s_i − v ≤ −c_i
 		row := make([]float64, p+1)
-		row[i] = n.Time.Slope
+		row[i] = n.Time.Slope * float64(total)
 		row[p] = -1
 		if err := prob.AddConstraint(row, lp.LE, -n.Time.Intercept); err != nil {
-			return nil, 0, fmt.Errorf("opt: %w", err)
+			return nil, fmt.Errorf("opt: %w", err)
 		}
 		if cons.MinSize > 0 {
 			floor := make([]float64, p+1)
 			floor[i] = 1
-			if err := prob.AddConstraint(floor, lp.GE, cons.MinSize); err != nil {
-				return nil, 0, fmt.Errorf("opt: %w", err)
+			if err := prob.AddConstraint(floor, lp.GE, cons.MinSize/float64(total)); err != nil {
+				return nil, fmt.Errorf("opt: %w", err)
 			}
 		}
 	}
@@ -185,14 +234,36 @@ func solveScalarized(nodes []NodeModel, total int, alpha, vScale, eScale float64
 	for i := 0; i < p; i++ {
 		sum[i] = 1
 	}
-	if err := prob.AddConstraint(sum, lp.EQ, float64(total)); err != nil {
-		return nil, 0, fmt.Errorf("opt: %w", err)
+	if err := prob.AddConstraint(sum, lp.EQ, 1); err != nil {
+		return nil, fmt.Errorf("opt: %w", err)
+	}
+	return prob, nil
+}
+
+// UnitsFromShares maps a share-space LP solution (SizingLP's native
+// variables) back to data units: x_i = s_i·total. Cold solves and warm
+// frontier re-solves both go through this one expression, so
+// bit-identical share vectors always yield bit-identical unit vectors.
+func UnitsFromShares(shares []float64, total int) []float64 {
+	x := make([]float64, len(shares))
+	for i, s := range shares {
+		x[i] = s * float64(total)
+	}
+	return x
+}
+
+// solveScalarized builds and solves the scalarized LP, returning the
+// fractional x (in data units) and the achieved makespan v.
+func solveScalarized(nodes []NodeModel, total int, alpha, vScale, eScale float64, cons Constraints) ([]float64, float64, error) {
+	prob, err := buildSizingLP(nodes, total, alpha, vScale, eScale, cons)
+	if err != nil {
+		return nil, 0, err
 	}
 	sol, err := prob.Solve()
 	if err != nil {
 		return nil, 0, fmt.Errorf("opt: scalarized LP: %w", err)
 	}
-	x := sol.X[:p]
+	x := UnitsFromShares(sol.X[:len(nodes)], total)
 	// With α = 0 the LP leaves v at its minimal feasible value anyway
 	// (it only appears in constraints); recompute the true makespan
 	// from x for reporting.
@@ -228,7 +299,20 @@ func energyOf(nodes []NodeModel, x []float64) float64 {
 
 // buildPlan rounds the fractional solution to integers summing to
 // total (largest-remainder apportionment) and fills in predictions.
+// The v argument is accepted for call-site symmetry but predictions
+// are recomputed from the rounded integer sizes (see PlanFromX).
 func buildPlan(nodes []NodeModel, total int, alpha float64, x []float64, v float64) *Plan {
+	_ = v
+	return PlanFromX(nodes, total, alpha, x)
+}
+
+// PlanFromX materializes a Plan from a fractional LP solution: sizes
+// are rounded to integers summing to total (largest-remainder), and
+// Makespan/DirtyEnergy are recomputed from the integer sizes — so two
+// bit-identical x vectors always produce bit-identical Plans, the
+// property the warm-started sweep's equivalence guarantee extends
+// through.
+func PlanFromX(nodes []NodeModel, total int, alpha float64, x []float64) *Plan {
 	sizes := RoundToTotal(x, total)
 	xi := make([]float64, len(sizes))
 	for i, s := range sizes {
@@ -383,9 +467,50 @@ type FrontierPoint struct {
 	Plan        *Plan
 }
 
-// Frontier sweeps the scalarization weight over the given α values
-// (typically 1 → 0) and returns one Pareto point per value, as in the
-// paper's Figures 5 and 6.
+// SamePoint reports whether two frontier points coincide in objective
+// space up to the relative tolerance tol (scales taken from a). It is
+// the dedup predicate both Frontier and ExactFrontier use.
+func SamePoint(a, b FrontierPoint, tol float64) bool {
+	scaleT := math.Max(math.Abs(a.Makespan), 1)
+	scaleE := math.Max(math.Abs(a.DirtyEnergy), 1)
+	return math.Abs(a.Makespan-b.Makespan)/scaleT < tol &&
+		math.Abs(a.DirtyEnergy-b.DirtyEnergy)/scaleE < tol
+}
+
+// CanonicalizeFrontier sorts points by ascending α (energy-lean →
+// time-lean) and drops adjacent points that coincide in objective
+// space up to tol (SamePoint), keeping the lowest-α representative.
+// Both Frontier and ExactFrontier return canonicalized output; apply
+// it to hand-assembled point lists before comparing against them.
+func CanonicalizeFrontier(pts []FrontierPoint, tol float64) []FrontierPoint {
+	out := make([]FrontierPoint, len(pts))
+	copy(out, pts)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Alpha < out[j].Alpha })
+	dedup := out[:0]
+	for _, p := range out {
+		if len(dedup) == 0 || !SamePoint(dedup[len(dedup)-1], p, tol) {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup
+}
+
+// frontierDedupTol is the relative tolerance Frontier uses when
+// deduplicating adjacent sample points. Plan metrics are recomputed
+// from integer sizes, so identical plans compare bitwise equal and the
+// tolerance only needs to absorb nothing — it exists for symmetry with
+// ExactFrontier's tol parameter.
+const frontierDedupTol = 1e-9
+
+// Frontier sweeps the scalarization weight over the given α values and
+// returns the sampled Pareto points, as in the paper's Figures 5 and 6.
+//
+// Regardless of the order alphas are given in (DefaultAlphaSweep is
+// descending), the result is canonical: ascending α with adjacent
+// duplicates (same makespan and dirty energy within 1e-9 relative)
+// collapsed to their lowest-α representative — the same ordering
+// contract ExactFrontier has. Callers that need one point per input α
+// should call Optimize per value instead.
 func Frontier(nodes []NodeModel, total int, alphas []float64) ([]FrontierPoint, error) {
 	if len(alphas) == 0 {
 		return nil, errors.New("opt: empty alpha sweep")
@@ -398,15 +523,40 @@ func Frontier(nodes []NodeModel, total int, alphas []float64) ([]FrontierPoint, 
 		}
 		pts = append(pts, FrontierPoint{Alpha: a, Makespan: plan.Makespan, DirtyEnergy: plan.DirtyEnergy, Plan: plan})
 	}
-	return pts, nil
+	return CanonicalizeFrontier(pts, frontierDedupTol), nil
 }
 
+// ErrTruncated reports that ExactFrontier's recursive bisection hit
+// its depth limit between two α values whose vertices still differ:
+// the returned frontier may be missing breakpoints inside that
+// interval. The points found so far are still returned alongside the
+// error; callers that can tolerate a partial frontier may use them.
+var ErrTruncated = errors.New("opt: frontier bisection truncated at depth limit")
+
+// bisectMaxDepth bounds ExactFrontier's recursion. With the 1e-9
+// α-width convergence floor a bisection from [0,1] bottoms out near
+// depth 30, so 40 is a pure safety net — but if it ever fires with
+// differing endpoints the frontier is incomplete, and that is now
+// surfaced as ErrTruncated instead of silently swallowed. A variable
+// (not a const) so tests can lower it to exercise the truncation path.
+var bisectMaxDepth = 40
+
 // ExactFrontier enumerates the Pareto frontier's vertex points exactly
-// (up to tol in objective space) by recursive α bisection: the
-// scalarized LP is piecewise constant in its optimal vertex as α
-// varies, so whenever the solutions at two α values differ, some
-// breakpoint lies between them. Unlike Frontier, which samples a fixed
-// α ladder and can miss segments, this finds every distinct vertex.
+// (up to tol in objective space, default 1e-6) by recursive α
+// bisection: the scalarized LP is piecewise constant in its optimal
+// vertex as α varies, so whenever the solutions at two α values
+// differ, some breakpoint lies between them. Unlike Frontier, which
+// samples a fixed α ladder and can miss segments, this finds every
+// distinct vertex.
+//
+// The result is canonical: ascending α, adjacent duplicates collapsed
+// (the ordering contract shared with Frontier). An interval narrower
+// than 1e-9 in α whose endpoints still differ is converged, not
+// truncated — both endpoint vertices are already in the output and
+// bisection always drives adjacent-vertex intervals to that floor. If
+// the recursion instead exhausts its depth budget with differing
+// endpoints, the points found so far are returned together with an
+// error wrapping ErrTruncated.
 func ExactFrontier(nodes []NodeModel, total int, tol float64) ([]FrontierPoint, error) {
 	if tol <= 0 {
 		tol = 1e-6
@@ -426,16 +576,15 @@ func ExactFrontier(nodes []NodeModel, total int, tol float64) ([]FrontierPoint, 
 	if err != nil {
 		return nil, err
 	}
-	samePoint := func(a, b FrontierPoint) bool {
-		scaleT := math.Max(math.Abs(a.Makespan), 1)
-		scaleE := math.Max(math.Abs(a.DirtyEnergy), 1)
-		return math.Abs(a.Makespan-b.Makespan)/scaleT < tol &&
-			math.Abs(a.DirtyEnergy-b.DirtyEnergy)/scaleE < tol
-	}
 	var out []FrontierPoint
+	truncated := false
 	var rec func(a, b FrontierPoint, depth int) error
 	rec = func(a, b FrontierPoint, depth int) error {
-		if samePoint(a, b) || depth > 40 || b.Alpha-a.Alpha < 1e-9 {
+		if SamePoint(a, b, tol) || b.Alpha-a.Alpha < 1e-9 {
+			return nil
+		}
+		if depth > bisectMaxDepth {
+			truncated = true
 			return nil
 		}
 		mid, err := solve((a.Alpha + b.Alpha) / 2)
@@ -445,7 +594,7 @@ func ExactFrontier(nodes []NodeModel, total int, tol float64) ([]FrontierPoint, 
 		if err := rec(a, mid, depth+1); err != nil {
 			return err
 		}
-		if !samePoint(mid, a) && !samePoint(mid, b) {
+		if !SamePoint(mid, a, tol) && !SamePoint(mid, b, tol) {
 			out = append(out, mid)
 		}
 		return rec(mid, b, depth+1)
@@ -454,18 +603,14 @@ func ExactFrontier(nodes []NodeModel, total int, tol float64) ([]FrontierPoint, 
 	if err := rec(lo, hi, 0); err != nil {
 		return nil, err
 	}
-	if !samePoint(lo, hi) {
+	if !SamePoint(lo, hi, tol) {
 		out = append(out, hi)
 	}
-	// Order by α ascending (energy-lean → time-lean) and deduplicate.
-	sort.Slice(out, func(i, j int) bool { return out[i].Alpha < out[j].Alpha })
-	dedup := out[:0]
-	for _, p := range out {
-		if len(dedup) == 0 || !samePoint(dedup[len(dedup)-1], p) {
-			dedup = append(dedup, p)
-		}
+	pts := CanonicalizeFrontier(out, tol)
+	if truncated {
+		return pts, fmt.Errorf("opt: exact frontier incomplete beyond depth %d: %w", bisectMaxDepth, ErrTruncated)
 	}
-	return dedup, nil
+	return pts, nil
 }
 
 // DefaultAlphaSweep returns the α ladder used by the frontier figures:

@@ -7,14 +7,17 @@ import (
 	"net/http"
 )
 
-// Handler returns an http.Handler exposing the registry:
+// Handler returns the registry's HTTP mux:
 //
 //	/metrics     Prometheus text exposition format
 //	/debug/vars  indented JSON snapshot (expvar-style)
 //
 // Both render a fresh snapshot per request; a nil registry serves
-// empty snapshots, so the endpoints are always safe to mount.
-func (r *Registry) Handler() http.Handler {
+// empty snapshots, so the endpoints are always safe to mount. The
+// concrete *http.ServeMux is returned (it satisfies http.Handler) so
+// callers can mount additional endpoints — e.g. the frontier service —
+// alongside the metrics routes before serving.
+func (r *Registry) Handler() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -35,6 +35,7 @@ import (
 	"pareto/internal/cluster"
 	"pareto/internal/core"
 	"pareto/internal/energy"
+	"pareto/internal/frontier"
 	"pareto/internal/opt"
 	"pareto/internal/partitioner"
 	"pareto/internal/pivots"
@@ -165,6 +166,38 @@ var (
 	SelectNodes = opt.SelectNodes
 	// DefaultAlphaSweep is the α ladder used by the frontier figures.
 	DefaultAlphaSweep = opt.DefaultAlphaSweep
+)
+
+// Warm-started frontier enumeration (internal/frontier): sweeps and
+// exact bisections that reuse one simplex basis across α values,
+// produce bit-identical results to the cold Frontier/ExactFrontier
+// paths, and can be served over HTTP.
+type (
+	// FrontierConfig configures a warm-started enumeration (α samples,
+	// workers, objective axes, telemetry).
+	FrontierConfig = frontier.Config
+	// FrontierResult carries the enumerated points plus solve stats.
+	FrontierResult = frontier.Result
+	// FrontierService serves enumerations over HTTP at /frontier.
+	FrontierService = frontier.Service
+	// FrontierAxis is one objective dimension of the dominance filter.
+	FrontierAxis = frontier.Axis
+)
+
+var (
+	// FrontierSweep enumerates the frontier at sampled α values with
+	// warm-started solves, in parallel.
+	FrontierSweep = frontier.Sweep
+	// FrontierExact enumerates every breakpoint by warm-started
+	// bisection.
+	FrontierExact = frontier.Exact
+	// FrontierFromPlan enumerates over a built plan's profiled models.
+	FrontierFromPlan = core.FrontierFromPlan
+	// NewFrontierService wraps a model source for HTTP serving; mount
+	// it with MountFrontier on a telemetry mux.
+	NewFrontierService = frontier.NewService
+	// MountFrontier registers a frontier service at /frontier.
+	MountFrontier = frontier.Mount
 )
 
 // Framework bundles a corpus and a cluster with sensible defaults.
