@@ -8,6 +8,8 @@
 //	paretobench -exp fig3 -snapshot telemetry.json
 //	paretobench -frontier -frontier-nodes 64 -frontier-alphas 41
 //	paretobench -frontier -frontier-exact -serve :8080
+//	paretobench -sim -sim-nodes 64 -sim-policy greedy-stealing -sim-rate 200
+//	paretobench -sim -sim-trace workload.jsonl -sim-decisions decisions.jsonl
 //
 // Each experiment prints an aligned text table with one row per
 // (strategy, partition count) or per α point; see DESIGN.md §4 for the
@@ -21,6 +23,14 @@
 // cluster of -frontier-nodes nodes, with warm/cold solve statistics.
 // With -serve the same enumeration is also exported over HTTP at
 // /frontier alongside the telemetry endpoints.
+//
+// -sim switches to the discrete-event cluster simulator: a virtual
+// paper-shaped cluster of -sim-nodes nodes serves a seeded synthetic
+// workload (-sim-arrivals/-sim-rate/-sim-duration/-sim-seed) or a
+// recorded JSONL trace (-sim-trace) under the -sim-policy scheduling
+// policy, reporting per-node busy time and green/dirty energy,
+// queueing-delay quantiles, and the sustained events/sec. -sim-decisions
+// records every routing decision for counterfactual comparison.
 package main
 
 import (
@@ -50,6 +60,18 @@ func main() {
 		fExact       = flag.Bool("frontier-exact", false, "frontier: exact breakpoint bisection instead of α sampling")
 		fTotal       = flag.Int("frontier-total", 1_000_000, "frontier: total data units to partition")
 		serve        = flag.String("serve", "", "serve /frontier and telemetry on this address (e.g. :8080) after printing")
+
+		simMode       = flag.Bool("sim", false, "run the discrete-event cluster simulator instead of experiments")
+		simNodes      = flag.Int("sim-nodes", 16, "sim: number of paper-shaped nodes")
+		simPolicy     = flag.String("sim-policy", "greedy-stealing", "sim: scheduling policy (round-robin, least-loaded, weighted-scoring, greedy-stealing)")
+		simArrivals   = flag.String("sim-arrivals", "poisson", "sim: arrival process (poisson, uniform, bursty)")
+		simRate       = flag.Float64("sim-rate", 100, "sim: mean arrival rate, tasks per virtual second")
+		simDuration   = flag.Float64("sim-duration", 600, "sim: arrival window, virtual seconds")
+		simCost       = flag.Float64("sim-cost", 2e5, "sim: mean abstract cost per task")
+		simOffset     = flag.Float64("sim-offset", 0, "sim: start offset into the solar traces, seconds")
+		simSeed       = flag.Int64("sim-seed", 1, "sim: workload generator seed")
+		simTrace      = flag.String("sim-trace", "", "sim: replay a recorded JSONL task trace instead of generating")
+		simDecisions  = flag.String("sim-decisions", "", "sim: write the per-decision trace to this JSONL file (\"-\" = stdout)")
 	)
 	flag.Parse()
 	if *list {
@@ -61,6 +83,25 @@ func main() {
 	if *frontierMode {
 		if err := runFrontier(*fNodes, *fTotal, *fAlphas, *fExact, *serve); err != nil {
 			fmt.Fprintf(os.Stderr, "paretobench: frontier: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *simMode {
+		err := runSim(simOpts{
+			nodes:     *simNodes,
+			policy:    *simPolicy,
+			arrivals:  *simArrivals,
+			rate:      *simRate,
+			duration:  *simDuration,
+			cost:      *simCost,
+			offset:    *simOffset,
+			seed:      *simSeed,
+			trace:     *simTrace,
+			decisions: *simDecisions,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paretobench: sim: %v\n", err)
 			os.Exit(1)
 		}
 		return

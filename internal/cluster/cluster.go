@@ -17,6 +17,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
 	"time"
@@ -110,7 +111,11 @@ func PaperCluster(p int, panel energy.Panel, dayOfYear, hours int) (*Cluster, er
 			Trace:    tr,
 		}
 	}
-	return &Cluster{Nodes: nodes, CostRate: DefaultCostRate}, nil
+	c := &Cluster{Nodes: nodes, CostRate: DefaultCostRate}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // HomogeneousCluster builds p identical type-1 nodes (for baselines
@@ -129,15 +134,45 @@ func HomogeneousCluster(p int, panel energy.Panel, dayOfYear, hours int) (*Clust
 		c.Nodes[i].Speed = 4
 		c.Nodes[i].Power = pw
 	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
+// Validate checks the cluster's calibration: a positive finite
+// CostRate and positive finite per-node speeds. Run, RunDetailed,
+// StealingSchedule, and ProfileAllWithRates validate on entry so a
+// mutated or hand-built cluster fails loudly instead of silently
+// propagating Inf/NaN times into Makespan and the energy totals.
+func (c *Cluster) Validate() error {
+	if len(c.Nodes) == 0 {
+		return errors.New("cluster: no nodes")
+	}
+	if !(c.CostRate > 0) || math.IsInf(c.CostRate, 1) {
+		return fmt.Errorf("cluster: CostRate %v, want finite > 0", c.CostRate)
+	}
+	for i := range c.Nodes {
+		if s := c.Nodes[i].Speed; !(s > 0) || math.IsInf(s, 1) {
+			return fmt.Errorf("cluster: node %d Speed %v, want finite > 0", i, s)
+		}
+	}
+	return nil
+}
+
 // SimTime converts an abstract cost into simulated seconds on node i.
+// A non-positive (or NaN) Speed or CostRate contributes zero time
+// rather than Inf/NaN; callers that bypass Run/StealingSchedule should
+// Validate first to surface the misconfiguration as an error.
 func (c *Cluster) SimTime(node int, cost float64) float64 {
 	if cost <= 0 {
 		return 0
 	}
-	return cost / (c.Nodes[node].Speed * c.CostRate)
+	denom := c.Nodes[node].Speed * c.CostRate
+	if !(denom > 0) {
+		return 0
+	}
+	return cost / denom
 }
 
 // Task is one node's share of a job: it performs the real computation
@@ -228,6 +263,9 @@ func (c *Cluster) Run(offset float64, tasks []Task) (*Result, error) {
 func (c *Cluster) RunDetailed(offset float64, tasks []DetailedTask) (*Result, error) {
 	if len(tasks) != len(c.Nodes) {
 		return nil, fmt.Errorf("cluster: %d tasks for %d nodes", len(tasks), len(c.Nodes))
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
 	runStart := time.Now()
 	span := c.Telemetry.StartSpan("run")
@@ -347,6 +385,9 @@ func (c *Cluster) DirtyRates(offset, window float64) []float64 {
 func (c *Cluster) ProfileAllWithRates(sizes []int, runSample func(size int) (float64, error), rates []float64) ([]opt.NodeModel, error) {
 	if len(rates) != len(c.Nodes) {
 		return nil, fmt.Errorf("cluster: %d dirty rates for %d nodes", len(rates), len(c.Nodes))
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
 	models := make([]opt.NodeModel, len(c.Nodes))
 	errs := make([]error, len(c.Nodes))

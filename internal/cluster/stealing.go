@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -23,8 +22,8 @@ import (
 // partitioning avoids. The bench harness pairs this scheduler with
 // real workload chunk costs to reproduce that comparison.
 func (c *Cluster) StealingSchedule(chunkCosts []float64, offset float64) (*Result, error) {
-	if len(c.Nodes) == 0 {
-		return nil, errors.New("cluster: no nodes")
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
 	for i, cost := range chunkCosts {
 		if cost < 0 {
@@ -36,6 +35,7 @@ func (c *Cluster) StealingSchedule(chunkCosts []float64, offset float64) (*Resul
 		NodeTimes: make([]float64, len(c.Nodes)),
 		NodeCosts: make([]float64, len(c.Nodes)),
 		NodeDirty: make([]float64, len(c.Nodes)),
+		NodeGreen: make([]float64, len(c.Nodes)),
 	}
 	// Stable earliest-finish-first; ties go to the fastest node, which
 	// is who wins the race for the queue in a real stealing runtime.
@@ -66,6 +66,14 @@ func (c *Cluster) StealingSchedule(chunkCosts []float64, offset float64) (*Resul
 		d := energy.DirtyEnergy(watts, c.Nodes[i].Trace, offset, t)
 		res.NodeDirty[i] = d
 		res.DirtyEnergy += d
+		// Same green accounting as RunDetailed: trace-covered draw,
+		// clamped against float round-off.
+		green := watts*t - d
+		if green < 0 {
+			green = 0
+		}
+		res.NodeGreen[i] = green
+		res.GreenEnergy += green
 	}
 	return res, nil
 }

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"pareto/internal/cluster"
+	"pareto/internal/energy"
+)
+
+// Node is the simulator's model of one cluster node: the subset of
+// cluster.NodeSpec the engine needs, with the power model collapsed to
+// its constant draw. Speed scales abstract cost into service seconds;
+// Trace supplies green-energy availability for the busy-interval
+// integration.
+type Node struct {
+	// ID indexes the node within the simulated cluster.
+	ID int
+	// Name is a human-readable label carried into reports.
+	Name string
+	// Speed is the relative processing speed (cluster semantics:
+	// service = cost / (Speed × CostRate)).
+	Speed float64
+	// Watts is the node's electrical draw while busy.
+	Watts float64
+	// Trace is the node's green-energy availability (nil = all dirty).
+	Trace *energy.Trace
+}
+
+// FromCluster derives simulator node models and the cost→time
+// calibration from an existing cluster, validating it first. This is
+// the cluster-backed model source: a PaperCluster at any p can be
+// simulated with millions of events in seconds.
+func FromCluster(c *cluster.Cluster) ([]Node, float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, 0, err
+	}
+	nodes := make([]Node, len(c.Nodes))
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		nodes[i] = Node{
+			ID:    i,
+			Name:  n.Name,
+			Speed: n.Speed,
+			Watts: n.Power.Watts(),
+			Trace: n.Trace,
+		}
+	}
+	return nodes, c.CostRate, nil
+}
+
+// PaperNodes builds a p-node paper-shaped cluster (four machine types
+// × four datacenter sites, per-node solar traces of the given length
+// starting at dayOfYear) and converts it into simulator models.
+func PaperNodes(p, dayOfYear, hours int) ([]Node, float64, error) {
+	c, err := cluster.PaperCluster(p, energy.DefaultPanel(), dayOfYear, hours)
+	if err != nil {
+		return nil, 0, err
+	}
+	return FromCluster(c)
+}
+
+// serviceTime converts a task's demand into seconds on a node:
+// speed-scaled cost plus speed-independent fixed seconds. The float
+// expression — cost / (speed × rate), then + fixed — mirrors
+// cluster.SimTime + RunDetailed exactly so equivalence holds
+// bit-for-bit, including the zero-cost and invalid-denominator guards.
+func serviceTime(speed, costRate float64, t Task) float64 {
+	svc := 0.0
+	if t.Cost > 0 {
+		denom := speed * costRate
+		if denom > 0 {
+			svc = t.Cost / denom
+		}
+	}
+	return svc + t.Fixed
+}

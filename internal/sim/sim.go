@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pareto/internal/cluster"
+	"pareto/internal/energy"
+	"pareto/internal/telemetry"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Nodes are the simulated cluster's node models (FromCluster,
+	// PaperNodes, or hand-built).
+	Nodes []Node
+	// CostRate is the cluster's cost→time calibration: abstract cost
+	// units a speed-1.0 node retires per second.
+	CostRate float64
+	// Offset is the run's start position (seconds) within the energy
+	// traces, as in Cluster.Run.
+	Offset float64
+	// Policy routes unpinned tasks. It may be nil only when every task
+	// is pinned.
+	Policy Policy
+	// RecordDecisions captures one Decision per policy-routed task on
+	// the Result, for counterfactual replay and head-to-head policy
+	// comparison. Costs O(tasks × nodes) memory — leave off for
+	// million-task sweeps.
+	RecordDecisions bool
+	// Telemetry, when non-nil, accrues sim_* counters, energy gauges,
+	// and the queueing-delay histogram into the registry. nil disables
+	// instrumentation (same nil-safe pattern as the rest of the
+	// framework).
+	Telemetry *telemetry.Registry
+}
+
+// Decision is one routing choice: which node got which task, when, and
+// what every node's queue looked like at that instant.
+type Decision struct {
+	// Seq numbers policy decisions from 0 in routing order.
+	Seq uint64 `json:"seq"`
+	// Time is the virtual arrival time of the routed task.
+	Time float64 `json:"time"`
+	// Task indexes the arrival-sorted task stream.
+	Task int `json:"task"`
+	// Node is the chosen destination.
+	Node int `json:"node"`
+	// QueueDepths[i] is node i's pending-task count just before this
+	// assignment.
+	QueueDepths []int `json:"queue_depths"`
+}
+
+// Result summarizes one simulation run. It is a superset of
+// cluster.Result: the embedded fields keep their meanings (NodeTimes
+// is per-node busy seconds, Makespan is the virtual completion time of
+// the last task, energies integrate the traces over busy intervals),
+// and the sim adds workload, queueing-delay, and decision-trace views.
+// WallSec and NodeWallSec report real elapsed time: the whole run for
+// the former, zero per node (no real per-node execution happens).
+type Result struct {
+	cluster.Result
+	// Policy names the routing policy ("" when every task was pinned).
+	Policy string
+	// Tasks is the number of tasks simulated.
+	Tasks int
+	// Events is the number of discrete events processed (2 × Tasks:
+	// one arrival, one completion each).
+	Events int64
+	// NodeTasks[i] is the number of tasks node i served.
+	NodeTasks []int
+	// Wait is the queueing-delay histogram in virtual microseconds
+	// (delay = service start − arrival; power-of-two buckets). Its
+	// Mean/Quantile methods give summary statistics.
+	Wait telemetry.HistogramSnapshot
+	// MeanWaitSec and MaxWaitSec summarize queueing delay in seconds.
+	MeanWaitSec float64
+	MaxWaitSec  float64
+	// Decisions is the per-decision trace (nil unless
+	// Config.RecordDecisions).
+	Decisions []Decision
+}
+
+// waitBounds are the queueing-delay histogram bucket bounds in virtual
+// microseconds: powers of two from 1 µs to 2^30 µs (≈ 18 virtual
+// minutes), overflow beyond.
+var waitBounds = func() []int64 {
+	out := make([]int64, 31)
+	for i := range out {
+		out[i] = 1 << i
+	}
+	return out
+}()
+
+// waitHist is a tiny fixed-bucket histogram over waitBounds, kept
+// local so every Result carries a snapshot without requiring a
+// telemetry registry.
+type waitHist struct {
+	counts [32]int64 // len(waitBounds)+1, last is overflow
+	sum    int64
+}
+
+func (h *waitHist) observe(us int64) {
+	idx := 0
+	for idx < len(waitBounds) && us > waitBounds[idx] {
+		idx++
+	}
+	h.counts[idx]++
+	h.sum += us
+}
+
+func (h *waitHist) snapshot() telemetry.HistogramSnapshot {
+	s := telemetry.HistogramSnapshot{
+		Bounds: waitBounds,
+		Counts: append([]int64(nil), h.counts[:]...),
+		Sum:    h.sum,
+	}
+	for _, c := range h.counts {
+		s.Count += c
+	}
+	return s
+}
+
+// interval is one contiguous busy stretch on a node's virtual
+// timeline, in seconds relative to the run start.
+type interval struct {
+	start, end float64
+}
+
+// Run simulates the task stream over the configured nodes and returns
+// the aggregated result. Deterministic: identical configs and
+// workloads produce identical Results (modulo WallSec) and identical
+// decision traces at any GOMAXPROCS — the engine is single-threaded by
+// design, and the (time, seq) event order leaves nothing to scheduling
+// chance.
+//
+// Tasks are sorted stably by arrival (ties keep input order). Each
+// arrival is routed — by its Pin if ≥ 0, else by the policy — onto a
+// node's FIFO queue; service starts when the node drains its backlog
+// and lasts cost/(speed·rate) + fixed virtual seconds. Energy per node
+// integrates the green trace over each merged busy interval, so idle
+// gaps (night work waiting on bursts, say) are charged nothing.
+func Run(cfg Config, tasks []Task) (*Result, error) {
+	runStart := time.Now()
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("sim: no nodes")
+	}
+	if !(cfg.CostRate > 0) || math.IsInf(cfg.CostRate, 1) {
+		return nil, fmt.Errorf("sim: cost rate %v, want finite > 0", cfg.CostRate)
+	}
+	if math.IsNaN(cfg.Offset) || math.IsInf(cfg.Offset, 0) {
+		return nil, fmt.Errorf("sim: offset %v, want finite", cfg.Offset)
+	}
+	for i := range cfg.Nodes {
+		if s := cfg.Nodes[i].Speed; !(s > 0) || math.IsInf(s, 1) {
+			return nil, fmt.Errorf("sim: node %d speed %v, want finite > 0", i, s)
+		}
+		if w := cfg.Nodes[i].Watts; !(w >= 0) || math.IsInf(w, 1) {
+			return nil, fmt.Errorf("sim: node %d watts %v, want finite >= 0", i, w)
+		}
+	}
+	needPolicy := false
+	for i := range tasks {
+		t := &tasks[i]
+		if !(t.Arrival >= 0) || math.IsInf(t.Arrival, 1) {
+			return nil, fmt.Errorf("sim: task %d arrival %v, want finite >= 0", i, t.Arrival)
+		}
+		if !(t.Cost >= 0) || math.IsInf(t.Cost, 1) {
+			return nil, fmt.Errorf("sim: task %d cost %v, want finite >= 0", i, t.Cost)
+		}
+		if !(t.Fixed >= 0) || math.IsInf(t.Fixed, 1) {
+			return nil, fmt.Errorf("sim: task %d fixed %v, want finite >= 0", i, t.Fixed)
+		}
+		if t.Pin >= len(cfg.Nodes) {
+			return nil, fmt.Errorf("sim: task %d pinned to node %d of %d", i, t.Pin, len(cfg.Nodes))
+		}
+		if t.Pin < 0 {
+			needPolicy = true
+		}
+	}
+	if needPolicy && cfg.Policy == nil {
+		return nil, errors.New("sim: unpinned tasks but no policy")
+	}
+
+	// Stable sort by arrival: equal-arrival tasks keep input order, so
+	// the (time, seq) event order — and every decision downstream — is
+	// a pure function of the workload.
+	sorted := make([]Task, len(tasks))
+	copy(sorted, tasks)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Arrival < sorted[b].Arrival })
+
+	states := make([]NodeState, len(cfg.Nodes))
+	for i := range states {
+		states[i] = NodeState{ID: i, Speed: cfg.Nodes[i].Speed}
+	}
+	policyName := ""
+	if cfg.Policy != nil {
+		cfg.Policy.Reset(states, cfg.CostRate)
+		policyName = cfg.Policy.Name()
+	}
+
+	type nodeRun struct {
+		intervals []interval
+		cost      float64
+		tasks     int
+	}
+	runs := make([]nodeRun, len(cfg.Nodes))
+
+	var q eventQueue
+	var seq uint64
+	sched := func(at float64, kind eventKind, task, node int) {
+		q.push(event{at: at, seq: seq, kind: kind, task: task, node: node})
+		seq++
+	}
+	// Arrivals enter the heap lazily — each one schedules its successor
+	// — so the heap holds one arrival plus outstanding completions, not
+	// the whole workload.
+	if len(sorted) > 0 {
+		sched(sorted[0].Arrival, evArrival, 0, -1)
+	}
+
+	waitObs := cfg.Telemetry.Histogram("sim_wait_us", waitBounds)
+	var wh waitHist
+	var waitSum, waitMax, makespan float64
+	var decisions []Decision
+	var decSeq uint64
+	var events int64
+	for q.len() > 0 {
+		e := q.pop()
+		events++
+		now := e.at
+		if e.kind == evDone {
+			states[e.node].Pending--
+			continue
+		}
+		t := &sorted[e.task]
+		if next := e.task + 1; next < len(sorted) {
+			sched(sorted[next].Arrival, evArrival, next, -1)
+		}
+		n := t.Pin
+		if n < 0 {
+			n = cfg.Policy.Pick(now, *t, states)
+			if n < 0 || n >= len(states) {
+				return nil, fmt.Errorf("sim: policy %s picked node %d of %d", policyName, n, len(states))
+			}
+			if cfg.RecordDecisions {
+				depths := make([]int, len(states))
+				for i := range states {
+					depths[i] = states[i].Pending
+				}
+				decisions = append(decisions, Decision{Seq: decSeq, Time: now, Task: e.task, Node: n, QueueDepths: depths})
+			}
+			decSeq++
+		}
+		st := &states[n]
+		run := &runs[n]
+		svc := serviceTime(st.Speed, cfg.CostRate, *t)
+		begin := st.Backlog
+		if begin < now {
+			begin = now
+		}
+		fin := begin + svc
+		st.Backlog = fin
+		st.Pending++
+		st.Busy += svc
+		run.cost += t.Cost
+		run.tasks++
+		// Back-to-back tasks share one busy interval: begin equals the
+		// previous finish exactly, so contiguous stretches merge and the
+		// energy integration sees the same [start, start+busy) window a
+		// batch run would.
+		if k := len(run.intervals); k > 0 && run.intervals[k-1].end == begin {
+			run.intervals[k-1].end = fin
+		} else {
+			run.intervals = append(run.intervals, interval{start: begin, end: fin})
+		}
+		if fin > makespan {
+			makespan = fin
+		}
+		w := begin - now
+		waitSum += w
+		if w > waitMax {
+			waitMax = w
+		}
+		us := int64(w * 1e6)
+		wh.observe(us)
+		waitObs.Observe(us)
+		sched(fin, evDone, e.task, n)
+	}
+
+	res := &Result{
+		Result: cluster.Result{
+			NodeTimes: make([]float64, len(cfg.Nodes)),
+			NodeCosts: make([]float64, len(cfg.Nodes)),
+			NodeDirty: make([]float64, len(cfg.Nodes)),
+			NodeGreen: make([]float64, len(cfg.Nodes)),
+			Makespan:  makespan,
+		},
+		Policy:     policyName,
+		Tasks:      len(sorted),
+		Events:     events,
+		NodeTasks:  make([]int, len(cfg.Nodes)),
+		Wait:       wh.snapshot(),
+		MaxWaitSec: waitMax,
+		Decisions:  decisions,
+	}
+	for i := range cfg.Nodes {
+		busy := states[i].Busy
+		res.NodeTimes[i] = busy
+		res.NodeCosts[i] = runs[i].cost
+		res.NodeTasks[i] = runs[i].tasks
+		watts := cfg.Nodes[i].Watts
+		res.TotalEnergy += watts * busy
+		var d float64
+		for _, iv := range runs[i].intervals {
+			d += energy.DirtyEnergy(watts, cfg.Nodes[i].Trace, cfg.Offset+iv.start, iv.end-iv.start)
+		}
+		res.NodeDirty[i] = d
+		res.DirtyEnergy += d
+		green := watts*busy - d
+		if green < 0 {
+			green = 0
+		}
+		res.NodeGreen[i] = green
+		res.GreenEnergy += green
+	}
+	if len(sorted) > 0 {
+		res.MeanWaitSec = waitSum / float64(len(sorted))
+	}
+	res.WallSec = time.Since(runStart).Seconds()
+	recordRun(cfg.Telemetry, res, decSeq)
+	return res, nil
+}
+
+// recordRun folds one simulation into the cumulative telemetry,
+// mirroring cluster.recordRun's units (Wh for energy). Nil-safe.
+func recordRun(reg *telemetry.Registry, res *Result, decisions uint64) {
+	if reg == nil {
+		return
+	}
+	const wh = 1.0 / 3600 // joules → watt-hours
+	reg.Counter("sim_runs_total").Inc()
+	reg.Counter("sim_tasks_total").Add(int64(res.Tasks))
+	reg.Counter("sim_events_total").Add(res.Events)
+	reg.Counter("sim_decisions_total").Add(int64(decisions))
+	reg.FloatGauge("sim_virtual_sec_total").Add(res.Makespan)
+	reg.FloatGauge("sim_green_wh_total").Add(res.GreenEnergy * wh)
+	reg.FloatGauge("sim_dirty_wh_total").Add(res.DirtyEnergy * wh)
+}

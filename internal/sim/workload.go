@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Task is one unit of simulated work.
+type Task struct {
+	// Arrival is the virtual second the task enters the system.
+	Arrival float64
+	// Cost is the abstract speed-scaled demand in cluster cost units.
+	Cost float64
+	// Fixed is the speed-independent service share in seconds (I/O and
+	// other rate-limited work, cluster.TaskReport.FixedSeconds).
+	Fixed float64
+	// Pin ≥ 0 forces the task onto that node, bypassing the policy;
+	// -1 (the generator default) routes through the policy.
+	Pin int
+}
+
+// Arrival-process names accepted by Generate and the -sim-arrivals
+// flag.
+const (
+	// Poisson draws exponential inter-arrivals of mean 1/Rate.
+	Poisson = "poisson"
+	// Uniform draws inter-arrivals uniform in [0, 2/Rate) (mean 1/Rate).
+	Uniform = "uniform"
+	// Bursty is a two-state Markov-modulated Poisson process (MMPP-2):
+	// it alternates between a burst state at 3×Rate and a lull at
+	// Rate/3, with exponentially distributed sojourns of mean 20/Rate —
+	// on the order of tens of tasks per burst.
+	Bursty = "bursty"
+)
+
+// GenConfig parameterizes a synthetic workload. Identical configs
+// always generate identical task streams (seeded math/rand, no global
+// state).
+type GenConfig struct {
+	// Process is the arrival process: Poisson, Uniform, or Bursty.
+	Process string
+	// Rate is the mean arrival rate in tasks per virtual second.
+	Rate float64
+	// Duration bounds the arrival window: tasks arrive in [0, Duration).
+	Duration float64
+	// CostMean is the mean abstract cost per task.
+	CostMean float64
+	// CostSpread draws costs uniform in CostMean·(1±CostSpread); must
+	// be in [0, 1). Zero means every task costs exactly CostMean.
+	CostSpread float64
+	// FixedSec is the per-task speed-independent service time.
+	FixedSec float64
+	// Seed drives the generator; same seed ⇒ same stream.
+	Seed int64
+}
+
+// Generate produces a task stream for the config: arrivals ascending
+// in [0, Duration), costs drawn around CostMean, every task unpinned.
+func Generate(cfg GenConfig) ([]Task, error) {
+	if cfg.Process != Poisson && cfg.Process != Uniform && cfg.Process != Bursty {
+		return nil, fmt.Errorf("sim: unknown arrival process %q (want %s, %s, or %s)", cfg.Process, Poisson, Uniform, Bursty)
+	}
+	if !(cfg.Rate > 0) {
+		return nil, fmt.Errorf("sim: arrival rate %v, want > 0", cfg.Rate)
+	}
+	if !(cfg.Duration > 0) {
+		return nil, fmt.Errorf("sim: duration %v, want > 0", cfg.Duration)
+	}
+	if !(cfg.CostMean > 0) {
+		return nil, fmt.Errorf("sim: cost mean %v, want > 0", cfg.CostMean)
+	}
+	if cfg.CostSpread < 0 || cfg.CostSpread >= 1 {
+		return nil, fmt.Errorf("sim: cost spread %v, want [0, 1)", cfg.CostSpread)
+	}
+	if cfg.FixedSec < 0 {
+		return nil, fmt.Errorf("sim: fixed seconds %v, want >= 0", cfg.FixedSec)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var tasks []Task
+	emit := func(at float64) {
+		cost := cfg.CostMean
+		if cfg.CostSpread > 0 {
+			cost *= 1 + cfg.CostSpread*(2*rng.Float64()-1)
+		}
+		tasks = append(tasks, Task{Arrival: at, Cost: cost, Fixed: cfg.FixedSec, Pin: -1})
+	}
+	switch cfg.Process {
+	case Poisson:
+		for t := rng.ExpFloat64() / cfg.Rate; t < cfg.Duration; t += rng.ExpFloat64() / cfg.Rate {
+			emit(t)
+		}
+	case Uniform:
+		for t := rng.Float64() * 2 / cfg.Rate; t < cfg.Duration; t += rng.Float64() * 2 / cfg.Rate {
+			emit(t)
+		}
+	case Bursty:
+		sojourn := 20 / cfg.Rate
+		burst := false
+		t := 0.0
+		next := rng.ExpFloat64() * sojourn
+		for t < cfg.Duration {
+			r := cfg.Rate / 3
+			if burst {
+				r = 3 * cfg.Rate
+			}
+			dt := rng.ExpFloat64() / r
+			if t+dt >= next {
+				// The state flips before the candidate arrival; restart
+				// the (memoryless) draw from the switch instant.
+				t = next
+				burst = !burst
+				next += rng.ExpFloat64() * sojourn
+				continue
+			}
+			t += dt
+			if t < cfg.Duration {
+				emit(t)
+			}
+		}
+	}
+	return tasks, nil
+}
