@@ -10,6 +10,7 @@
 //	paretobench -frontier -frontier-exact -serve :8080
 //	paretobench -sim -sim-nodes 64 -sim-policy greedy-stealing -sim-rate 200
 //	paretobench -sim -sim-trace workload.jsonl -sim-decisions decisions.jsonl
+//	paretobench -replan -replan-records 50000 -replan-cycles 8
 //
 // Each experiment prints an aligned text table with one row per
 // (strategy, partition count) or per α point; see DESIGN.md §4 for the
@@ -31,6 +32,14 @@
 // policy, reporting per-node busy time and green/dirty energy,
 // queueing-delay quantiles, and the sustained events/sec. -sim-decisions
 // records every routing decision for counterfactual comparison.
+//
+// -replan switches to the incremental online replanning loop: a seeded
+// topic-blocked corpus is planned cold, then each round ingests a
+// drifting batch and runs one control cycle — printing whether the loop
+// stayed clean, re-stratified incrementally (warm-starting the sizing
+// LP from the previous basis), or fell back to a full replan, plus the
+// migration move budget spent. A final cold full replan over the
+// drifted corpus anchors the incremental cycle times.
 package main
 
 import (
@@ -72,6 +81,15 @@ func main() {
 		simSeed       = flag.Int64("sim-seed", 1, "sim: workload generator seed")
 		simTrace      = flag.String("sim-trace", "", "sim: replay a recorded JSONL task trace instead of generating")
 		simDecisions  = flag.String("sim-decisions", "", "sim: write the per-decision trace to this JSONL file (\"-\" = stdout)")
+
+		replanMode      = flag.Bool("replan", false, "drive the incremental online replanning loop instead of experiments")
+		replanRecords   = flag.Int("replan-records", 50_000, "replan: seed corpus size in records")
+		replanTopics    = flag.Int("replan-topics", 32, "replan: planted topics (= strata)")
+		replanNodes     = flag.Int("replan-nodes", 4, "replan: number of paper-shaped nodes")
+		replanCycles    = flag.Int("replan-cycles", 8, "replan: drift/replan rounds to run")
+		replanBatch     = flag.Int("replan-batch", 100, "replan: records ingested per round")
+		replanThreshold = flag.Float64("replan-threshold", 5e-5, "replan: per-stratum drift threshold (0 forces full replans)")
+		replanBudget    = flag.Int("replan-budget", 2000, "replan: max migration moves per cycle (0 = unbounded)")
 	)
 	flag.Parse()
 	if *list {
@@ -102,6 +120,22 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paretobench: sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replanMode {
+		err := runReplan(replanOpts{
+			records:   *replanRecords,
+			topics:    *replanTopics,
+			nodes:     *replanNodes,
+			cycles:    *replanCycles,
+			batch:     *replanBatch,
+			threshold: *replanThreshold,
+			budget:    *replanBudget,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paretobench: replan: %v\n", err)
 			os.Exit(1)
 		}
 		return

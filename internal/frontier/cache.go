@@ -1,0 +1,145 @@
+// Frontier enumeration cache. Repeat /frontier queries against an
+// unchanged plan re-run the whole α sweep for bit-identical output;
+// the cache memoizes enumerations keyed by an exact fingerprint of
+// everything the result is a function of — the model source (node
+// fits, dirty rates, total units) and the request parameters (mode,
+// α list, tolerance, constraints, axes). Worker count is deliberately
+// excluded: enumeration results are bit-identical at any parallelism.
+// The replanning loop invalidates the cache whenever it installs new
+// models, so a cached frontier can never outlive the plan it was
+// enumerated from.
+package frontier
+
+import (
+	"math"
+	"strconv"
+	"sync"
+
+	"pareto/internal/opt"
+	"pareto/internal/telemetry"
+)
+
+// DefaultCacheSize bounds a Cache's entries when NewCache is given a
+// nonpositive size.
+const DefaultCacheSize = 64
+
+// Cache memoizes frontier enumerations. Safe for concurrent use.
+// Cached Results are shared — callers must treat them as immutable,
+// which every enumeration consumer already does.
+type Cache struct {
+	reg *telemetry.Registry
+
+	mu      sync.Mutex
+	max     int
+	entries map[string]cacheEntry
+	order   []string // insertion order, for FIFO eviction
+}
+
+type cacheEntry struct {
+	res       *Result
+	truncated bool
+}
+
+// NewCache creates a cache holding at most max enumerations (FIFO
+// eviction; max ≤ 0 means DefaultCacheSize). reg, when non-nil,
+// receives frontier_cache_hits / frontier_cache_misses /
+// frontier_cache_invalidations counters.
+func NewCache(max int, reg *telemetry.Registry) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{reg: reg, max: max, entries: make(map[string]cacheEntry)}
+}
+
+// Invalidate drops every cached enumeration. Called when new models
+// are installed (replanning) so stale frontiers cannot be served.
+func (c *Cache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	clear(c.entries)
+	c.order = c.order[:0]
+	c.mu.Unlock()
+	c.reg.Counter("frontier_cache_invalidations").Inc()
+}
+
+// Len returns the number of cached enumerations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// lookup returns the cached enumeration for key, counting a hit or
+// miss.
+func (c *Cache) lookup(key string) (*Result, bool, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		c.reg.Counter("frontier_cache_hits").Inc()
+		return e.res, e.truncated, true
+	}
+	c.reg.Counter("frontier_cache_misses").Inc()
+	return nil, false, false
+}
+
+// store caches an enumeration under key, evicting the oldest entry
+// past capacity.
+func (c *Cache) store(key string, res *Result, truncated bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.order = append(c.order, key)
+		for len(c.order) > c.max {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.entries[key] = cacheEntry{res: res, truncated: truncated}
+}
+
+// Fingerprint returns an exact textual fingerprint of a model source:
+// the bit patterns of every node's time fit and dirty rate, plus the
+// total. Equal fingerprints mean equal enumeration inputs — no float
+// rounding, no hashing collisions.
+func Fingerprint(nodes []opt.NodeModel, total int) string {
+	// 3 floats per node at ≤ 17 hex digits plus separators.
+	buf := make([]byte, 0, 8+len(nodes)*56)
+	buf = strconv.AppendInt(buf, int64(total), 16)
+	for _, n := range nodes {
+		buf = append(buf, '|')
+		buf = strconv.AppendUint(buf, math.Float64bits(n.Time.Slope), 16)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, math.Float64bits(n.Time.Intercept), 16)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, math.Float64bits(n.DirtyRate), 16)
+	}
+	return string(buf)
+}
+
+// cacheKey extends a model fingerprint with every request parameter
+// the enumeration depends on.
+func cacheKey(fp string, exact bool, cfg Config) string {
+	buf := make([]byte, 0, len(fp)+64+len(cfg.Alphas)*17)
+	buf = append(buf, fp...)
+	if exact {
+		buf = append(buf, ";exact;"...)
+	} else {
+		buf = append(buf, ";sweep;"...)
+	}
+	buf = strconv.AppendUint(buf, math.Float64bits(cfg.Tol), 16)
+	buf = append(buf, ';')
+	buf = strconv.AppendUint(buf, math.Float64bits(cfg.Constraints.MinSize), 16)
+	for _, a := range cfg.Alphas {
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, math.Float64bits(a), 16)
+	}
+	buf = append(buf, ';')
+	for _, ax := range cfg.axes() {
+		buf = append(buf, ax.Name...)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}

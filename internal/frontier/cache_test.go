@@ -1,0 +1,166 @@
+package frontier
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"pareto/internal/opt"
+	"pareto/internal/telemetry"
+)
+
+// mutableSource is a ModelSource whose models can be swapped between
+// requests, standing in for the replanner installing new fits.
+type mutableSource struct {
+	nodes []opt.NodeModel
+	total int
+}
+
+func (s *mutableSource) FrontierModels() ([]opt.NodeModel, int, error) {
+	return s.nodes, s.total, nil
+}
+
+func cachedService(t *testing.T) (*Service, *mutableSource, *Cache, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	cache := NewCache(0, reg)
+	src := &mutableSource{nodes: PaperModels(6), total: 50_000}
+	svc := NewService(src, Config{Telemetry: reg, Cache: cache})
+	return svc, src, cache, reg
+}
+
+func TestCacheHitServesIdenticalBytes(t *testing.T) {
+	svc, _, cache, reg := cachedService(t)
+	rec1, _ := getFrontier(t, svc, "/frontier?alphas=9")
+	rec2, _ := getFrontier(t, svc, "/frontier?alphas=9")
+	if rec1.Code != http.StatusOK || rec2.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", rec1.Code, rec2.Code)
+	}
+	if !bytes.Equal(rec1.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Error("cached response differs from the enumeration that seeded it")
+	}
+	if hits := reg.Counter("frontier_cache_hits").Value(); hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+	if misses := reg.Counter("frontier_cache_misses").Value(); misses != 1 {
+		t.Errorf("misses = %d, want 1", misses)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", cache.Len())
+	}
+}
+
+func TestCacheKeyedOnRequestParams(t *testing.T) {
+	svc, _, cache, reg := cachedService(t)
+	for _, url := range []string{
+		"/frontier?alphas=9",
+		"/frontier?alphas=11",
+		"/frontier?alphas=9&exact=1",
+		"/frontier?alphas=9&tol=0.0005",
+	} {
+		rec, _ := getFrontier(t, svc, url)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", url, rec.Code, rec.Body.String())
+		}
+	}
+	if hits := reg.Counter("frontier_cache_hits").Value(); hits != 0 {
+		t.Errorf("distinct requests hit the cache %d times", hits)
+	}
+	if misses := reg.Counter("frontier_cache_misses").Value(); misses != 4 {
+		t.Errorf("misses = %d, want 4", misses)
+	}
+	if cache.Len() != 4 {
+		t.Errorf("cache holds %d entries, want 4", cache.Len())
+	}
+	// Worker count is excluded from the key: results are worker-independent.
+	rec, _ := getFrontier(t, svc, "/frontier?alphas=9&workers=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if hits := reg.Counter("frontier_cache_hits").Value(); hits != 1 {
+		t.Errorf("worker-count variation missed the cache (hits = %d)", hits)
+	}
+}
+
+func TestCacheMissesOnModelChange(t *testing.T) {
+	svc, src, _, reg := cachedService(t)
+	getFrontier(t, svc, "/frontier?alphas=9")
+	// Perturb one node's fit — a different model source must not be
+	// served from a stale enumeration.
+	src.nodes = append([]opt.NodeModel(nil), src.nodes...)
+	src.nodes[0].Time.Slope *= 1.01
+	rec, _ := getFrontier(t, svc, "/frontier?alphas=9")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if hits := reg.Counter("frontier_cache_hits").Value(); hits != 0 {
+		t.Errorf("changed models hit the cache %d times", hits)
+	}
+	if misses := reg.Counter("frontier_cache_misses").Value(); misses != 2 {
+		t.Errorf("misses = %d, want 2", misses)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	svc, _, cache, reg := cachedService(t)
+	getFrontier(t, svc, "/frontier?alphas=9")
+	cache.Invalidate()
+	if cache.Len() != 0 {
+		t.Errorf("cache holds %d entries after Invalidate", cache.Len())
+	}
+	if n := reg.Counter("frontier_cache_invalidations").Value(); n != 1 {
+		t.Errorf("invalidations = %d, want 1", n)
+	}
+	rec, _ := getFrontier(t, svc, "/frontier?alphas=9")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if hits := reg.Counter("frontier_cache_hits").Value(); hits != 0 {
+		t.Errorf("invalidated entry served as a hit (%d)", hits)
+	}
+	// A nil cache is safe to invalidate (replanner may run uncached).
+	var nilCache *Cache
+	nilCache.Invalidate()
+}
+
+func TestCacheFIFOEviction(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cache := NewCache(2, reg)
+	src := &mutableSource{nodes: PaperModels(4), total: 10_000}
+	svc := NewService(src, Config{Telemetry: reg, Cache: cache})
+	getFrontier(t, svc, "/frontier?alphas=5")
+	getFrontier(t, svc, "/frontier?alphas=6")
+	getFrontier(t, svc, "/frontier?alphas=7") // evicts alphas=5
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+	getFrontier(t, svc, "/frontier?alphas=5")
+	if misses := reg.Counter("frontier_cache_misses").Value(); misses != 4 {
+		t.Errorf("evicted entry not re-enumerated (misses = %d, want 4)", misses)
+	}
+	getFrontier(t, svc, "/frontier?alphas=7")
+	if hits := reg.Counter("frontier_cache_hits").Value(); hits != 1 {
+		t.Errorf("surviving entry missed (hits = %d, want 1)", hits)
+	}
+}
+
+func TestFingerprintExactness(t *testing.T) {
+	nodes := PaperModels(3)
+	fp := Fingerprint(nodes, 1000)
+	if fp != Fingerprint(PaperModels(3), 1000) {
+		t.Error("identical inputs fingerprint differently")
+	}
+	for _, mutate := range []func([]opt.NodeModel) ([]opt.NodeModel, int){
+		func(n []opt.NodeModel) ([]opt.NodeModel, int) { n[0].Time.Slope += 1e-15; return n, 1000 },
+		func(n []opt.NodeModel) ([]opt.NodeModel, int) { n[1].Time.Intercept += 1e-15; return n, 1000 },
+		func(n []opt.NodeModel) ([]opt.NodeModel, int) { n[2].DirtyRate += 1e-12; return n, 1000 },
+		func(n []opt.NodeModel) ([]opt.NodeModel, int) { return n[:2], 1000 },
+		func(n []opt.NodeModel) ([]opt.NodeModel, int) { return n, 1001 },
+	} {
+		m := append([]opt.NodeModel(nil), nodes...)
+		mm, total := mutate(m)
+		if Fingerprint(mm, total) == fp {
+			t.Error("a changed input collided with the original fingerprint")
+		}
+	}
+}

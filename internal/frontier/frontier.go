@@ -202,6 +202,11 @@ type Config struct {
 	Tol float64
 	// Telemetry receives frontier_* metrics when non-nil.
 	Telemetry *telemetry.Registry
+	// Cache, when non-nil, memoizes service enumerations keyed by the
+	// model-source fingerprint and request parameters (see cache.go).
+	// Only the HTTP Service consults it; direct Sweep/Exact calls
+	// always enumerate.
+	Cache *Cache
 }
 
 func (c Config) axes() []Axis {

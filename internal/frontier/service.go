@@ -170,6 +170,18 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Serve memoized points when the model fingerprint and request
+	// parameters match a previous enumeration; replanning invalidates
+	// the cache when it installs new models.
+	var key string
+	if cfg.Cache != nil {
+		key = cacheKey(Fingerprint(nodes, total), exact, cfg)
+		if res, truncated, ok := cfg.Cache.lookup(key); ok {
+			writeFrontierJSON(w, res, nodes, total, exact, truncated, includeAll, cfg)
+			return
+		}
+	}
+
 	var res *Result
 	if exact {
 		res, err = Exact(nodes, total, cfg)
@@ -189,6 +201,17 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// A truncated exact frontier is still served, flagged.
 		truncated = true
 	}
+	if cfg.Cache != nil {
+		cfg.Cache.store(key, res, truncated)
+	}
+	writeFrontierJSON(w, res, nodes, total, exact, truncated, includeAll, cfg)
+}
+
+// writeFrontierJSON renders an enumeration (fresh or cached) as the
+// /frontier response. Stats always describe the enumeration that
+// produced the points — a cache hit reports the original solve effort,
+// not zero work.
+func writeFrontierJSON(w http.ResponseWriter, res *Result, nodes []opt.NodeModel, total int, exact, truncated, includeAll bool, cfg Config) {
 
 	resp := responseJSON{
 		Nodes:     len(nodes),

@@ -541,6 +541,37 @@ func (c *Client) LRangeChunked(key string, window int64, fn func(batch [][]byte)
 	}
 }
 
+// LRangeFrom reads a list from the given start index in fixed-size
+// windows, calling fn with each non-empty batch, and returns the index
+// one past the last element read. Unlike LRangeChunked it does not
+// restart at the head, so a stream consumer can tail a list producers
+// keep RPUSHing to: persist the returned cursor and pass it back as
+// start on the next poll.
+func (c *Client) LRangeFrom(key string, start, window int64, fn func(batch [][]byte) error) (int64, error) {
+	if window < 1 {
+		return start, fmt.Errorf("kvstore: lrange window %d, need ≥ 1", window)
+	}
+	if start < 0 {
+		start = 0
+	}
+	for {
+		batch, err := c.LRange(key, start, start+window-1)
+		if err != nil {
+			return start, err
+		}
+		if len(batch) == 0 {
+			return start, nil
+		}
+		if err := fn(batch); err != nil {
+			return start, err
+		}
+		start += int64(len(batch))
+		if int64(len(batch)) < window {
+			return start, nil
+		}
+	}
+}
+
 // LLen returns a list's length.
 func (c *Client) LLen(key string) (int64, error) {
 	rep, err := c.Do("LLEN", []byte(key))

@@ -1,0 +1,301 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sizingProblem builds the partition-sizing LP shape over p nodes:
+// variables s_0..s_{p-1}, v (free); rows m_i·s_i − v ≤ −c_i, then
+// Σs = 1. Returns the problem and the scalarized objective.
+func sizingProblem(t *testing.T, slopes, intercepts []float64, alpha float64) (*Problem, []float64) {
+	t.Helper()
+	p := len(slopes)
+	obj := make([]float64, p+1)
+	for i := range slopes {
+		obj[i] = (1 - alpha) * slopes[i]
+	}
+	obj[p] = alpha
+	prob, err := NewProblem(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prob.SetFree(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		row := make([]float64, p+1)
+		row[i] = slopes[i]
+		row[p] = -1
+		if err := prob.AddConstraint(row, LE, -intercepts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := make([]float64, p+1)
+	for i := 0; i < p; i++ {
+		sum[i] = 1
+	}
+	if err := prob.AddConstraint(sum, EQ, 1); err != nil {
+		t.Fatal(err)
+	}
+	return prob, obj
+}
+
+// sizingUpdates returns the ConstraintUpdates that retarget a sizing
+// problem at new slopes/intercepts.
+func sizingUpdates(p int, slopes, intercepts []float64) []ConstraintUpdate {
+	ups := make([]ConstraintUpdate, p)
+	for i := 0; i < p; i++ {
+		row := make([]float64, p+1)
+		row[i] = slopes[i]
+		row[p] = -1
+		ups[i] = ConstraintUpdate{Row: i, Coeffs: row, RHS: -intercepts[i]}
+	}
+	return ups
+}
+
+// TestReSolveModelMatchesColdSizing drives the sizing LP through a
+// chain of model perturbations and checks every warm re-solve is
+// bit-identical to a cold solve of the same model.
+func TestReSolveModelMatchesColdSizing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const p = 8
+	slopes := make([]float64, p)
+	intercepts := make([]float64, p)
+	for i := range slopes {
+		slopes[i] = 0.5 + rng.Float64()*4
+		intercepts[i] = rng.Float64() * 10
+	}
+	alpha := 0.5
+	prob, obj := sizingProblem(t, slopes, intercepts, alpha)
+	sv := prob.NewSolver()
+	if _, err := sv.Solve(); err != nil {
+		t.Fatal(err)
+	}
+
+	warmCount := 0
+	for step := 0; step < 25; step++ {
+		// Perturb a random subset of node models, as drift-driven
+		// re-profiling would.
+		for i := range slopes {
+			if rng.Intn(3) == 0 {
+				slopes[i] = 0.5 + rng.Float64()*4
+				intercepts[i] = rng.Float64() * 10
+			}
+		}
+		newObj := make([]float64, p+1)
+		for i := 0; i < p; i++ {
+			newObj[i] = (1 - alpha) * slopes[i]
+		}
+		newObj[p] = alpha
+		sol, err := sv.ReSolveModel(newObj, sizingUpdates(p, slopes, intercepts))
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if sol.Warm {
+			warmCount++
+		}
+
+		coldProb, _ := sizingProblem(t, slopes, intercepts, alpha)
+		coldProb.obj = newObj
+		cold, err := coldProb.Solve()
+		if err != nil {
+			t.Fatalf("step %d cold: %v", step, err)
+		}
+		for i := range cold.X {
+			if sol.X[i] != cold.X[i] {
+				t.Fatalf("step %d (warm=%v): X[%d] = %v, cold %v", step, sol.Warm, i, sol.X[i], cold.X[i])
+			}
+		}
+		if sol.Objective != cold.Objective {
+			t.Fatalf("step %d: objective %v, cold %v", step, sol.Objective, cold.Objective)
+		}
+	}
+	if warmCount == 0 {
+		t.Fatal("no step re-solved warm; the warm path never ran")
+	}
+	_ = obj
+}
+
+// TestReSolveModelInfeasibleBasisFallsBack shrinks a binding bound so
+// the retained vertex goes primal-infeasible: the solve must fall back
+// to a cold run and still return the new optimum.
+func TestReSolveModelInfeasibleBasisFallsBack(t *testing.T) {
+	prob, err := NewProblem([]float64{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prob.AddConstraint([]float64{1}, LE, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := prob.AddConstraint([]float64{1}, LE, 20); err != nil {
+		t.Fatal(err)
+	}
+	sv := prob.NewSolver()
+	sol, err := sv.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0] != 10 {
+		t.Fatalf("x = %v, want 10", sol.X[0])
+	}
+	// Tighten the slack row below the retained vertex: x ≤ 5 while the
+	// basis still pins x = 10 ⇒ refactorized RHS goes negative.
+	sol, err = sv.ReSolveModel([]float64{-1}, []ConstraintUpdate{{Row: 1, Coeffs: []float64{1}, RHS: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Warm {
+		t.Fatal("infeasible retained basis must force a cold solve")
+	}
+	if sol.X[0] != 5 {
+		t.Fatalf("x = %v, want 5", sol.X[0])
+	}
+	// The solver recovers warm behavior after the cold rebuild.
+	sol, err = sv.ReSolveModel([]float64{-1}, []ConstraintUpdate{{Row: 1, Coeffs: []float64{1}, RHS: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0] != 7 {
+		t.Fatalf("x = %v, want 7", sol.X[0])
+	}
+}
+
+// TestReSolveModelSignFlipFallsBack flips an inequality's RHS sign,
+// which would relayout the slack/artificial columns: structural, so
+// cold.
+func TestReSolveModelSignFlipFallsBack(t *testing.T) {
+	prob, err := NewProblem([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prob.AddConstraint([]float64{-1}, LE, -2); err != nil { // x ≥ 2
+		t.Fatal(err)
+	}
+	sv := prob.NewSolver()
+	if _, err := sv.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := sv.ReSolveModel([]float64{1}, []ConstraintUpdate{{Row: 0, Coeffs: []float64{1}, RHS: 3}}) // x ≤ 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Warm {
+		t.Fatal("RHS sign flip on an inequality must force a cold solve")
+	}
+	if sol.X[0] != 0 {
+		t.Fatalf("x = %v, want 0 (minimize x s.t. x ≤ 3)", sol.X[0])
+	}
+}
+
+// TestReSolveModelGeneralChain exercises warm model re-solves on a
+// general LP with ≤/≥/= rows and a free variable, against cold
+// reference solves.
+func TestReSolveModelGeneralChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	build := func(a, b, c float64) (*Problem, []float64) {
+		obj := []float64{1, 2, 0.5}
+		prob, err := NewProblem(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prob.SetFree(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := prob.AddConstraint([]float64{1, 1, 1}, GE, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := prob.AddConstraint([]float64{2, 1, 0}, LE, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := prob.AddConstraint([]float64{1, -1, 2}, EQ, c); err != nil {
+			t.Fatal(err)
+		}
+		return prob, obj
+	}
+	a, b, c := 4.0, 10.0, 1.0
+	prob, obj := build(a, b, c)
+	sv := prob.NewSolver()
+	if _, err := sv.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 30; step++ {
+		a = 2 + rng.Float64()*6
+		b = 8 + rng.Float64()*8
+		c = rng.Float64()*4 - 1 // EQ rows tolerate sign changes
+		ups := []ConstraintUpdate{
+			{Row: 0, Coeffs: []float64{1, 1, 1}, RHS: a},
+			{Row: 1, Coeffs: []float64{2, 1 + rng.Float64(), 0}, RHS: b},
+			{Row: 2, Coeffs: []float64{1, -1, 2}, RHS: c},
+		}
+		sol, err := sv.ReSolveModel(obj, ups)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		coldProb, _ := build(a, b, c)
+		coldProb.cons[1].coeffs[1] = ups[1].Coeffs[1]
+		cold, err := coldProb.Solve()
+		if err != nil {
+			t.Fatalf("step %d cold: %v", step, err)
+		}
+		if math.Abs(sol.Objective-cold.Objective) > 1e-7 {
+			t.Fatalf("step %d (warm=%v): objective %v, cold %v", step, sol.Warm, sol.Objective, cold.Objective)
+		}
+	}
+}
+
+// TestReSolveModelUnboundedRecovery: an unbounded warm re-solve
+// reports ErrUnbounded and leaves the solver usable.
+func TestReSolveModelUnboundedRecovery(t *testing.T) {
+	prob, err := NewProblem([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prob.AddConstraint([]float64{1, 1}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sv := prob.NewSolver()
+	if _, err := sv.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.ReSolveModel([]float64{-1, 0}, nil); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+	sol, err := sv.ReSolveModel([]float64{1, 1}, []ConstraintUpdate{{Row: 0, Coeffs: []float64{1, 1}, RHS: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-3) > 1e-9 {
+		t.Fatalf("objective = %v, want 3", sol.Objective)
+	}
+}
+
+func TestReSolveModelValidation(t *testing.T) {
+	prob, err := NewProblem([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prob.AddConstraint([]float64{1}, GE, 1); err != nil {
+		t.Fatal(err)
+	}
+	sv := prob.NewSolver()
+	if _, err := sv.ReSolveModel([]float64{1, 2}, nil); err == nil {
+		t.Fatal("wrong objective length accepted")
+	}
+	if _, err := sv.ReSolveModel([]float64{1}, []ConstraintUpdate{{Row: 5, Coeffs: []float64{1}, RHS: 1}}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if _, err := sv.ReSolveModel([]float64{1}, []ConstraintUpdate{{Row: 0, Coeffs: []float64{1, 2}, RHS: 1}}); err == nil {
+		t.Fatal("wrong coefficient length accepted")
+	}
+	// Without a prior solve the fallback runs cold and still applies
+	// the updates.
+	sol, err := sv.ReSolveModel([]float64{1}, []ConstraintUpdate{{Row: 0, Coeffs: []float64{1}, RHS: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Warm || math.Abs(sol.X[0]-4) > 1e-9 {
+		t.Fatalf("cold fallback: warm=%v x=%v, want cold x=4", sol.Warm, sol.X[0])
+	}
+}

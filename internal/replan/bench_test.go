@@ -1,0 +1,129 @@
+package replan
+
+import (
+	"sort"
+	"testing"
+
+	"pareto/internal/core"
+	"pareto/internal/partitioner"
+	"pareto/internal/pivots"
+	"pareto/internal/strata"
+)
+
+const (
+	benchRecords = 50_000
+	benchTopics  = 32
+	benchWindow  = 64 // per-topic vocabulary window
+	benchTerms   = 12 // terms per document
+	benchBatch   = 100 // records ingested between cycles
+)
+
+// benchCorpus builds a deterministic topic-blocked text corpus: doc i
+// belongs to topic i%benchTopics and draws benchTerms terms from a
+// sliding window inside that topic's vocabulary block, so k-modes
+// recovers the topics as strata and a batch of identical alien records
+// dirties exactly one of them.
+func benchCorpus(b testing.TB, n int) *pivots.TextCorpus {
+	b.Helper()
+	docs := make([]pivots.Doc, n)
+	for i := range docs {
+		topic := i % benchTopics
+		terms := make([]uint32, benchTerms)
+		for k := range terms {
+			terms[k] = uint32(topic*benchWindow + (i/benchTopics+k)%benchWindow)
+		}
+		sort.Slice(terms, func(a, c int) bool { return terms[a] < terms[c] })
+		docs[i] = pivots.Doc{Terms: terms}
+	}
+	c, err := pivots.NewTextCorpus(docs, benchTopics*benchWindow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchCoreConfig() core.Config {
+	return core.Config{
+		Strategy: core.HetEnergyAware,
+		Alpha:    0.999,
+		Scheme:   partitioner.Representative,
+		Stratifier: strata.StratifierConfig{
+			SketchWidth: 24,
+			Cluster:     strata.Config{K: benchTopics, L: 3, Seed: 7},
+			Seed:        5,
+		},
+		SampleSeed: 3,
+	}
+}
+
+func benchLoop(b *testing.B, threshold float64) *Loop {
+	b.Helper()
+	base := benchCorpus(b, benchRecords)
+	l, err := New(base, paperCluster(b, 4), affineProfile(), Config{
+		Core:  benchCoreConfig(),
+		Drift: strata.DriftConfig{Threshold: threshold},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// benchIngest appends one batch of identical alien records — all land
+// in the same stratum, so well under 10% of the strata drift.
+func benchIngest(b *testing.B, l *Loop, gen int) {
+	b.Helper()
+	items := alienItems(gen, 6)
+	for i := 0; i < benchBatch; i++ {
+		if _, err := l.Ingest(items, len(items), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplanIncremental measures one drift-driven incremental
+// cycle at 50k records with <10% of strata dirty: only the drifted
+// stratum re-clusters, profiling reuses the memo, and the LP re-solves
+// from the previous basis. Ingest happens outside the timer.
+func BenchmarkReplanIncremental(b *testing.B) {
+	// A 100-record batch against a ~19k-weight stratum dilutes coverage
+	// by ~1.6e-4, so this threshold trips on the drifted stratum only.
+	l := benchLoop(b, 5e-5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		benchIngest(b, l, i+1)
+		b.StartTimer()
+		rep, err := l.Cycle()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Kind != CycleIncremental {
+			b.Fatalf("cycle %d: kind %v, want incremental", i, rep.Kind)
+		}
+		if 10*len(rep.Dirty) >= l.Tracker().K() {
+			b.Fatalf("cycle %d: %d/%d strata dirty, want <10%%", i, len(rep.Dirty), l.Tracker().K())
+		}
+	}
+}
+
+// BenchmarkReplanFull is the baseline the incremental path is measured
+// against: the same drift pattern, but with Threshold 0 every stratum
+// is always dirty, so each cycle is a cold full core.BuildPlan over
+// the whole corpus.
+func BenchmarkReplanFull(b *testing.B) {
+	l := benchLoop(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		benchIngest(b, l, i+1)
+		b.StartTimer()
+		rep, err := l.Cycle()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Kind != CycleFull {
+			b.Fatalf("cycle %d: kind %v, want full", i, rep.Kind)
+		}
+	}
+}

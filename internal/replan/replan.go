@@ -1,0 +1,797 @@
+package replan
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"pareto/internal/cluster"
+	"pareto/internal/core"
+	"pareto/internal/frontier"
+	"pareto/internal/lp"
+	"pareto/internal/opt"
+	"pareto/internal/parallel"
+	"pareto/internal/partitioner"
+	"pareto/internal/pivots"
+	"pareto/internal/sampling"
+	"pareto/internal/sketch"
+	"pareto/internal/strata"
+	"pareto/internal/telemetry"
+)
+
+// Config assembles the control loop's knobs around a core pipeline
+// configuration.
+type Config struct {
+	// Core configures the underlying planning pipeline. Normalized and
+	// DistStratify are rejected: the incremental re-solve models the
+	// plain scalarized LP, and the loop owns stratification.
+	Core core.Config
+	// Drift configures the per-stratum drift statistic; its Threshold
+	// decides when a stratum is dirty. Threshold 0 marks every stratum
+	// dirty on any traffic — every cycle is a full replan.
+	Drift strata.DriftConfig
+	// MaxMovesPerCycle bounds how many already-placed records one cycle
+	// may migrate; leftover moves carry into the next cycle. Placements
+	// of newly ingested records are not migrations and are never
+	// deferred. 0 means unlimited.
+	MaxMovesPerCycle int
+	// Store, when non-nil, is the base partition store the loop
+	// migrates data through. It is wrapped in an EpochStore so a failed
+	// migration never tears the readable state.
+	Store partitioner.Store
+	// FrontierCache, when non-nil, is invalidated whenever a cycle
+	// installs new models, so cached enumerations never outlive the
+	// plan they came from.
+	FrontierCache *frontier.Cache
+	// Telemetry receives the replan_* counters, gauges and the cycle
+	// latency histogram.
+	Telemetry *telemetry.Registry
+}
+
+// CycleKind classifies what one control cycle did.
+type CycleKind int
+
+// Cycle kinds.
+const (
+	// CycleClean re-planned nothing: no stratum was dirty. The cycle
+	// still places pending ingests and drains deferred moves.
+	CycleClean CycleKind = iota
+	// CycleIncremental re-stratified only the dirty strata, re-profiled
+	// stale samples and re-solved the LP warm.
+	CycleIncremental
+	// CycleFull re-ran the whole pipeline: every stratum was dirty, so
+	// the cycle is by definition a cold full replan.
+	CycleFull
+)
+
+// String names the kind.
+func (k CycleKind) String() string {
+	switch k {
+	case CycleClean:
+		return "clean"
+	case CycleIncremental:
+		return "incremental"
+	case CycleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("CycleKind(%d)", int(k))
+	}
+}
+
+// CycleReport describes one executed cycle.
+type CycleReport struct {
+	// Kind is the replanning path taken.
+	Kind CycleKind
+	// Dirty lists the strata whose drift crossed the threshold at the
+	// start of the cycle, ascending.
+	Dirty []int
+	// LPSolved is true when the cycle ran the sizing LP; LPWarm is true
+	// when that solve re-priced the retained basis instead of running
+	// two-phase simplex from scratch.
+	LPSolved bool
+	LPWarm   bool
+	// ProfileRuns counts profile-function evaluations this cycle;
+	// ProfileCacheHits counts sample sizes whose cost was reused from a
+	// previous cycle because the drawn sample was identical.
+	ProfileRuns      int
+	ProfileCacheHits int
+	// Placements counts newly ingested records placed this cycle.
+	Placements int
+	// MovesApplied/MovesDeferred split the migration of already-placed
+	// records against MaxMovesPerCycle.
+	MovesApplied  int
+	MovesDeferred int
+	// Converged is true when the live placement reached the installed
+	// target this cycle (no deferred moves remain).
+	Converged bool
+	// Elapsed is the cycle's wall-clock time.
+	Elapsed time.Duration
+}
+
+type costKey struct {
+	size int
+	hash uint64
+}
+
+// maxCostCache bounds the profile-cost memo; past it the memo resets
+// wholesale (entries are only ever reused across adjacent cycles, so a
+// reset costs at most one ladder of re-profiles).
+const maxCostCache = 1024
+
+// Loop is the online replanning control loop. It is not safe for
+// concurrent use: one goroutine owns ingest and cycles, which is the
+// deployment shape (a single controller per cluster).
+type Loop struct {
+	cfg     Config
+	cl      *cluster.Cluster
+	profile core.ProfileFunc
+	corpus  *DynamicCorpus
+	hasher  *sketch.Hasher
+	reg     *telemetry.Registry
+	alpha   float64
+	k       int
+	p       int
+
+	plan    *core.Plan
+	st      *strata.Stratification
+	tracker *strata.DriftTracker
+
+	solver *lp.Solver
+	shares []float64
+
+	actual  *partitioner.Assignment
+	target  *partitioner.Assignment
+	targetN int
+	pending []int
+	store   *EpochStore
+
+	lastSizes []int
+	lastN     int
+
+	rates        []float64
+	costCache    map[costKey]float64
+	corpusWeight int
+}
+
+// New builds the initial plan cold (a full core.BuildPlan over the base
+// corpus), places it into cfg.Store when one is given, and returns a
+// loop ready to ingest drifting traffic.
+func New(base pivots.Corpus, cl *cluster.Cluster, profile core.ProfileFunc, cfg Config) (*Loop, error) {
+	if cfg.Core.Normalized {
+		return nil, errors.New("replan: Normalized objectives are not supported (the warm re-solve models the plain scalarized LP)")
+	}
+	if cfg.Core.DistStratify != nil {
+		return nil, errors.New("replan: DistStratify is not supported; the loop owns stratification")
+	}
+	if cfg.MaxMovesPerCycle < 0 {
+		return nil, fmt.Errorf("replan: negative MaxMovesPerCycle %d", cfg.MaxMovesPerCycle)
+	}
+	if cfg.Drift.Threshold < 0 {
+		return nil, fmt.Errorf("replan: negative drift threshold %v", cfg.Drift.Threshold)
+	}
+	if cl == nil || cl.P() == 0 {
+		return nil, errors.New("replan: empty cluster")
+	}
+	corpus, err := NewDynamicCorpus(base)
+	if err != nil {
+		return nil, err
+	}
+	// Freeze the stratifier geometry BuildPlan would otherwise default
+	// per call: the loop's K must not drift as the corpus grows.
+	p := cl.P()
+	if cfg.Core.Stratifier.Cluster.K == 0 {
+		cfg.Core.Stratifier.Cluster.K = min(4*p, base.Len())
+	}
+	if cfg.Core.Stratifier.Cluster.L == 0 {
+		cfg.Core.Stratifier.Cluster.L = 3
+	}
+	if cfg.Core.Stratifier.Cluster.Workers == 0 {
+		cfg.Core.Stratifier.Cluster.Workers = cfg.Core.Workers
+	}
+	width := cfg.Core.Stratifier.SketchWidth
+	if width <= 0 {
+		width = strata.DefaultSketchWidth
+	}
+	hasher, err := sketch.NewHasher(width, cfg.Core.Stratifier.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("replan: %w", err)
+	}
+	alpha := 1.0
+	if cfg.Core.Strategy == core.HetEnergyAware {
+		alpha = cfg.Core.Alpha
+		if alpha <= 0 || alpha >= 1 {
+			return nil, fmt.Errorf("replan: Het-Energy-Aware needs alpha in (0,1), got %v", alpha)
+		}
+	}
+	window := cfg.Core.Window
+	if window <= 0 {
+		window = 3600
+	}
+
+	l := &Loop{
+		cfg: cfg, cl: cl, profile: profile, corpus: corpus,
+		hasher: hasher, reg: cfg.Telemetry, alpha: alpha, p: p,
+		rates:     cl.DirtyRates(cfg.Core.TraceOffset, window),
+		costCache: make(map[costKey]float64),
+	}
+	plan, err := core.BuildPlan(corpus, cl, profile, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.installFull(plan); err != nil {
+		return nil, err
+	}
+	l.k = l.tracker.K()
+	l.actual = &partitioner.Assignment{Parts: make([][]int, p)}
+	if cfg.Store != nil {
+		if l.store, err = NewEpochStore(cfg.Store, p); err != nil {
+			return nil, err
+		}
+	}
+	// Initial placement: every record is a placement, no migrations.
+	if _, err := l.migrate(nil); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// installFull adopts a freshly built full plan: new stratification, new
+// drift tracker, no retained LP basis (the next incremental cycle
+// rebuilds one cold).
+func (l *Loop) installFull(plan *core.Plan) error {
+	tracker, err := strata.NewDriftTracker(plan.Strat, l.cfg.Drift)
+	if err != nil {
+		return err
+	}
+	l.plan = plan
+	l.st = plan.Strat
+	l.tracker = tracker
+	l.solver = nil
+	l.shares = nil
+	if plan.Optimized != nil {
+		n := float64(l.corpus.Len())
+		l.shares = make([]float64, l.p)
+		for i, x := range plan.Optimized.X[:l.p] {
+			l.shares[i] = x / n
+		}
+	}
+	l.target = plan.Assign
+	l.targetN = l.corpus.Len()
+	l.lastSizes = append([]int(nil), plan.Sizes...)
+	l.lastN = l.corpus.Len()
+	l.corpusWeight = plan.CorpusWeight
+	l.cfg.FrontierCache.Invalidate()
+	return nil
+}
+
+// Ingest admits one record into the live corpus: it is sketched with
+// the stratifier's hash family, assigned to its nearest frozen stratum
+// (feeding the drift statistic), and queued for placement on the next
+// cycle. raw, when non-nil, is the record's length-prefixed wire form
+// (see DynamicCorpus.Append). Returns the stratum the record joined.
+func (l *Loop) Ingest(items []sketch.Item, weight int, raw []byte) (int, error) {
+	sk := l.hasher.Sketch(items)
+	stratum, _, err := l.tracker.Ingest(sk)
+	if err != nil {
+		return 0, err
+	}
+	idx, err := l.corpus.Append(items, weight, raw)
+	if err != nil {
+		return 0, err
+	}
+	l.st.Assign = append(l.st.Assign, stratum)
+	l.st.Members[stratum] = append(l.st.Members[stratum], idx)
+	l.st.Sketches = append(l.st.Sketches, sk)
+	l.st.WeightTotals[stratum] += weight
+	l.corpusWeight += weight
+	l.pending = append(l.pending, idx)
+	l.reg.Counter("replan_ingested_total").Inc()
+	return stratum, nil
+}
+
+// Cycle runs one control iteration: classify drift, re-plan along the
+// cheapest valid path, and migrate toward the installed target under
+// the move budget. On a migration write failure the previous placement
+// stays fully readable (commit-or-abort cutover) and the next cycle
+// resumes the same moves.
+func (l *Loop) Cycle() (*CycleReport, error) {
+	t0 := time.Now()
+	n := l.corpus.Len()
+	dirty := l.tracker.DirtyStrata()
+	rep := &CycleReport{Dirty: dirty}
+
+	switch {
+	case len(dirty) == l.k:
+		// Every stratum drifted: an incremental pass would redo all the
+		// work anyway, so this IS a cold full replan — bit-identical to
+		// core.BuildPlan by construction.
+		rep.Kind = CycleFull
+		plan, err := core.BuildPlan(l.corpus, l.cl, l.profile, l.cfg.Core)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.installFull(plan); err != nil {
+			return nil, err
+		}
+	case len(dirty) > 0:
+		rep.Kind = CycleIncremental
+		if err := l.replanIncremental(n, dirty, rep); err != nil {
+			return nil, err
+		}
+	default:
+		rep.Kind = CycleClean
+		if l.targetN != n {
+			// Ingests arrived since the target was installed: extend it
+			// at the current sizing without re-planning.
+			if err := l.retarget(l.sizesFor(n), n); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	applied, err := l.migrate(rep)
+	if err != nil {
+		l.reg.Counter("replan_migration_aborts_total").Inc()
+		return nil, err
+	}
+	_ = applied
+	rep.Converged = rep.MovesDeferred == 0
+	rep.Elapsed = time.Since(t0)
+
+	reg := l.reg
+	reg.Counter("replan_cycles_total").Inc()
+	reg.Counter("replan_cycles_" + rep.Kind.String() + "_total").Inc()
+	reg.Gauge("replan_dirty_strata").Set(int64(len(dirty)))
+	reg.Counter("replan_dirty_strata_total").Add(int64(len(dirty)))
+	reg.Counter("replan_placements_total").Add(int64(rep.Placements))
+	reg.Counter("replan_moves_applied_total").Add(int64(rep.MovesApplied))
+	reg.Counter("replan_moves_deferred_total").Add(int64(rep.MovesDeferred))
+	if reg != nil {
+		reg.Histogram("replan_cycle_ns", telemetry.WideLatencyBuckets()).Observe(rep.Elapsed.Nanoseconds())
+	}
+	return rep, nil
+}
+
+// replanIncremental runs the dirty-strata path: sub-cluster only the
+// drifted strata, re-profile only stale samples, re-solve the LP warm,
+// and install a minimal-movement target.
+func (l *Loop) replanIncremental(n int, dirty []int, rep *CycleReport) error {
+	if err := l.restratify(dirty); err != nil {
+		return err
+	}
+	var sizes []int
+	if l.cfg.Core.Strategy == core.Stratified {
+		sizes = partitioner.EqualSizes(n, l.p)
+		l.plan.Strat = l.st
+		l.plan.Sizes = sizes
+	} else {
+		models, err := l.reprofile(n, rep)
+		if err != nil {
+			return err
+		}
+		sol, err := l.resolveLP(models, n)
+		if err != nil {
+			return err
+		}
+		rep.LPSolved = true
+		rep.LPWarm = sol.Warm
+		if sol.Warm {
+			l.reg.Counter("replan_lp_warm_total").Inc()
+		} else {
+			l.reg.Counter("replan_lp_cold_total").Inc()
+		}
+		x := opt.UnitsFromShares(sol.X[:l.p], n)
+		oplan := opt.PlanFromX(models, n, l.alpha, x)
+		l.shares = append([]float64(nil), sol.X[:l.p]...)
+		sizes = oplan.Sizes
+		l.plan = &core.Plan{
+			Strategy: l.cfg.Core.Strategy, Alpha: l.alpha,
+			Strat: l.st, Models: models, Sizes: sizes, Optimized: oplan,
+			Scheme: l.cfg.Core.Scheme, CorpusWeight: l.corpusWeight,
+		}
+	}
+	if err := l.retarget(sizes, n); err != nil {
+		return err
+	}
+	l.plan.Assign = l.target
+	l.lastSizes = append(l.lastSizes[:0], sizes...)
+	l.lastN = n
+	if err := l.tracker.Reset(l.st, dirty); err != nil {
+		return err
+	}
+	l.cfg.FrontierCache.Invalidate()
+	return nil
+}
+
+// restratify re-clusters only the dirty strata: their members (old and
+// newly ingested) are sub-clustered into |dirty| fresh strata with the
+// stratifier's own configuration; clean strata keep sketches, centers
+// and members verbatim.
+func (l *Loop) restratify(dirty []int) error {
+	var recs []int
+	for _, s := range dirty {
+		recs = append(recs, l.st.Members[s]...)
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	sort.Ints(recs)
+	sub := l.cfg.Core.Stratifier.Cluster
+	sub.K = min(len(dirty), len(recs))
+	sketches := make([]sketch.Sketch, len(recs))
+	for i, r := range recs {
+		sketches[i] = l.st.Sketches[r]
+	}
+	res, err := strata.Cluster(sketches, sub)
+	if err != nil {
+		return fmt.Errorf("replan: re-stratifying %d dirty strata: %w", len(dirty), err)
+	}
+	for ci, s := range dirty {
+		if ci < res.K() {
+			mem := make([]int, len(res.Members[ci]))
+			for i, li := range res.Members[ci] {
+				mem[i] = recs[li]
+			}
+			l.st.Members[s] = mem
+			l.st.Centers[s] = res.Centers[ci]
+		} else {
+			// More dirty strata than distinct members: the leftovers
+			// empty out (their old centers stay as reseed points).
+			l.st.Members[s] = nil
+		}
+		wt := 0
+		for _, r := range l.st.Members[s] {
+			l.st.Assign[r] = s
+			wt += l.corpus.Weight(r)
+		}
+		l.st.WeightTotals[s] = wt
+	}
+	return nil
+}
+
+// reprofile rebuilds the node models for the current membership,
+// re-running the profile function only for sample sizes whose drawn
+// sample actually changed; unchanged samples reuse the memoized cost,
+// and the trace-derived dirty rates (fixed offset and window) are
+// computed once at construction. This is the "only affected
+// (workload, node) pairs" economy: the workload axis is pruned by the
+// sample memo, the node axis by the rate cache — the per-node
+// least-squares fit itself is trivial.
+func (l *Loop) reprofile(n int, rep *CycleReport) ([]opt.NodeModel, error) {
+	cfg := l.cfg.Core
+	minFrac, maxFrac, steps := cfg.ProfileMinFrac, cfg.ProfileMaxFrac, cfg.ProfileSteps
+	if minFrac == 0 {
+		minFrac = sampling.DefaultMinFrac
+	}
+	if maxFrac == 0 {
+		maxFrac = sampling.DefaultMaxFrac
+	}
+	if steps == 0 {
+		steps = sampling.DefaultSteps
+	}
+	sizes, err := sampling.ScheduleWithFloor(n, minFrac, maxFrac, steps, cfg.ProfileMinRecords)
+	if err != nil {
+		return nil, fmt.Errorf("replan: profiling schedule: %w", err)
+	}
+	if len(l.costCache) > maxCostCache {
+		clear(l.costCache)
+	}
+	costBySize := make(map[int]float64, len(sizes))
+	for _, s := range sizes {
+		if _, ok := costBySize[s]; ok {
+			continue
+		}
+		idx, err := strata.StratifiedSample(l.st.Members, s, cfg.SampleSeed+int64(s))
+		if err != nil {
+			return nil, fmt.Errorf("replan: sampling %d records: %w", s, err)
+		}
+		key := costKey{size: s, hash: hashSample(idx)}
+		if c, ok := l.costCache[key]; ok {
+			rep.ProfileCacheHits++
+			l.reg.Counter("replan_profile_cache_hits_total").Inc()
+			costBySize[s] = c
+			continue
+		}
+		c, err := l.profile(idx)
+		if err != nil {
+			return nil, fmt.Errorf("replan: profiling sample of %d: %w", s, err)
+		}
+		rep.ProfileRuns++
+		l.reg.Counter("replan_profile_cache_misses_total").Inc()
+		l.costCache[key] = c
+		costBySize[s] = c
+	}
+	models, err := l.cl.ProfileAllWithRates(sizes, func(sz int) (float64, error) {
+		c, ok := costBySize[sz]
+		if !ok {
+			return 0, fmt.Errorf("replan: no cached cost for sample size %d", sz)
+		}
+		return c, nil
+	}, l.rates)
+	if err != nil {
+		return nil, fmt.Errorf("replan: fitting node models: %w", err)
+	}
+	return models, nil
+}
+
+// hashSample fingerprints a drawn sample (FNV-1a over the indices); the
+// cost memo keys on (size, fingerprint) so a hash collision would also
+// need an exact size match to alias.
+func hashSample(idx []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, i := range idx {
+		v := uint64(i)
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(v >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// consFor mirrors BuildPlan's optimize-stage constraint derivation at
+// the current corpus size. Whether floors exist is size-independent
+// (either MinPartitionFrac or MinPartitionRecords is set, or neither),
+// so the LP's row layout is stable across cycles — the property
+// SizingUpdates requires.
+func (l *Loop) consFor(n int) opt.Constraints {
+	cons := opt.Constraints{}
+	if f := l.cfg.Core.MinPartitionFrac; f > 0 {
+		cons.MinSize = f * float64(n) / float64(l.p)
+	}
+	if r := l.cfg.Core.MinPartitionRecords; r > cons.MinSize {
+		cons.MinSize = r
+	}
+	return cons
+}
+
+// resolveLP solves the sizing LP at the freshly fitted models: warm
+// from the retained basis when one exists (re-pricing it against the
+// new coefficients via ReSolveModel, which itself falls back cold if
+// the basis went infeasible), cold otherwise.
+func (l *Loop) resolveLP(models []opt.NodeModel, n int) (*lp.Solution, error) {
+	cons := l.consFor(n)
+	if cap := float64(n) / float64(l.p); cons.MinSize > cap {
+		cons.MinSize = cap
+	}
+	if l.solver == nil {
+		prob, err := opt.SizingLP(models, n, l.alpha, cons)
+		if err != nil {
+			return nil, fmt.Errorf("replan: %w", err)
+		}
+		l.solver = prob.NewSolver()
+		sol, err := l.solver.Solve()
+		if err != nil {
+			l.solver = nil
+			return nil, fmt.Errorf("replan: sizing LP: %w", err)
+		}
+		return sol, nil
+	}
+	obj := opt.SizingObjective(models, n, l.alpha)
+	ups := opt.SizingUpdates(models, n, cons)
+	sol, err := l.solver.ReSolveModel(obj, ups)
+	if err != nil {
+		l.solver = nil
+		return nil, fmt.Errorf("replan: sizing LP re-solve: %w", err)
+	}
+	return sol, nil
+}
+
+// sizesFor returns target partition sizes for a corpus of n records
+// without re-planning: the installed sizes when n is unchanged,
+// otherwise the installed shares scaled to n (equal sizes for the
+// Stratified baseline).
+func (l *Loop) sizesFor(n int) []int {
+	if n == l.lastN {
+		return append([]int(nil), l.lastSizes...)
+	}
+	if l.shares == nil {
+		return partitioner.EqualSizes(n, l.p)
+	}
+	units := make([]float64, l.p)
+	for i, s := range l.shares {
+		units[i] = s * float64(n)
+	}
+	return opt.RoundToTotal(units, n)
+}
+
+// retarget installs a minimal-movement target for the given sizes: the
+// live assignment extended with pending ingests (placed into deficit
+// partitions), rebalanced to the new sizes.
+func (l *Loop) retarget(sizes []int, n int) error {
+	extended := &partitioner.Assignment{Parts: make([][]int, l.p)}
+	for j, part := range l.actual.Parts {
+		extended.Parts[j] = append([]int(nil), part...)
+	}
+	j := 0
+	for _, r := range l.pending {
+		for j < l.p && len(extended.Parts[j]) >= sizes[j] {
+			j++
+		}
+		if j == l.p {
+			return fmt.Errorf("replan: no deficit partition for pending record %d", r)
+		}
+		extended.Parts[j] = append(extended.Parts[j], r)
+	}
+	out, _, err := partitioner.Rebalance(extended, sizes)
+	if err != nil {
+		return fmt.Errorf("replan: %w", err)
+	}
+	l.target = out
+	l.targetN = n
+	return nil
+}
+
+// diffMoves computes the migration from the live placement to the
+// target: placements for records not placed anywhere yet (From = -1)
+// and moves for records whose partition changes. Emission order is
+// deterministic — target partitions ascending, records in target
+// order — which is the order the move budget truncates in.
+func diffMoves(actual, target *partitioner.Assignment, n int) (placements, moves []partitioner.Move) {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = -1
+	}
+	for j, part := range actual.Parts {
+		for _, r := range part {
+			cur[r] = j
+		}
+	}
+	for j, part := range target.Parts {
+		for _, r := range part {
+			switch c := cur[r]; {
+			case c == j:
+			case c < 0:
+				placements = append(placements, partitioner.Move{Record: r, From: -1, To: j})
+			default:
+				moves = append(moves, partitioner.Move{Record: r, From: c, To: j})
+			}
+		}
+	}
+	return placements, moves
+}
+
+// applyOps materializes the post-migration assignment: moved records
+// are filtered out of their sources and appended (with placements) to
+// their destinations; untouched partitions share their backing slices
+// with the previous assignment. Returns the affected partition set.
+func applyOps(actual *partitioner.Assignment, ops []partitioner.Move) (*partitioner.Assignment, map[int]struct{}) {
+	affected := make(map[int]struct{})
+	leaving := make(map[int]map[int]struct{})
+	arriving := make(map[int][]int)
+	for _, mv := range ops {
+		affected[mv.To] = struct{}{}
+		arriving[mv.To] = append(arriving[mv.To], mv.Record)
+		if mv.From >= 0 {
+			affected[mv.From] = struct{}{}
+			if leaving[mv.From] == nil {
+				leaving[mv.From] = make(map[int]struct{})
+			}
+			leaving[mv.From][mv.Record] = struct{}{}
+		}
+	}
+	next := &partitioner.Assignment{Parts: make([][]int, actual.P())}
+	for j, part := range actual.Parts {
+		if _, ok := affected[j]; !ok {
+			next.Parts[j] = part
+			continue
+		}
+		out := make([]int, 0, len(part)+len(arriving[j]))
+		gone := leaving[j]
+		for _, r := range part {
+			if _, g := gone[r]; !g {
+				out = append(out, r)
+			}
+		}
+		next.Parts[j] = append(out, arriving[j]...)
+	}
+	return next, affected
+}
+
+// migrate moves the live placement toward the installed target under
+// the move budget and, when a store is configured, rewrites every
+// affected partition through an epoch transaction: all staged writes
+// must succeed before any becomes visible. rep may be nil (initial
+// placement at construction).
+func (l *Loop) migrate(rep *CycleReport) (int, error) {
+	n := l.corpus.Len()
+	placements, moves := diffMoves(l.actual, l.target, n)
+	applied := moves
+	if b := l.cfg.MaxMovesPerCycle; b > 0 && len(moves) > b {
+		applied = moves[:b]
+	}
+	if rep != nil {
+		rep.Placements = len(placements)
+		rep.MovesApplied = len(applied)
+		rep.MovesDeferred = len(moves) - len(applied)
+	}
+	ops := append(append([]partitioner.Move(nil), placements...), applied...)
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	next, affected := applyOps(l.actual, ops)
+	if l.store != nil {
+		if err := l.writeAffected(next, affected); err != nil {
+			return 0, err
+		}
+	}
+	l.actual = next
+	l.pending = nil
+	return len(applied), nil
+}
+
+// writeAffected stages every affected partition's new contents at the
+// next epoch — grouped by the store's write groups, groups in parallel,
+// each group's writes sequential — and commits only if all writes
+// succeeded. On error nothing is committed: reads keep serving the
+// previous epoch and the caller's assignment stays unchanged.
+func (l *Loop) writeAffected(next *partitioner.Assignment, affected map[int]struct{}) error {
+	parts := make([]int, 0, len(affected))
+	for j := range affected {
+		parts = append(parts, j)
+	}
+	sort.Ints(parts)
+	groupIdx := make(map[int]int)
+	var groups [][]int
+	for _, j := range parts {
+		g := l.store.WriteGroup(j)
+		gi, ok := groupIdx[g]
+		if !ok {
+			gi = len(groups)
+			groupIdx[g] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], j)
+	}
+	txn := l.store.Begin()
+	_, err := parallel.ForErr(len(groups), l.cfg.Core.Workers, func(lo, hi int) error {
+		for gi := lo; gi < hi; gi++ {
+			for _, j := range groups[gi] {
+				records := make([][]byte, len(next.Parts[j]))
+				for i, r := range next.Parts[j] {
+					records[i] = l.corpus.AppendRecord(nil, r)
+				}
+				if err := txn.Write(j, records); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	txn.Commit()
+	return nil
+}
+
+// Plan returns the currently installed plan. The stratification it
+// references is live — Ingest extends it in place.
+func (l *Loop) Plan() *core.Plan { return l.plan }
+
+// Actual returns the live (committed) placement. Read-only.
+func (l *Loop) Actual() *partitioner.Assignment { return l.actual }
+
+// Target returns the installed target placement. Read-only.
+func (l *Loop) Target() *partitioner.Assignment { return l.target }
+
+// Store returns the epoch store the loop migrates through (nil when no
+// base store was configured).
+func (l *Loop) Store() *EpochStore { return l.store }
+
+// Tracker exposes the drift tracker (for inspection; mutating it
+// corrupts the loop).
+func (l *Loop) Tracker() *strata.DriftTracker { return l.tracker }
+
+// Pending returns how many ingested records await placement.
+func (l *Loop) Pending() int { return len(l.pending) }
+
+// Len returns the live corpus size.
+func (l *Loop) Len() int { return l.corpus.Len() }
+
+// Corpus returns the live corpus (frozen base plus ingested records),
+// e.g. for anchoring a cold core.BuildPlan against the loop's state.
+func (l *Loop) Corpus() pivots.Corpus { return l.corpus }

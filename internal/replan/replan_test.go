@@ -1,0 +1,414 @@
+package replan
+
+import (
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"pareto/internal/cluster"
+	"pareto/internal/core"
+	"pareto/internal/datasets"
+	"pareto/internal/energy"
+	"pareto/internal/partitioner"
+	"pareto/internal/pivots"
+	"pareto/internal/sketch"
+	"pareto/internal/strata"
+	"pareto/internal/telemetry"
+)
+
+// replanDocs generates the planted-topic text dataset every loop test
+// runs on (~800 docs at frac 0.001).
+func replanDocs(t testing.TB) ([]pivots.Doc, int) {
+	t.Helper()
+	cfg := datasets.RCV1Like(0.001)
+	docs, _, err := datasets.GenerateText(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return docs, cfg.VocabSize
+}
+
+func paperCluster(t testing.TB, p int) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.PaperCluster(p, energy.DefaultPanel(), 172, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// weightProfile prices a sample at 2000× its record-weight sum — the
+// linear regime where the sizing LP is exact. Closing over the full
+// corpus works for both the cold and the live path because records are
+// ingested in index order.
+func weightProfile(c pivots.Corpus) core.ProfileFunc {
+	return func(indices []int) (float64, error) {
+		var cost float64
+		for _, i := range indices {
+			cost += 2000 * float64(c.Weight(i))
+		}
+		return cost, nil
+	}
+}
+
+func loopCoreConfig(workers int) core.Config {
+	return core.Config{
+		Strategy: core.HetEnergyAware,
+		Alpha:    0.999,
+		Scheme:   partitioner.Representative,
+		Stratifier: strata.StratifierConfig{
+			SketchWidth: 24,
+			Cluster:     strata.Config{K: 8, L: 3, Seed: 7},
+			Seed:        5,
+		},
+		SampleSeed: 3,
+		Workers:    workers,
+	}
+}
+
+// ingestDocs feeds docs[from:] into the loop as wire records, exactly
+// as the Tailer would.
+func ingestDocs(t testing.TB, l *Loop, full *pivots.TextCorpus, from int) {
+	t.Helper()
+	for i := from; i < full.Len(); i++ {
+		terms := full.Docs[i].Terms
+		items := make([]sketch.Item, len(terms))
+		for k, term := range terms {
+			items[k] = sketch.Item(term)
+		}
+		if _, err := l.Ingest(items, len(terms), full.AppendRecord(nil, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// affineProfile prices a sample as a fixed overhead plus a per-record
+// cost — exactly affine in the sample size. The fit recovers it with
+// zero residual, so the intercept stays solidly positive across
+// re-profiles (a noisy near-zero intercept can clamp to 0 and flip the
+// time rows' RHS sign, which would force the LP re-solve cold).
+func affineProfile() core.ProfileFunc {
+	return func(indices []int) (float64, error) {
+		return 50_000 + 2_000*float64(len(indices)), nil
+	}
+}
+
+// alienItems builds a pivot set far from any planted topic, used to
+// drift exactly one stratum (identical sets always land on the same
+// nearest frozen center).
+func alienItems(gen, n int) []sketch.Item {
+	items := make([]sketch.Item, n)
+	for i := range items {
+		items[i] = sketch.Item(uint64(1)<<40 + uint64(gen)<<20 + uint64(i))
+	}
+	return items
+}
+
+// TestAllDirtyCycleBitIdenticalToCold is the acceptance criterion: when
+// every stratum is dirty, the incremental loop's cycle must equal a
+// cold full core.BuildPlan over the union corpus — deep-equal sizes,
+// placement, strata, models and LP solution — at several worker counts.
+func TestAllDirtyCycleBitIdenticalToCold(t *testing.T) {
+	docs, vocab := replanDocs(t)
+	full, err := pivots.NewTextCorpus(docs, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := len(docs) * 3 / 4
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		base, err := pivots.NewTextCorpus(docs[:split], vocab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := paperCluster(t, 4)
+		l, err := New(base, cl, weightProfile(full), Config{
+			Core:  loopCoreConfig(workers),
+			Drift: strata.DriftConfig{Threshold: 0}, // every stratum always dirty
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestDocs(t, l, full, split)
+		rep, err := l.Cycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Kind != CycleFull {
+			t.Fatalf("workers %d: all-dirty cycle took the %v path", workers, rep.Kind)
+		}
+		cold, err := core.BuildPlan(full, cl, weightProfile(full), loopCoreConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := l.Plan()
+		if !reflect.DeepEqual(live.Sizes, cold.Sizes) {
+			t.Errorf("workers %d: sizes %v, cold %v", workers, live.Sizes, cold.Sizes)
+		}
+		if !reflect.DeepEqual(live.Assign.Parts, cold.Assign.Parts) {
+			t.Errorf("workers %d: placement differs from cold plan", workers)
+		}
+		if !reflect.DeepEqual(live.Strat.Members, cold.Strat.Members) {
+			t.Errorf("workers %d: strata differ from cold plan", workers)
+		}
+		if !reflect.DeepEqual(live.Models, cold.Models) {
+			t.Errorf("workers %d: models differ from cold plan", workers)
+		}
+		if !reflect.DeepEqual(live.Optimized.X, cold.Optimized.X) {
+			t.Errorf("workers %d: LP solution differs from cold plan", workers)
+		}
+		// The loop also migrated to the cold placement.
+		if err := l.Actual().Validate(full.Len()); err != nil {
+			t.Fatal(err)
+		}
+		assertSameSets(t, l.Actual(), cold.Assign)
+	}
+}
+
+// assertSameSets checks two assignments hold identical record sets per
+// partition (migration preserves membership, not intra-partition order).
+func assertSameSets(t *testing.T, got, want *partitioner.Assignment) {
+	t.Helper()
+	if got.P() != want.P() {
+		t.Fatalf("partition counts %d vs %d", got.P(), want.P())
+	}
+	for j := range got.Parts {
+		g := append([]int(nil), got.Parts[j]...)
+		w := append([]int(nil), want.Parts[j]...)
+		sort.Ints(g)
+		sort.Ints(w)
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("partition %d membership differs", j)
+		}
+	}
+}
+
+func TestIncrementalCycleWarmLP(t *testing.T) {
+	docs, vocab := replanDocs(t)
+	base, err := pivots.NewTextCorpus(docs, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	cl := paperCluster(t, 4)
+	l, err := New(base, cl, affineProfile(), Config{
+		Core:      loopCoreConfig(2),
+		Drift:     strata.DriftConfig{Threshold: 1e-9},
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First drifting batch: cold LP (no retained basis yet).
+	for i := 0; i < 12; i++ {
+		if _, err := l.Ingest(alienItems(1, 6), 6, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := l.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != CycleIncremental {
+		t.Fatalf("first drifting cycle took the %v path (dirty %v)", rep.Kind, rep.Dirty)
+	}
+	if len(rep.Dirty) == 0 || len(rep.Dirty) == l.Tracker().K() {
+		t.Fatalf("dirty strata %v — want a strict subset", rep.Dirty)
+	}
+	if !rep.LPSolved || rep.LPWarm {
+		t.Errorf("first incremental LP: solved %v warm %v, want cold solve", rep.LPSolved, rep.LPWarm)
+	}
+	// Second drifting batch: the retained basis re-solves warm.
+	for i := 0; i < 12; i++ {
+		if _, err := l.Ingest(alienItems(2, 6), 6, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err = l.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != CycleIncremental {
+		t.Fatalf("second drifting cycle took the %v path", rep.Kind)
+	}
+	if !rep.LPSolved || !rep.LPWarm {
+		t.Errorf("second incremental LP: solved %v warm %v, want warm re-solve", rep.LPSolved, rep.LPWarm)
+	}
+	if reg.Counter("replan_lp_cold_total").Value() != 1 || reg.Counter("replan_lp_warm_total").Value() != 1 {
+		t.Errorf("lp counters cold=%d warm=%d, want 1/1",
+			reg.Counter("replan_lp_cold_total").Value(), reg.Counter("replan_lp_warm_total").Value())
+	}
+	if l.Pending() != 0 {
+		t.Errorf("%d records still pending after cycles", l.Pending())
+	}
+	if err := l.Actual().Validate(l.Len()); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("replan_cycles_incremental_total").Value() != 2 {
+		t.Errorf("incremental cycle counter = %d, want 2", reg.Counter("replan_cycles_incremental_total").Value())
+	}
+}
+
+// TestMoveBudgetAndDeferredDrain asserts MaxMovesPerCycle is never
+// exceeded and that deferred moves drain to convergence across cycles,
+// with the store following every committed step.
+func TestMoveBudgetAndDeferredDrain(t *testing.T) {
+	docs, vocab := replanDocs(t)
+	full, err := pivots.NewTextCorpus(docs, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := len(docs) * 3 / 4
+	base, err := pivots.NewTextCorpus(docs[:split], vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	cl := paperCluster(t, 4)
+	const budget = 7
+	l, err := New(base, cl, weightProfile(full), Config{
+		Core:             loopCoreConfig(2),
+		Drift:            strata.DriftConfig{Threshold: 0},
+		MaxMovesPerCycle: budget,
+		Store:            partitioner.NewMemoryStore(),
+		Telemetry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestDocs(t, l, full, split)
+	n := full.Len()
+	prevDeferred := -1
+	converged := false
+	for i := 0; i < 200; i++ {
+		rep, err := l.Cycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MovesApplied > budget {
+			t.Fatalf("cycle %d applied %d moves past the budget %d", i, rep.MovesApplied, budget)
+		}
+		if prevDeferred >= 0 && rep.MovesDeferred > prevDeferred {
+			t.Fatalf("cycle %d deferred %d moves after %d — not draining", i, rep.MovesDeferred, prevDeferred)
+		}
+		prevDeferred = rep.MovesDeferred
+		if err := l.Actual().Validate(n); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if rep.Converged {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatal("deferred moves never drained")
+	}
+	assertSameSets(t, l.Actual(), l.Target())
+	if reg.Counter("replan_moves_deferred_total").Value() == 0 {
+		t.Error("budget never deferred anything — test exercised nothing")
+	}
+	// The committed store mirrors the live placement record-for-record.
+	st := l.Store()
+	for j := 0; j < st.P(); j++ {
+		records, err := st.ReadPartition(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := l.Actual().Parts[j]
+		if len(records) != len(want) {
+			t.Fatalf("partition %d holds %d records, want %d", j, len(records), len(want))
+		}
+		for i, rec := range records {
+			if got := full.AppendRecord(nil, want[i]); !reflect.DeepEqual(rec, got) {
+				t.Fatalf("partition %d record %d bytes differ", j, i)
+			}
+		}
+	}
+}
+
+func TestCleanCyclePlacesPendingWithoutReplanning(t *testing.T) {
+	docs, vocab := replanDocs(t)
+	full, err := pivots.NewTextCorpus(docs, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := len(docs) - 5
+	base, err := pivots.NewTextCorpus(docs[:split], vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	cl := paperCluster(t, 4)
+	l, err := New(base, cl, weightProfile(full), Config{
+		Core:      loopCoreConfig(2),
+		Drift:     strata.DriftConfig{Threshold: 0.9}, // nothing ever drifts this far
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.Plan().Optimized
+	ingestDocs(t, l, full, split)
+	rep, err := l.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != CycleClean {
+		t.Fatalf("cycle took the %v path (dirty %v)", rep.Kind, rep.Dirty)
+	}
+	if rep.Placements != 5 {
+		t.Errorf("placed %d records, want 5", rep.Placements)
+	}
+	if rep.LPSolved {
+		t.Error("clean cycle ran the LP")
+	}
+	if l.Plan().Optimized != before {
+		t.Error("clean cycle reinstalled the plan")
+	}
+	if l.Pending() != 0 || l.Len() != full.Len() {
+		t.Errorf("pending %d len %d after clean cycle", l.Pending(), l.Len())
+	}
+	if err := l.Actual().Validate(full.Len()); err != nil {
+		t.Fatal(err)
+	}
+	// A second cycle with no traffic is a no-op.
+	rep, err = l.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != CycleClean || rep.Placements != 0 || rep.MovesApplied != 0 {
+		t.Errorf("idle cycle: %+v", rep)
+	}
+	if reg.Counter("replan_cycles_clean_total").Value() != 2 {
+		t.Errorf("clean counter = %d, want 2", reg.Counter("replan_cycles_clean_total").Value())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	docs, vocab := replanDocs(t)
+	base, err := pivots.NewTextCorpus(docs[:100], vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := paperCluster(t, 4)
+	cfg := loopCoreConfig(1)
+	bad := cfg
+	bad.Normalized = true
+	if _, err := New(base, cl, weightProfile(base), Config{Core: bad}); err == nil {
+		t.Error("Normalized accepted")
+	}
+	bad = cfg
+	bad.Alpha = 1.5
+	if _, err := New(base, cl, weightProfile(base), Config{Core: bad}); err == nil {
+		t.Error("alpha out of range accepted")
+	}
+	if _, err := New(base, cl, weightProfile(base), Config{Core: cfg, MaxMovesPerCycle: -1}); err == nil {
+		t.Error("negative move budget accepted")
+	}
+	if _, err := New(base, nil, weightProfile(base), Config{Core: cfg}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := New(base, cl, weightProfile(base), Config{Core: cfg, Drift: strata.DriftConfig{Threshold: -1}}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}

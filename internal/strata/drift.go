@@ -1,0 +1,229 @@
+// Online drift detection over a frozen stratification.
+//
+// The batch stratifier maintains per-(stratum, attribute) value
+// frequency counters to rebuild centers incrementally (kmodes.go). The
+// DriftTracker reuses exactly that machinery for the online replanning
+// loop: ingested records are assigned to the nearest *frozen* center
+// with the same tie-breaking scan as the stratifier, folded into the
+// same frequency counters, and the counters are exposed as a
+// per-stratum drift statistic.
+//
+// The statistic is center coverage decay. For stratum s, coverage is
+// the fraction of counter mass lying on the frozen center's candidate
+// values:
+//
+//	C(s) = Σ_a Σ_{v ∈ center_s[a]} count(s, a, v) / (members(s) · width)
+//
+// At freeze time coverage is C₀(s) — the center explains its members
+// that well, by construction of top-L selection the best any center
+// could. Ingested records that resemble the stratum keep coverage near
+// C₀; records the frozen center does not explain dilute it. Drift is
+// the decay, clamped at zero:
+//
+//	Drift(s) = max(0, C₀(s) − C(s))
+//
+// A stratum is dirty when Drift(s) ≥ Threshold, so Threshold = 0 marks
+// every stratum permanently dirty (forcing full replans) and
+// Threshold > 1 never fires.
+package strata
+
+import (
+	"errors"
+	"fmt"
+
+	"pareto/internal/sketch"
+)
+
+// DriftConfig configures a DriftTracker.
+type DriftConfig struct {
+	// Threshold is the dirtiness threshold on the Drift statistic: a
+	// stratum is dirty when Drift(s) ≥ Threshold (the comparison is
+	// inclusive). 0 marks every stratum always dirty.
+	Threshold float64
+}
+
+// DriftTracker watches a frozen stratification under a live record
+// stream. It is not safe for concurrent use; the replanning loop
+// serializes Ingest and Cycle.
+type DriftTracker struct {
+	k, width, l int
+	threshold   float64
+
+	// centers are the frozen composite centers drift is measured
+	// against; flat is their flattened [k×width×l] scan matrix.
+	centers []Center
+	flat    []uint64
+
+	counters *freqCounters
+	// base[s] is the member count at the last freeze of s; added[s]
+	// counts records ingested into s since. int64: a stream can outlive
+	// any one stratification by orders of magnitude.
+	base  []int
+	added []int64
+	// cov0[s] is the coverage C₀(s) at the last freeze of s.
+	cov0 []float64
+}
+
+// NewDriftTracker freezes the given stratification and starts tracking
+// drift against it. The stratification's sketches and centers are
+// referenced, not copied, and must not be mutated while tracked.
+func NewDriftTracker(st *Stratification, cfg DriftConfig) (*DriftTracker, error) {
+	if st == nil || st.Result == nil {
+		return nil, errors.New("strata: drift tracker needs a stratification")
+	}
+	k := st.K()
+	if k == 0 || len(st.Sketches) == 0 {
+		return nil, errors.New("strata: drift tracker needs a non-empty stratification")
+	}
+	width := len(st.Sketches[0])
+	d := &DriftTracker{
+		k:         k,
+		width:     width,
+		threshold: cfg.Threshold,
+		centers:   make([]Center, k),
+		counters:  newFreqCounters(k, width),
+		base:      make([]int, k),
+		added:     make([]int64, k),
+		cov0:      make([]float64, k),
+	}
+	copy(d.centers, st.Centers)
+	d.l = maxCenterRow(d.centers)
+	d.flat = make([]uint64, k*width*d.l)
+	flattenCenters(d.flat, d.centers, width, d.l)
+	for i, s := range st.Sketches {
+		d.counters.add(s, st.Assign[i])
+	}
+	for s := 0; s < k; s++ {
+		d.base[s] = len(st.Members[s])
+		d.cov0[s] = d.coverage(s)
+	}
+	return d, nil
+}
+
+// maxCenterRow returns the longest candidate row across all centers
+// (≥ 1; every live center row is non-empty by construction).
+func maxCenterRow(centers []Center) int {
+	l := 1
+	for _, c := range centers {
+		for _, row := range c.Values {
+			if len(row) > l {
+				l = len(row)
+			}
+		}
+	}
+	return l
+}
+
+// Ingest assigns one record sketch to its nearest frozen stratum
+// (same scan and lowest-index tie-break as the stratifier), folds it
+// into the frequency counters, and returns the stratum together with
+// the record's attribute-mismatch distance to the frozen center.
+func (d *DriftTracker) Ingest(s sketch.Sketch) (stratum, mismatch int, err error) {
+	if len(s) != d.width {
+		return 0, 0, fmt.Errorf("strata: ingest sketch width %d, tracker width %d", len(s), d.width)
+	}
+	stratum, mismatch = nearestFlat(d.flat, d.k, d.width, d.l, s)
+	d.counters.add(s, stratum)
+	d.added[stratum]++
+	return stratum, mismatch, nil
+}
+
+// coverage returns C(s): the fraction of stratum-s counter mass lying
+// on the frozen center's candidate values. Candidate values within one
+// attribute row are distinct by top-L construction, so the sum counts
+// each member coordinate at most once.
+func (d *DriftTracker) coverage(s int) float64 {
+	total := float64(d.base[s]) + float64(d.added[s])
+	if total == 0 {
+		return 0
+	}
+	var covered int64
+	for a, row := range d.centers[s].Values {
+		for _, v := range row {
+			covered += int64(d.counters.count(s, a, v))
+		}
+	}
+	return float64(covered) / (total * float64(d.width))
+}
+
+// Drift returns the coverage decay of stratum s since its last freeze,
+// in [0, 1]. Empty strata report zero drift.
+func (d *DriftTracker) Drift(s int) float64 {
+	if d.base[s] == 0 && d.added[s] == 0 {
+		return 0
+	}
+	if drift := d.cov0[s] - d.coverage(s); drift > 0 {
+		return drift
+	}
+	return 0
+}
+
+// Dirty reports whether stratum s has drifted to or past the
+// threshold.
+func (d *DriftTracker) Dirty(s int) bool { return d.Drift(s) >= d.threshold }
+
+// DirtyStrata returns the dirty stratum indices, ascending.
+func (d *DriftTracker) DirtyStrata() []int {
+	var dirty []int
+	for s := 0; s < d.k; s++ {
+		if d.Dirty(s) {
+			dirty = append(dirty, s)
+		}
+	}
+	return dirty
+}
+
+// K returns the number of tracked strata.
+func (d *DriftTracker) K() int { return d.k }
+
+// Added returns how many records were ingested into stratum s since
+// its last freeze.
+func (d *DriftTracker) Added(s int) int64 { return d.added[s] }
+
+// AddedTotal returns the total records ingested since the respective
+// last freezes of their strata.
+func (d *DriftTracker) AddedTotal() int64 {
+	var t int64
+	for _, a := range d.added {
+		t += a
+	}
+	return t
+}
+
+// Reset refreezes the given strata from the current stratification
+// after a partial re-stratify: their counters are rebuilt from the new
+// memberships, centers refrozen, and added/coverage baselines reset.
+// Strata not listed keep their counters — including ingested records —
+// untouched. The stratification must have the tracker's K and sketch
+// width (the replanning loop re-clusters dirty strata in place, so
+// both are invariant).
+func (d *DriftTracker) Reset(st *Stratification, strata []int) error {
+	if st.K() != d.k {
+		return fmt.Errorf("strata: reset with K = %d, tracker has %d", st.K(), d.k)
+	}
+	if len(st.Sketches) > 0 && len(st.Sketches[0]) != d.width {
+		return fmt.Errorf("strata: reset sketch width %d, tracker width %d", len(st.Sketches[0]), d.width)
+	}
+	// A new center row can exceed the frozen scan matrix's L; regrow
+	// once and re-flatten everything.
+	if l := maxCenterRow(st.Centers); l > d.l {
+		d.l = l
+		d.flat = make([]uint64, d.k*d.width*d.l)
+		flattenCenters(d.flat, d.centers, d.width, d.l)
+	}
+	for _, s := range strata {
+		if s < 0 || s >= d.k {
+			return fmt.Errorf("strata: reset stratum %d out of range [0, %d)", s, d.k)
+		}
+		d.counters.clearStratum(s)
+		for _, i := range st.Members[s] {
+			d.counters.add(st.Sketches[i], s)
+		}
+		d.centers[s] = st.Centers[s]
+		flattenCenters(d.flat[s*d.width*d.l:(s+1)*d.width*d.l], st.Centers[s:s+1], d.width, d.l)
+		d.base[s] = len(st.Members[s])
+		d.added[s] = 0
+		d.cov0[s] = d.coverage(s)
+	}
+	return nil
+}

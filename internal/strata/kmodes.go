@@ -255,11 +255,9 @@ type clusterState struct {
 	masks   []map[uint64]uint64
 	useMask bool
 
-	// counts[c*width+a][v] is the number of stratum-c members whose
-	// attribute a equals v. Maintained incrementally across rounds;
-	// entries are deleted when they reach zero so top-L selection sees
-	// exactly the values present among current members.
-	counts []map[uint64]int
+	// counters holds the per-(stratum, attribute) value frequencies of
+	// current members. Maintained incrementally across rounds.
+	counters *freqCounters
 	// dirty marks strata whose membership changed since their center
 	// was last rebuilt.
 	dirty []bool
@@ -280,7 +278,7 @@ func newClusterState(sketches []sketch.Sketch, k, width, l, workers int) *cluste
 		l:        l,
 		flat:     make([]uint64, k*width*l),
 		useMask:  k >= maskPathMinK && k <= maskPathMaxK,
-		counts:   make([]map[uint64]int, k*width),
+		counters: newFreqCounters(k, width),
 		dirty:    make([]bool, k),
 		fresh:    true,
 	}
@@ -303,25 +301,7 @@ func (st *clusterState) close() { st.pool.close() }
 // attribute, and updateCenters rebuilds a stratum only from a non-empty
 // member multiset or leaves it for reseedEmpty.
 func (st *clusterState) loadCenters(centers []Center) {
-	l, width := st.l, st.width
-	for c := range centers {
-		vals := centers[c].Values
-		base := c * width * l
-		for a := 0; a < width; a++ {
-			vs := vals[a]
-			if len(vs) == 0 {
-				panic("strata: assigning against a center attribute with no candidate values")
-			}
-			row := st.flat[base+a*l : base+(a+1)*l]
-			for j := range row {
-				if j < len(vs) {
-					row[j] = vs[j]
-				} else {
-					row[j] = vs[0]
-				}
-			}
-		}
-	}
+	flattenCenters(st.flat, centers, st.width, st.l)
 	if !st.useMask {
 		return
 	}
@@ -357,16 +337,50 @@ func (st *clusterState) assignAll(centers []Center, assign []int) (changed bool,
 	return moved > 0, cost, moved
 }
 
+// flattenCenters writes the centers into the [k×width×l] matrix used
+// by the scan path: attribute row (c, a) lives at flat[(c*width+a)*l :
+// +l], short rows padded by repeating the first candidate value so the
+// match loop has a fixed trip count without a per-row length lookup.
+func flattenCenters(flat []uint64, centers []Center, width, l int) {
+	for c := range centers {
+		vals := centers[c].Values
+		base := c * width * l
+		for a := 0; a < width; a++ {
+			vs := vals[a]
+			if len(vs) == 0 {
+				panic("strata: assigning against a center attribute with no candidate values")
+			}
+			row := flat[base+a*l : base+(a+1)*l]
+			for j := range row {
+				if j < len(vs) {
+					row[j] = vs[j]
+				} else {
+					row[j] = vs[0]
+				}
+			}
+		}
+	}
+}
+
 // nearestScan finds the nearest center by scanning the flattened
 // matrix, abandoning a center as soon as its partial mismatch count d
 // can no longer beat bestDist (d only grows, and a tie keeps the
 // incumbent lower index).
 func (st *clusterState) nearestScan(s sketch.Sketch) (best, bestDist int) {
-	l, width := st.l, st.width
-	flat := st.flat
+	return nearestFlat(st.flat, st.k, st.width, st.l, s)
+}
+
+// nearestFlat scans a flattened [k×width×l] center matrix (see
+// flattenCenters) for the center nearest to s under attribute-mismatch
+// distance. Ties break toward the lowest center index: centers are
+// scanned ascending and only a strictly smaller distance displaces the
+// incumbent. Shared by the clustering hot path and the online
+// DriftTracker, which must assign ingested records exactly like the
+// stratifier would.
+func nearestFlat(flat []uint64, k, width, l int, s sketch.Sketch) (best, bestDist int) {
 	stride := width * l
 	bestDist = width + 1
-	for c := 0; c < st.k; c++ {
+	for c := 0; c < k; c++ {
 		row := flat[c*stride : (c+1)*stride]
 		d := 0
 		for a := 0; a < width; a++ {
@@ -432,14 +446,8 @@ func (st *clusterState) updateCenters(centers []Center, assign []int) {
 	width, l := st.width, st.l
 	if st.fresh {
 		st.fresh = false
-		for i := range st.counts {
-			st.counts[i] = make(map[uint64]int)
-		}
 		for i, s := range st.sketches {
-			base := assign[i] * width
-			for a, v := range s {
-				st.counts[base+a][v]++
-			}
+			st.counters.add(s, assign[i])
 		}
 		for c := range st.dirty {
 			st.dirty[c] = true
@@ -447,18 +455,8 @@ func (st *clusterState) updateCenters(centers []Center, assign []int) {
 	} else {
 		for w := 0; w < st.pool.workers; w++ {
 			for _, m := range st.pool.moved[w] {
-				s := st.sketches[m.idx]
 				now := assign[m.idx]
-				oldBase, newBase := m.old*width, now*width
-				for a, v := range s {
-					oc := st.counts[oldBase+a]
-					if oc[v] == 1 {
-						delete(oc, v)
-					} else {
-						oc[v]--
-					}
-					st.counts[newBase+a][v]++
-				}
+				st.counters.move(st.sketches[m.idx], m.old, now)
 				st.dirty[m.old] = true
 				st.dirty[now] = true
 			}
@@ -475,7 +473,7 @@ func (st *clusterState) updateCenters(centers []Center, assign []int) {
 		arena := make([]uint64, 0, width*l)
 		for a := 0; a < width; a++ {
 			lo := len(arena)
-			arena = appendTopL(arena, st.counts[c*width+a], l, &st.sel)
+			arena = appendTopL(arena, st.counters.row(c, a), l, &st.sel)
 			vals[a] = arena[lo:len(arena):len(arena)]
 		}
 		centers[c] = Center{Values: vals}

@@ -43,6 +43,19 @@ func LatencyBuckets() []int64 {
 	return out
 }
 
+// WideLatencyBuckets returns latency bounds for control-loop cycles
+// rather than RPCs: powers of two from 64 µs to ~34 minutes in
+// nanoseconds. Replanning cycles span microseconds (idle tick) to
+// minutes (full replan at scale), which LatencyBuckets' 256 ns–16 s
+// range would truncate.
+func WideLatencyBuckets() []int64 {
+	out := make([]int64, 25)
+	for i := range out {
+		out[i] = 65536 << i
+	}
+	return out
+}
+
 // SizeBuckets returns the standard size bounds in bytes: powers of two
 // from 16 B to 16 MiB (the wire layer's max-bulk order of magnitude).
 func SizeBuckets() []int64 {
